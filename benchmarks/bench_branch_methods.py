@@ -1,0 +1,138 @@
+"""§III-B1 — the four ways to map if-then-else onto a CGRA.
+
+Full predication, partial predication, dual-issue single execution and
+direct CDFG mapping, compared on the same branch kernel.  The shapes
+the literature reports must hold:
+
+* partial predication pays extra memory ops when arms store;
+* full predication pays predicate-routing edges instead;
+* dual-issue overlaps the arms' slots (fewest issue slots);
+* direct CDFG mapping skips the untaken arm entirely at run time but
+  spends context memory on both.
+"""
+
+from repro.api import map_dfg
+from repro.arch import presets
+from repro.bench import ascii_table
+from repro.controlflow import (
+    full_predication,
+    partial_predication,
+)
+from repro.controlflow.direct_cdfg import map_direct
+from repro.controlflow.dual_issue import dual_issue, map_dual_issue
+from repro.ir.cdfg import CFG
+from repro.ir.dfg import Op
+
+
+def branchy_cdfg():
+    """if (x > t) { A[0] = x; y = x - t; } else { y = t - x; } out y*2"""
+    cdfg = CFG("branchy")
+    entry = cdfg.add_block(label="entry")
+    eb = cdfg.block(entry).body
+    x = eb.input("x")
+    t = eb.input("t")
+    c = eb.add(Op.GT, x, t)
+    eb.output(c, "cond")
+    eb.output(x, "x")
+    eb.output(t, "t")
+
+    then = cdfg.add_block(label="then")
+    tb = cdfg.block(then).body
+    tx, tt = tb.input("x"), tb.input("t")
+    z = tb.const(0)
+    tb.add(Op.STORE, z, tx, array="A")
+    tb.output(tb.add(Op.SUB, tx, tt), "y")
+
+    els = cdfg.add_block(label="else")
+    ob = cdfg.block(els).body
+    ox, ot = ob.input("x"), ob.input("t")
+    ob.output(ob.add(Op.SUB, ot, ox), "y")
+
+    join = cdfg.add_block(label="join")
+    jb = cdfg.block(join).body
+    jy = jb.input("y")
+    two = jb.const(2)
+    jb.output(jb.add(Op.MUL, jy, two), "out")
+
+    cdfg.set_branch(entry, "cond", then, els)
+    cdfg.set_jump(then, join)
+    cdfg.set_jump(els, join)
+    cdfg.set_exit(join)
+    cdfg.check()
+    return cdfg
+
+
+def _compare():
+    cdfg = branchy_cdfg()
+    cgra = presets.simple_cgra(4, 4)
+
+    partial = partial_predication(cdfg)
+    full = full_predication(cdfg)
+    m_partial = map_dfg(partial, cgra, mapper="list_sched")
+    m_full = map_dfg(full, cgra, mapper="list_sched")
+    dise_dfg, pairs = dual_issue(cdfg)
+    m_dise = map_dual_issue(dise_dfg, pairs, cgra)
+    direct = map_direct(cdfg, cgra)
+    return cdfg, partial, full, m_partial, m_full, dise_dfg, m_dise, direct
+
+
+def _slots(m):
+    return len(
+        {(m.binding[n], m.schedule[n] % m.ii) for n in m.binding}
+    )
+
+
+def test_branch_mapping_methods(benchmark):
+    (cdfg, partial, full, m_partial, m_full,
+     dise_dfg, m_dise, direct) = benchmark.pedantic(
+        _compare, iterations=1, rounds=1
+    )
+    rows = [
+        {
+            "method": "partial predication",
+            "ops": partial.op_count(),
+            "mem ops": len(partial.memory_ops()),
+            "II": m_partial.ii,
+            "slots": _slots(m_partial),
+            "contexts": m_partial.ii,
+        },
+        {
+            "method": "full predication",
+            "ops": full.op_count(),
+            "mem ops": len(full.memory_ops()),
+            "II": m_full.ii,
+            "slots": _slots(m_full),
+            "contexts": m_full.ii,
+        },
+        {
+            "method": "dual-issue single exec",
+            "ops": dise_dfg.op_count(),
+            "mem ops": len(dise_dfg.memory_ops()),
+            "II": m_dise.ii,
+            "slots": _slots(m_dise),
+            "contexts": m_dise.ii,
+        },
+        {
+            "method": "direct CDFG",
+            "ops": sum(b.body.op_count() for b in cdfg.blocks()),
+            "mem ops": 1,
+            "II": "-",
+            "slots": "-",
+            "contexts": direct.total_contexts,
+        },
+    ]
+    print("\n" + ascii_table(rows, title="§III-B1 — ITE mapping methods"))
+
+    # Partial predication guards the store with a load-select pair.
+    assert len(partial.memory_ops()) > len(full.memory_ops())
+    # Full predication routes the predicate to each arm op instead.
+    preds = sum(1 for n in full.nodes() if n.pred is not None)
+    assert preds >= 2
+    # Dual issue overlaps opposite-arm ops: strictly fewer issue slots
+    # than partial predication on the same source.
+    assert _slots(m_dise) < _slots(m_partial)
+    # Direct CDFG mapping executes only the taken arm...
+    both = direct.path_cycles(True) + direct.path_cycles(False)
+    assert direct.expected_cycles(0.5) == both / 2
+    # ...but stores every block's contexts.
+    assert direct.total_contexts > m_partial.ii

@@ -1,0 +1,53 @@
+"""Ablation — the architectural dimensions of §I, swept.
+
+"The design space is huge and includes several architectural
+dimensions: processing elements and their homogeneity,
+interconnection network, context frame…"  This bench sweeps a compact
+slice (size x topology x RF depth) and asserts the relationships the
+survey's architecture citations report: richer interconnects map more
+and faster at higher cost; bigger register files help routing-in-time;
+the Pareto frontier is non-trivial (no single design dominates).
+"""
+
+from repro.bench import ascii_table
+from repro.dse import explore, pareto_front
+
+SPACE = [
+    {"size": 4, "topology": t, "rf_size": r, "mem_cells": "all"}
+    for t in ("mesh", "diagonal", "one_hop", "crossbar")
+    for r in (2, 8)
+]
+SUITE = ["dot_product", "fir8", "sobel_x", "conv3x3"]
+
+
+def test_architecture_dse(benchmark):
+    points = benchmark.pedantic(
+        lambda: explore(SPACE, SUITE), iterations=1, rounds=1
+    )
+    rows = [
+        {
+            "arch": p.label(),
+            "perf": round(p.performance, 3),
+            "cost": round(p.cost, 0),
+            "mapped": f"{100 * p.success_rate:.0f}%",
+        }
+        for p in points
+    ]
+    print("\n" + ascii_table(rows, title="§I — design-space sweep"))
+
+    def best_for(topo):
+        return max(
+            (p for p in points if p.topology == topo),
+            key=lambda p: p.performance,
+        )
+
+    mesh, xbar = best_for("mesh"), best_for("crossbar")
+    # Richer interconnect: at least as fast, strictly more expensive.
+    assert xbar.performance >= mesh.performance
+    assert xbar.cost > mesh.cost
+    # Every design point maps the full suite (the mappers are robust).
+    assert all(p.success_rate == 1.0 for p in points)
+    # The frontier trades cost for performance: >= 2 non-dominated points.
+    front = pareto_front(points)
+    print("\nPareto frontier: " + ", ".join(p.label() for p in front))
+    assert len(front) >= 2

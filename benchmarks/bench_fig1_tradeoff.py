@@ -1,0 +1,49 @@
+"""Fig. 1 — flexibility / performance / energy-efficiency trade-off.
+
+The paper reproduces Liu et al.'s qualitative triangle; here the five
+architecture classes execute the same kernel suite under explicit
+models (:mod:`repro.sim.archcompare`) and the triangle's orderings are
+asserted as numbers: CGRAs sit between instruction processors and
+hardwired datapaths on both axes.
+"""
+
+from repro.bench import ascii_table
+from repro.sim.archcompare import compare_architectures
+
+
+def test_fig1_tradeoff(benchmark):
+    points = benchmark.pedantic(
+        compare_architectures, iterations=1, rounds=1
+    )
+    rows = [
+        {
+            "class": p.name,
+            "perf (iters/cycle)": round(p.performance, 3),
+            "energy/iter": round(p.energy_per_iter, 1),
+            "efficiency": round(p.efficiency, 4),
+            "flexibility": p.flexibility,
+        }
+        for p in points
+    ]
+    print("\n" + ascii_table(rows, title="Fig. 1 — architecture trade-off"))
+    by = {p.name: p for p in points}
+    # Performance axis: hardwired > reconfigurable > programmable.
+    assert (
+        by["ASIC"].performance
+        >= by["FPGA"].performance
+        >= by["CGRA"].performance
+        > by["CPU"].performance
+    )
+    # Efficiency axis: same direction.
+    assert (
+        by["ASIC"].efficiency
+        > by["CGRA"].efficiency
+        > by["VLIW"].efficiency
+        > by["CPU"].efficiency
+    )
+    # Flexibility axis: opposite direction — the trade-off itself.
+    assert (
+        by["CPU"].flexibility
+        > by["CGRA"].flexibility
+        > by["ASIC"].flexibility
+    )

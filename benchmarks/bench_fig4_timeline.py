@@ -1,0 +1,30 @@
+"""Fig. 4 — two decades of CGRA mapping publications.
+
+Regenerates the histogram and era annotations from the structured
+bibliography and asserts the figure's stated shape: the community
+"intensified the efforts in the last decade, with a clear increase in
+2021"; modulo scheduling present from the beginning; branch support
+from the early 2000s; memory-aware methods around 2010.
+"""
+
+from repro.survey.timeline import (
+    era_onsets,
+    publications_per_year,
+    render_timeline,
+)
+
+
+def test_fig4_timeline(benchmark):
+    counts = benchmark(publications_per_year)
+    print("\n" + render_timeline())
+
+    first_decade = sum(counts[y] for y in range(2000, 2011))
+    second_decade = sum(counts[y] for y in range(2011, 2022))
+    assert second_decade > first_decade, "effort intensified after 2010"
+    assert counts[2021] == max(counts.values()), "clear increase in 2021"
+
+    onsets = era_onsets()
+    assert onsets["Modulo scheduling"] <= 2000   # "since the beginning"
+    assert 2002 <= onsets["Full predication"] <= 2008  # early 2000s
+    assert 2008 <= onsets["Memory aware"] <= 2012      # "around 2010"
+    assert onsets["Hardware loops"] >= 2015

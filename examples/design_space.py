@@ -1,0 +1,45 @@
+"""Architecture exploration: which CGRA should you build?
+
+The survey's introduction lists the design dimensions ("processing
+elements and their homogeneity, interconnection network, …") and its
+trends section praises the open-source exploration frameworks
+([75]-[77]).  This example sweeps a compact design space against a
+kernel suite and prints the cost/performance Pareto frontier.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.bench import ascii_table
+from repro.dse import explore, pareto_front
+
+SPACE = [
+    {"size": s, "topology": t, "rf_size": r, "mem_cells": "all"}
+    for s in (4, 5)
+    for t in ("mesh", "diagonal", "one_hop")
+    for r in (2, 8)
+]
+SUITE = ["dot_product", "fir4", "sobel_x", "if_select", "sad"]
+
+points = explore(SPACE, SUITE, mapper="list_sched")
+rows = [
+    {
+        "architecture": p.label(),
+        "perf (1/II)": round(p.performance, 3),
+        "cost": round(p.cost, 0),
+        "mapped": f"{100 * p.success_rate:.0f}%",
+    }
+    for p in points
+]
+print(ascii_table(rows, title=f"{len(points)} design points, "
+                              f"{len(SUITE)}-kernel suite"))
+
+front = pareto_front(points)
+print("\nPareto frontier (cost vs performance):")
+for p in front:
+    print(f"  {p.label():28s} perf={p.performance:.3f}"
+          f" cost={p.cost:.0f}")
+
+# Richer interconnects should appear on the frontier's high end.
+assert front, "frontier cannot be empty"
+best = max(points, key=lambda p: p.performance)
+print(f"\nfastest architecture: {best.label()}")

@@ -1,0 +1,61 @@
+"""Domain scenario: an edge-detection pipeline on a CGRA.
+
+The survey's first wave: "signal processing applications, especially
+multimedia applications like image, audio, and video, for embedded
+systems".  This example runs a Sobel horizontal gradient over an image
+strip — the kernel is mapped once, then the fabric streams one pixel
+neighbourhood per initiation.
+
+Run:  python examples/image_pipeline.py
+"""
+
+from repro import map_dfg
+from repro.arch import presets
+from repro.controlflow.hwloops import loop_execution_cycles
+from repro.ir import kernels
+from repro.sim import simulate_mapping
+
+# A small grayscale image (8x8) with a vertical edge down the middle.
+W = H = 8
+image = [[0 if x < W // 2 else 9 for x in range(W)] for y in range(H)]
+
+cgra = presets.adres_like(4, 4)
+dfg = kernels.sobel_x()
+mapping = map_dfg(dfg, cgra, mapper="edge_centric")
+print(f"sobel_x on {cgra.name}: II={mapping.ii},"
+      f" makespan={mapping.schedule_length},"
+      f" cells={len(mapping.cells_used())}")
+
+# Stream the interior pixels' 3x3 neighbourhoods through the fabric.
+coords = [
+    (x, y) for y in range(1, H - 1) for x in range(1, W - 1)
+]
+inputs = {
+    f"p{i}": [
+        image[y + dy][x + dx]
+        for (x, y) in coords
+    ]
+    for i, (dx, dy) in enumerate(
+        [(dx, dy) for dy in (-1, 0, 1) for dx in (-1, 0, 1)]
+    )
+}
+sim = simulate_mapping(mapping, len(coords), inputs)
+
+# Reassemble and display the gradient magnitude map.
+out = iter(sim.outputs["gx"])
+rows = []
+for y in range(1, H - 1):
+    rows.append(" ".join(f"{next(out):2d}" for _ in range(1, W - 1)))
+print("\n|gx| over the image interior:")
+print("\n".join(rows))
+
+# The edge columns light up, flat regions stay dark.
+gx = sim.outputs["gx"]
+assert max(gx) > 0 and min(gx) == 0
+
+# Throughput accounting, with and without hardware loop support.
+pixels = len(coords)
+print(f"\n{pixels} pixels in {sim.cycles} cycles"
+      f" ({sim.throughput:.2f} pixels/cycle)")
+print(f"with sw loop control: {loop_execution_cycles(mapping, pixels, hw_loop=False)} cycles")
+print(f"with hw loop support: {loop_execution_cycles(mapping, pixels, hw_loop=True)} cycles")

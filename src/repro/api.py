@@ -1,0 +1,60 @@
+"""Top-level convenience API.
+
+Thin wrappers that tie the front end, the mapper registry, and the
+architecture presets together so the common workflows are one-liners:
+
+* :func:`map_dfg` — map a DFG onto a CGRA with a named mapper;
+* :func:`compile_source` — full flow: source text -> CDFG -> passes ->
+  predicated DFG -> mapping;
+* :func:`available_mappers` — the registry contents (Table I, live).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["available_mappers", "compile_source", "map_dfg"]
+
+
+def map_dfg(dfg, cgra, mapper: str = "dresc", ii: int | None = None, **opts):
+    """Map ``dfg`` onto ``cgra`` using the registered mapper ``mapper``.
+
+    Args:
+        dfg: a :class:`repro.ir.DFG`.
+        cgra: a :class:`repro.arch.CGRA`.
+        mapper: registry name (see :func:`available_mappers`).
+        ii: initiation interval to start the II search from (temporal
+            mappers only); None lets the mapper pick MII.
+        **opts: forwarded to the mapper constructor.
+
+    Returns:
+        a validated :class:`repro.core.Mapping`.
+    """
+    from repro.core.registry import create
+
+    m = create(mapper, **opts)
+    return m.map(dfg, cgra, ii=ii)
+
+
+def compile_source(source: str, cgra, mapper: str = "dresc", **opts):
+    """Compile C-like ``source`` down to a mapping on ``cgra``.
+
+    Runs the front end (lex/parse/lower), the standard middle-end pass
+    pipeline, if-conversion of any control flow, and finally the
+    selected mapper — the full Fig. 3 flow of the survey.
+    """
+    from repro.frontend import compile_to_cdfg
+    from repro.passes import standard_pipeline
+    from repro.controlflow import flatten_cdfg
+
+    cdfg = compile_to_cdfg(source)
+    dfg = flatten_cdfg(cdfg)
+    dfg = standard_pipeline(dfg)
+    return map_dfg(dfg, cgra, mapper=mapper, **opts)
+
+
+def available_mappers() -> dict[str, dict[str, Any]]:
+    """Names and taxonomy metadata of every registered mapper."""
+    from repro.core.registry import catalog
+
+    return catalog()

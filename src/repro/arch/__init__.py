@@ -1,0 +1,38 @@
+"""The CGRA architecture model.
+
+Follows the survey's §II-A/§II-B: a CGRA is a 2-D array of cells
+(PEs / RCs) joined by an interconnect topology, exposing both *spatial*
+parallelism (many cells per cycle) and *temporal* parallelism (cells
+reconfigured every cycle by a context).  The model is parametric —
+"the great majority of works considers a model of the CGRA as input of
+the compilation flow" — and every mapper in :mod:`repro.mappers`
+targets it rather than a hard-coded machine.
+
+* :mod:`repro.arch.cell` — the reconfigurable cell: functional unit,
+  register file, memory port;
+* :mod:`repro.arch.topology` — interconnect generators (mesh, torus,
+  diagonal/king, one-hop, ring, crossbar);
+* :mod:`repro.arch.cgra` — the array itself;
+* :mod:`repro.arch.presets` — named architectures from the literature;
+* :mod:`repro.arch.tec` — the time-extended CGRA (TEC) graph;
+* :mod:`repro.arch.mrrg` — the modulo routing resource graph (MRRG).
+"""
+
+from repro.arch.cell import Cell, CellKind
+from repro.arch.cgra import CGRA, Link
+from repro.arch.topology import TOPOLOGIES, topology_links
+from repro.arch import presets
+from repro.arch.tec import TEC
+from repro.arch.mrrg import MRRG
+
+__all__ = [
+    "CGRA",
+    "Cell",
+    "CellKind",
+    "Link",
+    "MRRG",
+    "TEC",
+    "TOPOLOGIES",
+    "presets",
+    "topology_links",
+]

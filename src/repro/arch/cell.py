@@ -1,0 +1,128 @@
+"""The reconfigurable cell (PE / RC / tile / FU).
+
+The survey (§II-A) prefers *cell* as the generic term because CGRAs may
+be heterogeneous — some cells compute, some access memory, some only
+route.  A :class:`Cell` here carries:
+
+* a :class:`CellKind` and the set of opcodes its functional unit
+  implements,
+* a local register file size (how many live values it can hold per
+  cycle — what temporal mappers use for routing-in-time),
+* whether it owns a memory port (LOAD/STORE capable), and
+* whether its configuration word can supply immediate constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ir.dfg import Op
+
+__all__ = ["Cell", "CellKind", "ALU_OPS", "MEM_OPS", "ALL_OPS"]
+
+# Opcode groups used to describe what a cell's FU implements.
+MEM_OPS = frozenset({Op.LOAD, Op.STORE})
+ALU_OPS = frozenset(
+    op
+    for op in Op
+    if op not in MEM_OPS and not op.is_pseudo
+)
+ALL_OPS = ALU_OPS | MEM_OPS
+
+
+class CellKind(enum.Enum):
+    """Coarse cell classes found across the surveyed architectures."""
+
+    ALU = "alu"          #: compute-only cell
+    MEM = "mem"          #: memory-access cell (still routes)
+    ALU_MEM = "alu_mem"  #: compute + memory port (ADRES first column)
+    ROUTE = "route"      #: pure routing cell (no FU)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One reconfigurable cell of the array.
+
+    Attributes:
+        cid: cell id, unique in the array (row-major by convention).
+        x, y: grid coordinates.
+        kind: coarse class (drives ``ops`` defaults in the builders).
+        ops: opcodes the FU implements; empty for pure-route cells.
+        rf_size: local register file capacity (values held per cycle).
+        has_memory_port: True if LOAD/STORE may be bound here.
+        const_width: bit-width of the immediate field in the context
+            (0 means constants must be routed in from elsewhere).
+    """
+
+    cid: int
+    x: int
+    y: int
+    kind: CellKind = CellKind.ALU
+    ops: frozenset[Op] = field(default_factory=lambda: ALU_OPS)
+    rf_size: int = 4
+    has_memory_port: bool = False
+    const_width: int = 16
+
+    def supports(self, op: Op) -> bool:
+        """Can this cell's FU execute ``op``?
+
+        Pseudo ops (CONST/INPUT/OUTPUT) never occupy an FU and are
+        supported anywhere; ROUTE needs no FU either (it uses the
+        cell's bypass path).
+        """
+        if op.is_pseudo or op is Op.ROUTE:
+            return True
+        if op.is_memory:
+            return self.has_memory_port and op in self.ops
+        return op in self.ops
+
+    def can_hold_constant(self, value: int) -> bool:
+        """Does ``value`` fit the context's immediate field?"""
+        if self.const_width <= 0:
+            return False
+        lo = -(1 << (self.const_width - 1))
+        hi = (1 << (self.const_width - 1)) - 1
+        return lo <= value <= hi
+
+    @property
+    def is_compute(self) -> bool:
+        return bool(self.ops)
+
+    def describe(self) -> str:
+        tags = [self.kind.value, f"rf={self.rf_size}"]
+        if self.has_memory_port:
+            tags.append("mem")
+        return f"cell{self.cid}({self.x},{self.y})[{','.join(tags)}]"
+
+
+def make_cell(
+    cid: int,
+    x: int,
+    y: int,
+    kind: CellKind,
+    *,
+    rf_size: int = 4,
+    const_width: int = 16,
+    ops: frozenset[Op] | None = None,
+) -> Cell:
+    """Build a cell with kind-appropriate defaults for ``ops``/ports."""
+    if ops is None:
+        if kind is CellKind.ALU:
+            ops = ALU_OPS
+        elif kind is CellKind.MEM:
+            ops = MEM_OPS
+        elif kind is CellKind.ALU_MEM:
+            ops = ALL_OPS
+        else:  # ROUTE
+            ops = frozenset()
+    return Cell(
+        cid=cid,
+        x=x,
+        y=y,
+        kind=kind,
+        ops=ops,
+        rf_size=rf_size,
+        has_memory_port=kind in (CellKind.MEM, CellKind.ALU_MEM),
+        const_width=const_width,
+    )

@@ -1,0 +1,191 @@
+"""The CGRA array model.
+
+A :class:`CGRA` is a set of :class:`~repro.arch.cell.Cell`\\ s plus a
+directed link set.  It answers the questions every mapper asks:
+
+* which cells can execute a given opcode (:meth:`CGRA.candidates`),
+* which cells are adjacent (:meth:`CGRA.neighbors_out` /
+  :meth:`CGRA.neighbors_in`),
+* how far apart two cells are (:meth:`CGRA.distance`, precomputed
+  all-pairs BFS),
+
+and carries the execution-model parameters the survey's §II-B calls
+out as the "contract between the hardware and the software":
+
+* ``route_shares_fu`` — whether forwarding a value through a cell
+  consumes its issue slot that cycle (true for the classic ADRES-like
+  model; false for architectures with dedicated bypass muxes);
+* ``n_contexts`` — depth of the context memory, i.e. the maximum
+  schedule length / II a temporal mapping may use;
+* ``hw_loop`` — whether the array has hardware loop support (§III-B2),
+  which removes the host-driven loop-control overhead cycles modelled
+  by the simulator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.arch.cell import Cell, CellKind
+from repro.ir.dfg import Op
+
+__all__ = ["CGRA", "Link"]
+
+Link = tuple[int, int]
+
+
+class CGRA:
+    """A coarse-grained reconfigurable array.
+
+    Build either via :func:`repro.arch.presets` helpers or directly::
+
+        cells = [make_cell(i, i % 4, i // 4, CellKind.ALU) for i in range(16)]
+        cgra = CGRA("mesh4x4", 4, 4, cells, topology_links("mesh", 4, 4))
+    """
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        height: int,
+        cells: Sequence[Cell],
+        links: Iterable[Link],
+        *,
+        route_shares_fu: bool = True,
+        bypass_capacity: int = 4,
+        n_contexts: int = 32,
+        hw_loop: bool = False,
+        memory_banks: int = 1,
+    ) -> None:
+        if len(cells) != width * height:
+            raise ValueError(
+                f"expected {width * height} cells, got {len(cells)}"
+            )
+        self.name = name
+        self.width = width
+        self.height = height
+        self.cells: list[Cell] = list(cells)
+        self.route_shares_fu = route_shares_fu
+        self.bypass_capacity = bypass_capacity
+        self.n_contexts = n_contexts
+        self.hw_loop = hw_loop
+        self.memory_banks = memory_banks
+
+        ids = {c.cid for c in cells}
+        if ids != set(range(len(cells))):
+            raise ValueError("cell ids must be 0..n-1")
+
+        self._out: dict[int, list[int]] = {c.cid: [] for c in cells}
+        self._in: dict[int, list[int]] = {c.cid: [] for c in cells}
+        self.links: set[Link] = set()
+        for src, dst in links:
+            if src not in ids or dst not in ids:
+                raise ValueError(f"link ({src},{dst}) references unknown cell")
+            if src == dst:
+                raise ValueError(f"self-link on cell {src}")
+            if (src, dst) in self.links:
+                continue
+            self.links.add((src, dst))
+            self._out[src].append(dst)
+            self._in[dst].append(src)
+        for adj in self._out.values():
+            adj.sort()
+        for adj in self._in.values():
+            adj.sort()
+
+        self._dist: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def cell(self, cid: int) -> Cell:
+        return self.cells[cid]
+
+    def cell_at(self, x: int, y: int) -> Cell:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"({x},{y}) outside {self.width}x{self.height}")
+        return self.cells[y * self.width + x]
+
+    def coords(self, cid: int) -> tuple[int, int]:
+        c = self.cells[cid]
+        return (c.x, c.y)
+
+    def neighbors_out(self, cid: int) -> list[int]:
+        """Cells reachable from ``cid`` over one link."""
+        return self._out[cid]
+
+    def neighbors_in(self, cid: int) -> list[int]:
+        """Cells with a link *into* ``cid``."""
+        return self._in[cid]
+
+    def has_link(self, src: int, dst: int) -> bool:
+        return (src, dst) in self.links
+
+    def candidates(self, op: Op) -> list[int]:
+        """Cells whose FU can execute ``op``."""
+        return [c.cid for c in self.cells if c.supports(op)]
+
+    def compute_cells(self) -> list[int]:
+        return [c.cid for c in self.cells if c.is_compute]
+
+    def memory_cells(self) -> list[int]:
+        return [c.cid for c in self.cells if c.has_memory_port]
+
+    # ------------------------------------------------------------------
+    def distance(self, src: int, dst: int) -> int:
+        """Hop distance over links (BFS, cached all-pairs)."""
+        if self._dist is None:
+            self._dist = [self._bfs(c.cid) for c in self.cells]
+        return self._dist[src][dst]
+
+    def _bfs(self, start: int) -> list[int]:
+        INF = 10**9
+        dist = [INF] * self.n_cells
+        dist[start] = 0
+        q = deque([start])
+        while q:
+            u = q.popleft()
+            for v in self._out[u]:
+                if dist[v] == INF:
+                    dist[v] = dist[u] + 1
+                    q.append(v)
+        return dist
+
+    def is_connected(self) -> bool:
+        """Every cell reaches every other cell (strongly connected)."""
+        return all(
+            self.distance(0, c.cid) < 10**9
+            and self.distance(c.cid, 0) < 10**9
+            for c in self.cells
+        )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII picture of the array (kinds per cell), Fig. 2-style."""
+        marks = {
+            CellKind.ALU: "A",
+            CellKind.MEM: "M",
+            CellKind.ALU_MEM: "X",
+            CellKind.ROUTE: ".",
+        }
+        rows = []
+        for y in range(self.height):
+            row = " ".join(
+                marks[self.cell_at(x, y).kind] for x in range(self.width)
+            )
+            rows.append(row)
+        header = (
+            f"{self.name}: {self.width}x{self.height},"
+            f" {len(self.links)} links,"
+            f" contexts={self.n_contexts}"
+        )
+        return "\n".join([header, *rows])
+
+    def __repr__(self) -> str:
+        return (
+            f"CGRA({self.name!r}, {self.width}x{self.height},"
+            f" links={len(self.links)})"
+        )

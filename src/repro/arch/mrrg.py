@@ -1,0 +1,57 @@
+"""The modulo routing resource graph (MRRG).
+
+Modulo scheduling overlaps loop iterations every II cycles, so two
+events ``II`` cycles apart contend for the *same* physical resource.
+The MRRG [59], [61] captures this by folding the time axis of the TEC
+modulo II: resource accounting happens on ``(cell, t mod II)`` slots
+while dependence arithmetic stays in absolute cycles.
+
+:class:`MRRG` therefore *is* a :class:`~repro.arch.tec.TEC` whose
+``slot`` function wraps, and whose horizon bounds the absolute schedule
+length (contexts still limit how many distinct configurations exist —
+``n_contexts`` must be >= II).
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.arch.tec import TEC
+
+__all__ = ["MRRG"]
+
+
+class MRRG(TEC):
+    """Modulo-folded time-extended CGRA for a given II.
+
+    Args:
+        cgra: the target array.
+        ii: initiation interval (>= 1, <= ``cgra.n_contexts``).
+        horizon: absolute-cycle bound for schedules/routes; defaults to
+            a generous multiple of II so routes may spill over several
+            stages of the software pipeline.
+    """
+
+    def __init__(self, cgra: CGRA, ii: int, horizon: int | None = None) -> None:
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        if ii > cgra.n_contexts:
+            raise ValueError(
+                f"II={ii} exceeds the context memory depth"
+                f" ({cgra.n_contexts})"
+            )
+        super().__init__(cgra, horizon if horizon is not None else 8 * ii)
+        self.ii = ii
+
+    @property
+    def wrap(self) -> int | None:
+        return self.ii
+
+    def slot(self, t: int) -> int:
+        return t % self.ii
+
+    def n_slots(self) -> int:
+        """Distinct resource slots: cells x II."""
+        return self.cgra.n_cells * self.ii
+
+    def __repr__(self) -> str:
+        return f"MRRG({self.cgra.name}, ii={self.ii}, horizon={self.horizon})"

@@ -1,0 +1,174 @@
+"""Named architecture presets.
+
+Parameter sets that echo the recurring machines of the surveyed
+literature.  None claims cycle-level fidelity to the original silicon;
+each reproduces the *shape* that matters to mapping: topology,
+heterogeneity (which cells reach memory), register file size, and
+routing discipline.
+
+* :func:`simple_cgra` — the minimal homogeneous mesh of the survey's
+  Fig. 2: every cell an ALU, nearest-neighbour links;
+* :func:`adres_like` — ADRES/DRESC-style: memory ports on the first
+  column, mesh + diagonal interconnect, larger RFs;
+* :func:`morphosys_like` — MorphoSys-style: mesh + one-hop express
+  lanes, small RFs;
+* :func:`hycube_like` — HyCube-style: mesh with single-cycle multi-hop
+  (modelled as one-hop links) and bypass routing that does *not* steal
+  the FU slot;
+* :func:`heterogeneous` — an explicitly heterogeneous array with pure
+  routing cells, to exercise binding constraints.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cell import CellKind, make_cell
+from repro.arch.cgra import CGRA
+from repro.arch.topology import topology_links
+
+__all__ = [
+    "PRESETS",
+    "adres_like",
+    "by_name",
+    "heterogeneous",
+    "hycube_like",
+    "morphosys_like",
+    "simple_cgra",
+]
+
+
+def simple_cgra(
+    width: int = 4,
+    height: int = 4,
+    *,
+    topology: str = "mesh",
+    rf_size: int = 4,
+    n_contexts: int = 32,
+    mem_cells: str = "all",
+) -> CGRA:
+    """The minimal CGRA of the survey's Fig. 2.
+
+    Homogeneous ALU cells on a mesh.  ``mem_cells`` selects where
+    LOAD/STORE may bind: ``"all"``, ``"left"`` (first column),
+    ``"none"``.
+    """
+    cells = []
+    for cid in range(width * height):
+        x, y = cid % width, cid // width
+        if mem_cells == "all" or (mem_cells == "left" and x == 0):
+            kind = CellKind.ALU_MEM
+        else:
+            kind = CellKind.ALU
+        cells.append(make_cell(cid, x, y, kind, rf_size=rf_size))
+    return CGRA(
+        f"simple{width}x{height}",
+        width,
+        height,
+        cells,
+        topology_links(topology, width, height),
+        n_contexts=n_contexts,
+    )
+
+
+def adres_like(width: int = 4, height: int = 4) -> CGRA:
+    """ADRES-flavoured array: left-column memory, 8-neighbour links.
+
+    DRESC's target: temporal execution, routing through cells shares
+    the FU slot, generous register files for routing in time.
+    """
+    cells = []
+    for cid in range(width * height):
+        x, y = cid % width, cid // width
+        kind = CellKind.ALU_MEM if x == 0 else CellKind.ALU
+        cells.append(make_cell(cid, x, y, kind, rf_size=8))
+    return CGRA(
+        f"adres{width}x{height}",
+        width,
+        height,
+        cells,
+        topology_links("diagonal", width, height),
+        route_shares_fu=True,
+        n_contexts=32,
+    )
+
+
+def morphosys_like(width: int = 8, height: int = 8) -> CGRA:
+    """MorphoSys-flavoured array: mesh + express lanes, small RFs."""
+    cells = []
+    for cid in range(width * height):
+        x, y = cid % width, cid // width
+        kind = CellKind.ALU_MEM if y == 0 else CellKind.ALU
+        cells.append(make_cell(cid, x, y, kind, rf_size=2))
+    return CGRA(
+        f"morphosys{width}x{height}",
+        width,
+        height,
+        cells,
+        topology_links("one_hop", width, height),
+        route_shares_fu=True,
+        n_contexts=16,
+    )
+
+
+def hycube_like(width: int = 4, height: int = 4) -> CGRA:
+    """HyCube-flavoured array: bypass routing does not steal FU slots."""
+    cells = []
+    for cid in range(width * height):
+        x, y = cid % width, cid // width
+        cells.append(make_cell(cid, x, y, CellKind.ALU_MEM, rf_size=4))
+    return CGRA(
+        f"hycube{width}x{height}",
+        width,
+        height,
+        cells,
+        topology_links("one_hop", width, height),
+        route_shares_fu=False,
+        n_contexts=32,
+        hw_loop=True,
+    )
+
+
+def heterogeneous(width: int = 4, height: int = 4) -> CGRA:
+    """A deliberately constrained array to stress binding.
+
+    Column 0: memory-only cells.  Interior checkerboard: every other
+    cell is route-only.  Forces mappers to respect op-compatibility.
+    """
+    cells = []
+    for cid in range(width * height):
+        x, y = cid % width, cid // width
+        if x == 0:
+            kind = CellKind.MEM
+        elif (x + y) % 2 == 0:
+            kind = CellKind.ALU
+        else:
+            kind = CellKind.ROUTE
+        cells.append(make_cell(cid, x, y, kind, rf_size=4))
+    return CGRA(
+        f"hetero{width}x{height}",
+        width,
+        height,
+        cells,
+        topology_links("mesh", width, height),
+        n_contexts=32,
+    )
+
+
+PRESETS = {
+    "simple4x4": lambda: simple_cgra(4, 4),
+    "simple2x2": lambda: simple_cgra(2, 2),
+    "simple8x8": lambda: simple_cgra(8, 8),
+    "adres4x4": lambda: adres_like(4, 4),
+    "morphosys8x8": lambda: morphosys_like(8, 8),
+    "hycube4x4": lambda: hycube_like(4, 4),
+    "hetero4x4": lambda: heterogeneous(4, 4),
+}
+
+
+def by_name(name: str) -> CGRA:
+    """Instantiate a preset architecture by registry name."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,145 @@
+"""The time-extended CGRA (TEC).
+
+Temporal mapping "amounts to identifying the spatial and temporal
+coordinates of every node and arc" (§II-C); the coordinate system is
+the CGRA replicated along a time axis — the TEC [28], also called the
+time-space graph [29].
+
+Execution model
+---------------
+
+This package uses the synchronous nearest-neighbour model common to
+the surveyed mappers (DRESC/EPIMap/HyCube style):
+
+* an operation scheduled on cell ``c`` at cycle ``t`` *emits* its
+  result at the end of cycle ``t`` (all FU latencies are one cycle);
+* an emission at ``(c, t)`` is readable during cycle ``t+1`` by ``c``
+  itself and by every cell ``c'`` with a link ``c -> c'``;
+* a cell may *route* (re-emit) a value it can read — consuming its FU
+  slot that cycle when ``cgra.route_shares_fu`` is true, or one of its
+  dedicated bypass slots otherwise;
+* a cell may *hold* a value in its local register file for any number
+  of cycles (one RF slot per cycle); a held value is readable only by
+  that cell until re-emitted.
+
+A routing path for a DFG edge is therefore a chain of ``route`` /
+``hold`` steps, one cycle each, from the producer's emission to the
+cycle before the consumer fires.  :class:`TEC` exposes exactly these
+transitions; :class:`~repro.arch.mrrg.MRRG` is the same graph with
+resource accounting folded modulo the initiation interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.arch.cgra import CGRA
+
+__all__ = ["TEC", "Step", "ROUTE", "HOLD"]
+
+ROUTE = "route"
+HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One cycle of a routing path.
+
+    ``kind`` is :data:`ROUTE` (value re-emitted from ``cell``, visible
+    to neighbours next cycle) or :data:`HOLD` (value parked in
+    ``cell``'s RF, visible only locally).  ``time`` is the *absolute*
+    cycle of the step.
+    """
+
+    cell: int
+    time: int
+    kind: str
+
+
+class TEC:
+    """The time-extended CGRA for a finite schedule horizon.
+
+    Args:
+        cgra: the array being extended.
+        horizon: number of cycles (defaults to ``cgra.n_contexts``).
+    """
+
+    def __init__(self, cgra: CGRA, horizon: int | None = None) -> None:
+        self.cgra = cgra
+        self.horizon = horizon if horizon is not None else cgra.n_contexts
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        # Cells readable from an emission at c (c itself + out-neighbours).
+        self._reach = {
+            c.cid: [c.cid, *cgra.neighbors_out(c.cid)] for c in cgra.cells
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def wrap(self) -> int | None:
+        """Modulo period for resource accounting; None for a plain TEC."""
+        return None
+
+    def slot(self, t: int) -> int:
+        """The resource slot that absolute cycle ``t`` maps to."""
+        return t
+
+    def in_horizon(self, t: int) -> bool:
+        return 0 <= t < self.horizon
+
+    def nodes(self) -> Iterator[tuple[int, int]]:
+        """All ``(cell, cycle)`` coordinates."""
+        for t in range(self.horizon):
+            for c in range(self.cgra.n_cells):
+                yield (c, t)
+
+    def n_nodes(self) -> int:
+        return self.cgra.n_cells * self.horizon
+
+    # ------------------------------------------------------------------
+    def readable_from(self, cell: int) -> list[int]:
+        """Cells that can read an emission at ``cell`` (next cycle)."""
+        return self._reach[cell]
+
+    def emitters_into(self, cell: int) -> list[int]:
+        """Cells whose emission ``cell`` can read (prev cycle)."""
+        return [cell, *self.cgra.neighbors_in(cell)]
+
+    def successors(
+        self, cell: int, time: int, *, was_hold: bool = False
+    ) -> Iterator[Step]:
+        """Possible next steps for a value sitting at ``(cell, time)``.
+
+        ``was_hold`` is accepted for symmetry; in this model a held
+        value can be re-emitted or keep being held, the same as a
+        routed one, so it does not restrict the transition set.
+        """
+        t = time + 1
+        if not self.in_horizon(self.slot_time(t)):
+            return
+        for nxt in self._reach[cell]:
+            yield Step(nxt, t, ROUTE)
+        yield Step(cell, t, HOLD)
+
+    def slot_time(self, t: int) -> int:
+        """Clamp/fold an absolute time for horizon checks."""
+        return t
+
+    def can_consume(
+        self, last: Step | tuple[int, int, str], consumer_cell: int
+    ) -> bool:
+        """May an op on ``consumer_cell`` read the value after ``last``?
+
+        A ROUTE (or the producing op itself, which behaves like one) is
+        readable by the emitting cell and its out-neighbours; a HOLD is
+        readable only by its own cell.
+        """
+        cell = last.cell if isinstance(last, Step) else last[0]
+        kind = last.kind if isinstance(last, Step) else last[2]
+        if kind == HOLD:
+            return cell == consumer_cell
+        return consumer_cell in self._reach[cell]
+
+    def __repr__(self) -> str:
+        return f"TEC({self.cgra.name}, horizon={self.horizon})"

@@ -1,0 +1,125 @@
+"""Interconnect topology generators.
+
+Each generator returns the set of *directed* links of a ``width x
+height`` array as ``(src_cid, dst_cid)`` pairs with row-major cell ids
+(``cid = y * width + x``).  The shapes cover the topologies that recur
+across the surveyed architectures:
+
+* ``mesh``      — 4-neighbour nearest (MorphoSys/ADRES baseline mesh),
+* ``torus``     — mesh with wrap-around links,
+* ``diagonal``  — mesh plus the 4 diagonals (8-neighbour / king),
+* ``one_hop``   — mesh plus links that skip one cell (MorphoSys
+  "express" lanes, HyCube-style multi-hop in one cycle),
+* ``ring``      — row-major ring (the degenerate 1-D case),
+* ``crossbar``  — full connectivity (an idealised upper bound used in
+  ablations to isolate routing effects).
+
+All links are symmetric in these generators (both directions present),
+but the :class:`~repro.arch.cgra.CGRA` model accepts arbitrary
+directed link sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+__all__ = ["TOPOLOGIES", "topology_links"]
+
+
+def _cid(x: int, y: int, width: int) -> int:
+    return y * width + x
+
+
+def _in_bounds(x: int, y: int, width: int, height: int) -> bool:
+    return 0 <= x < width and 0 <= y < height
+
+
+def _offsets_links(
+    width: int, height: int, offsets: Iterable[tuple[int, int]]
+) -> set[tuple[int, int]]:
+    links: set[tuple[int, int]] = set()
+    for y in range(height):
+        for x in range(width):
+            for dx, dy in offsets:
+                nx, ny = x + dx, y + dy
+                if _in_bounds(nx, ny, width, height):
+                    links.add((_cid(x, y, width), _cid(nx, ny, width)))
+    return links
+
+
+def mesh(width: int, height: int) -> set[tuple[int, int]]:
+    """4-neighbour mesh."""
+    return _offsets_links(width, height, [(1, 0), (-1, 0), (0, 1), (0, -1)])
+
+
+def torus(width: int, height: int) -> set[tuple[int, int]]:
+    """Mesh plus wrap-around links on both axes."""
+    links = mesh(width, height)
+    if width > 1:
+        for y in range(height):
+            links.add((_cid(width - 1, y, width), _cid(0, y, width)))
+            links.add((_cid(0, y, width), _cid(width - 1, y, width)))
+    if height > 1:
+        for x in range(width):
+            links.add((_cid(x, height - 1, width), _cid(x, 0, width)))
+            links.add((_cid(x, 0, width), _cid(x, height - 1, width)))
+    return links
+
+
+def diagonal(width: int, height: int) -> set[tuple[int, int]]:
+    """8-neighbour (king) connectivity: mesh plus diagonals."""
+    return _offsets_links(
+        width,
+        height,
+        [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1) if (dx, dy) != (0, 0)],
+    )
+
+
+def one_hop(width: int, height: int) -> set[tuple[int, int]]:
+    """Mesh plus distance-2 express links along rows and columns."""
+    return mesh(width, height) | _offsets_links(
+        width, height, [(2, 0), (-2, 0), (0, 2), (0, -2)]
+    )
+
+
+def ring(width: int, height: int) -> set[tuple[int, int]]:
+    """Bidirectional row-major ring over all cells."""
+    n = width * height
+    links: set[tuple[int, int]] = set()
+    for i in range(n):
+        j = (i + 1) % n
+        if i != j:
+            links.add((i, j))
+            links.add((j, i))
+    return links
+
+
+def crossbar(width: int, height: int) -> set[tuple[int, int]]:
+    """Every cell talks to every other cell (idealised)."""
+    n = width * height
+    return {(i, j) for i in range(n) for j in range(n) if i != j}
+
+
+TOPOLOGIES: dict[str, Callable[[int, int], set[tuple[int, int]]]] = {
+    "mesh": mesh,
+    "torus": torus,
+    "diagonal": diagonal,
+    "one_hop": one_hop,
+    "ring": ring,
+    "crossbar": crossbar,
+}
+
+
+def topology_links(
+    name: str, width: int, height: int
+) -> set[tuple[int, int]]:
+    """Links of the named topology; raises KeyError for unknown names."""
+    try:
+        gen = TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; available: {sorted(TOPOLOGIES)}"
+        ) from None
+    if width < 1 or height < 1:
+        raise ValueError("topology dimensions must be positive")
+    return gen(width, height)

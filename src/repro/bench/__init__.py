@@ -1,0 +1,11 @@
+"""Benchmark harness utilities.
+
+:func:`run_matrix` sweeps mapper x kernel grids and collects the
+metrics the survey's quality criteria name (II, utilisation, mapping
+time, success); :func:`ascii_table` renders result rows the way the
+paper prints its tables.
+"""
+
+from repro.bench.harness import MatrixResult, ascii_table, run_matrix
+
+__all__ = ["MatrixResult", "ascii_table", "run_matrix"]

@@ -1,0 +1,113 @@
+"""Sweep runner and table renderer for the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.arch.cgra import CGRA
+from repro.core.exceptions import MapFailure
+from repro.core.metrics import metrics_of
+from repro.core.registry import create
+from repro.ir import kernels as kernel_lib
+
+__all__ = ["MatrixResult", "ascii_table", "run_matrix"]
+
+
+@dataclass
+class MatrixResult:
+    """Outcome of one (mapper, kernel) cell."""
+
+    mapper: str
+    kernel: str
+    ok: bool
+    ii: int | None = None
+    schedule_length: int = 0
+    utilization: float = 0.0
+    route_steps: int = 0
+    time_ms: float = 0.0
+    error: str = ""
+
+    def row(self) -> dict[str, Any]:
+        return {
+            "mapper": self.mapper,
+            "kernel": self.kernel,
+            "ok": "yes" if self.ok else "FAIL",
+            "II": self.ii if self.ii is not None else "-",
+            "len": self.schedule_length or "-",
+            "util%": round(100 * self.utilization, 1) if self.ok else "-",
+            "routes": self.route_steps if self.ok else "-",
+            "time_ms": round(self.time_ms, 1),
+        }
+
+
+def run_matrix(
+    mappers: Sequence[str],
+    kernels: Sequence[str],
+    cgra: CGRA,
+    *,
+    ii: int | None = None,
+    mapper_opts: dict[str, dict] | None = None,
+) -> list[MatrixResult]:
+    """Run every mapper on every kernel; failures become rows, not errors."""
+    out: list[MatrixResult] = []
+    opts = mapper_opts or {}
+    for mname in mappers:
+        for kname in kernels:
+            dfg = kernel_lib.kernel(kname)
+            t0 = time.perf_counter()
+            try:
+                mapping = create(mname, **opts.get(mname, {})).map(
+                    dfg, cgra, ii=ii
+                )
+                met = metrics_of(mapping)
+                out.append(
+                    MatrixResult(
+                        mapper=mname,
+                        kernel=kname,
+                        ok=met.valid,
+                        ii=mapping.ii,
+                        schedule_length=met.schedule_length,
+                        utilization=met.utilization,
+                        route_steps=met.route_steps,
+                        time_ms=1000 * (time.perf_counter() - t0),
+                    )
+                )
+            except MapFailure as ex:
+                out.append(
+                    MatrixResult(
+                        mapper=mname,
+                        kernel=kname,
+                        ok=False,
+                        time_ms=1000 * (time.perf_counter() - t0),
+                        error=str(ex),
+                    )
+                )
+    return out
+
+
+def ascii_table(
+    rows: Sequence[dict[str, Any]], *, title: str = ""
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return title
+    cols = list(rows[0])
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in cols
+    }
+
+    def fmt(vals):
+        return " | ".join(
+            str(v).ljust(widths[c]) for c, v in zip(cols, vals)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cols))
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    lines.extend(fmt([r.get(c, "") for c in cols]) for r in rows)
+    return "\n".join(lines)

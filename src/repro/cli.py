@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+The survey closes §IV-A with open-source frameworks that "provide a
+ready for use tool to democratize the CGRAs" — so the package is also
+a tool::
+
+    python -m repro list mappers
+    python -m repro map --kernel dot_product --arch simple4x4 \\
+                        --mapper dresc --show-contexts
+    python -m repro compare --kernels dot_product,sobel_x \\
+                            --mappers list_sched,dresc,ilp
+    python -m repro table1
+    python -m repro timeline
+    python -m repro dse
+
+Every subcommand prints plain text and exits non-zero on failure, so
+the CLI scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_list(args) -> int:
+    if args.what == "mappers":
+        from repro.core.registry import catalog
+
+        for name, meta in catalog().items():
+            kinds = "/".join(meta["kinds"])
+            tag = "exact" if meta["exact"] else meta["family"]
+            print(
+                f"{name:14s} {tag:13s} {meta['subfamily']:18s}"
+                f" {kinds:16s} after {meta['modeled_after']}"
+            )
+    elif args.what == "kernels":
+        from repro.ir import kernels
+
+        for name in kernels.kernel_names():
+            g = kernels.kernel(name)
+            print(
+                f"{name:16s} {g.op_count():3d} ops,"
+                f" {g.num_edges():3d} deps,"
+                f" {len(g.memory_ops()):2d} memory ops"
+            )
+    elif args.what == "archs":
+        from repro.arch import presets
+
+        for name in sorted(presets.PRESETS):
+            cgra = presets.by_name(name)
+            print(
+                f"{name:14s} {cgra.width}x{cgra.height},"
+                f" {len(cgra.links)} links,"
+                f" contexts={cgra.n_contexts}"
+            )
+    return 0
+
+
+def _cmd_map(args) -> int:
+    from repro.api import map_dfg
+    from repro.arch import presets
+    from repro.core.exceptions import MapFailure
+    from repro.core.metrics import metrics_of
+    from repro.ir import kernels
+
+    if args.source:
+        from repro.api import compile_source
+
+        cgra = presets.by_name(args.arch)
+        with open(args.source) as fh:
+            src = fh.read()
+        try:
+            mapping = compile_source(src, cgra, mapper=args.mapper)
+        except MapFailure as ex:
+            print(f"mapping failed: {ex}", file=sys.stderr)
+            return 1
+    else:
+        dfg = kernels.kernel(args.kernel)
+        cgra = presets.by_name(args.arch)
+        try:
+            mapping = map_dfg(
+                dfg, cgra, mapper=args.mapper, ii=args.ii
+            )
+        except MapFailure as ex:
+            print(f"mapping failed: {ex}", file=sys.stderr)
+            return 1
+    print(mapping.describe())
+    print(f"\nmetrics: {metrics_of(mapping).row()}")
+    if args.show_contexts and mapping.kind == "modulo":
+        from repro.sim.configgen import render_contexts
+
+        print("\n" + render_contexts(mapping))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.arch import presets
+    from repro.bench import ascii_table, run_matrix
+
+    cgra = presets.by_name(args.arch)
+    results = run_matrix(
+        args.mappers.split(","), args.kernels.split(","), cgra
+    )
+    print(
+        ascii_table(
+            [r.row() for r in results],
+            title=f"mapper x kernel on {cgra.name}",
+        )
+    )
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_table1(args) -> int:
+    from repro.survey.taxonomy import (
+        executable_table1,
+        literature_table1,
+        render_table1,
+    )
+
+    print(render_table1(literature_table1(), title="Table I (literature)"))
+    print()
+    print(render_table1(executable_table1(), title="Table I (this package)"))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.survey.timeline import render_timeline
+
+    print(render_timeline())
+    return 0
+
+
+def _cmd_dse(args) -> int:
+    from repro.bench import ascii_table
+    from repro.dse import default_space, explore, pareto_front
+
+    points = explore(default_space() if args.full else None)
+    rows = [
+        {
+            "architecture": p.label(),
+            "perf": round(p.performance, 3),
+            "cost": round(p.cost, 0),
+            "mapped": f"{100 * p.success_rate:.0f}%",
+        }
+        for p in points
+    ]
+    print(ascii_table(rows, title="design-space sweep"))
+    print("\nPareto frontier:")
+    for p in pareto_front(points):
+        print(f"  {p.label():30s} perf={p.performance:.3f} cost={p.cost:.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A canonical CGRA mapping framework (see README.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list mappers, kernels or archs")
+    p.add_argument("what", choices=["mappers", "kernels", "archs"])
+    p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("map", help="map a kernel onto an architecture")
+    p.add_argument("--kernel", default="dot_product")
+    p.add_argument("--source", help="kernel-language source file instead")
+    p.add_argument("--arch", default="simple4x4")
+    p.add_argument("--mapper", default="list_sched")
+    p.add_argument("--ii", type=int, default=None)
+    p.add_argument("--show-contexts", action="store_true")
+    p.set_defaults(fn=_cmd_map)
+
+    p = sub.add_parser("compare", help="mapper x kernel matrix")
+    p.add_argument("--kernels", default="dot_product,sobel_x")
+    p.add_argument("--mappers", default="list_sched,edge_centric")
+    p.add_argument("--arch", default="simple4x4")
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("table1", help="regenerate the survey's Table I")
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("timeline", help="regenerate the survey's Fig. 4")
+    p.set_defaults(fn=_cmd_timeline)
+
+    p = sub.add_parser("dse", help="architecture design-space sweep")
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(fn=_cmd_dse)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro list kernels | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Control-flow mapping (§III-B).
+
+"A solution adopted in many cases is to let the control flow managed
+by a host processor" — or give the fabric support.  This package
+implements the four ITE methods the survey enumerates and the
+hardware-loop model:
+
+* :func:`~repro.controlflow.predication.partial_predication` [57] —
+  both arms execute; live-outs merged by SELECT; stores rewritten to
+  load-select-store;
+* :func:`~repro.controlflow.predication.full_predication` [56] — arm
+  ops carry a predicate operand (its routing is a real mapped cost);
+  stores execute conditionally, no extra loads;
+* :func:`~repro.controlflow.dual_issue.dual_issue` [55], [58], [59] —
+  opposite-arm op pairs share issue slots (resource model);
+* :class:`~repro.controlflow.direct_cdfg.DirectCDFGMapping` [60] —
+  per-block mappings with branch-directed context switching;
+* :mod:`~repro.controlflow.hwloops` [62]–[64] — loop-control overhead
+  with and without hardware loop support.
+
+:func:`flatten_cdfg` is the front door used by the compilation flow:
+single-block CDFGs pass through, diamonds are if-converted (partial
+predication by default).
+"""
+
+from repro.controlflow.predication import (
+    full_predication,
+    partial_predication,
+)
+from repro.controlflow.dual_issue import dual_issue
+from repro.controlflow.direct_cdfg import DirectCDFGMapping, map_direct
+from repro.controlflow.hwloops import loop_execution_cycles
+from repro.ir.cdfg import CDFG
+from repro.ir.dfg import DFG
+
+__all__ = [
+    "DirectCDFGMapping",
+    "dual_issue",
+    "flatten_cdfg",
+    "full_predication",
+    "loop_execution_cycles",
+    "map_direct",
+    "partial_predication",
+]
+
+
+def flatten_cdfg(cdfg: CDFG) -> DFG:
+    """Collapse a CDFG into one DFG (if-conversion where needed)."""
+    cdfg.check()
+    if len(cdfg) == 1:
+        blk = cdfg.block(cdfg.entry)
+        return blk.body.copy(name=cdfg.name)
+    if cdfg.is_diamond():
+        return partial_predication(cdfg)
+    raise ValueError(
+        f"CDFG {cdfg.name!r} is neither straight-line nor a diamond;"
+        " general control flow needs a host processor or direct CDFG"
+        " mapping (repro.controlflow.map_direct)"
+    )

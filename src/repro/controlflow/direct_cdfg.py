@@ -1,0 +1,105 @@
+"""Direct CDFG mapping.
+
+Das et al. [60] map the control-flow graph onto the CGRA *as is*: each
+basic block gets its own region of the context memory, and at run time
+the fabric switches to the context block of whichever basic block the
+branch selects.  No arm is wasted on untaken work — the win over
+predication for large, unbalanced arms — at the price of context
+memory and a branch-switch penalty per block transition.
+
+:func:`map_direct` maps every block independently (any registered
+temporal mapper) and returns a :class:`DirectCDFGMapping` whose
+expected iteration latency is a weighted path sum over branch
+probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cgra import CGRA
+from repro.core.mapping import Mapping
+from repro.core.registry import create
+from repro.ir.cdfg import CDFG
+
+__all__ = ["DirectCDFGMapping", "map_direct"]
+
+#: Cycles charged for redirecting the context sequencer at a branch.
+BRANCH_SWITCH_PENALTY = 1
+
+
+@dataclass
+class DirectCDFGMapping:
+    """Per-block mappings plus whole-CDFG statistics."""
+
+    cdfg: CDFG
+    blocks: dict[int, Mapping]
+    switch_penalty: int = BRANCH_SWITCH_PENALTY
+
+    @property
+    def total_contexts(self) -> int:
+        """Context-memory footprint: blocks occupy disjoint regions."""
+        return sum(m.schedule_length for m in self.blocks.values())
+
+    def path_cycles(self, taken: bool) -> int:
+        """Cycles for one traversal taking the given branch direction."""
+        cdfg = self.cdfg
+        cycles = 0
+        bid = cdfg.entry
+        while True:
+            cycles += self.blocks[bid].schedule_length
+            succ = cdfg.successors(bid)
+            if not succ:
+                return cycles
+            cycles += self.switch_penalty
+            if len(succ) == 1:
+                bid = succ[0][0]
+            else:
+                labelled = dict((lab, b) for b, lab in succ)
+                bid = labelled[taken]
+
+    def expected_cycles(self, p_taken: float = 0.5) -> float:
+        """Expected cycles per traversal given the branch probability."""
+        return p_taken * self.path_cycles(True) + (
+            1.0 - p_taken
+        ) * self.path_cycles(False)
+
+    def validate(self) -> list[str]:
+        out: list[str] = []
+        for bid, m in self.blocks.items():
+            out.extend(
+                f"bb{bid}: {v}"
+                for v in m.validate(raise_on_error=False)
+            )
+        return out
+
+
+def map_direct(
+    cdfg: CDFG, cgra: CGRA, mapper: str = "list_sched", **opts
+) -> DirectCDFGMapping:
+    """Map every basic block separately (non-pipelined schedules).
+
+    Each block is mapped with ``ii = schedule length`` semantics: the
+    block's mapper is asked for a plain temporal mapping (the II search
+    still runs, but blocks execute once per traversal, so the II is
+    only a packing constraint, not a throughput one).
+    """
+    cdfg.check()
+    blocks: dict[int, Mapping] = {}
+    total = 0
+    for blk in cdfg.blocks():
+        if blk.body.op_count() == 0:
+            # Empty blocks (bare joins) cost nothing.
+            m = Mapping(blk.body, cgra, kind="modulo", ii=1)
+            m.mapper = mapper
+            blocks[blk.bid] = m
+            continue
+        m = create(mapper, **opts).map(blk.body, cgra)
+        blocks[blk.bid] = m
+        total += m.schedule_length
+    if total > cgra.n_contexts:
+        raise ValueError(
+            f"direct CDFG mapping needs {total} contexts;"
+            f" {cgra.name} has {cgra.n_contexts}"
+        )
+    return DirectCDFGMapping(cdfg, blocks)

@@ -1,0 +1,70 @@
+"""Hardware loop support (§III-B2).
+
+"Hardware loops consist of extra logic inside the CGRA to manage the
+iterations of the loop in order to reduce the overhead of loop control
+by the processor" [62]-[64].  The model here is the one those papers
+measure against:
+
+* **software loop control** — every iteration pays the host/fabric
+  round trip: increment, compare, branch (``SW_LOOP_OVERHEAD`` cycles
+  serialised with the loop body);
+* **hardware loop** — a counter register in the fabric sequences the
+  contexts; per-iteration overhead is zero, with a one-off setup cost.
+
+:func:`loop_execution_cycles` turns a mapping plus a trip count into
+total cycles under either regime — the quantity the hardware-loop
+benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping import Mapping
+
+__all__ = [
+    "HW_LOOP_SETUP",
+    "SW_LOOP_OVERHEAD",
+    "loop_execution_cycles",
+    "loop_speedup",
+]
+
+#: Per-iteration cycles for software loop control (index update,
+#: compare, branch back) when the host drives the loop.
+SW_LOOP_OVERHEAD = 3
+
+#: One-off cycles to configure the hardware loop counter.
+HW_LOOP_SETUP = 2
+
+
+def loop_execution_cycles(
+    mapping: Mapping, trip_count: int, *, hw_loop: bool | None = None
+) -> int:
+    """Total cycles to run ``trip_count`` iterations of a mapped loop.
+
+    A modulo mapping issues an iteration every II cycles; the pipeline
+    drains for ``schedule_length - II`` extra cycles.  Software loop
+    control adds its overhead per iteration (it serialises with the
+    steady state because the next iteration cannot be issued before
+    the branch resolves); a hardware loop adds only its setup.
+
+    ``hw_loop`` defaults to the target architecture's capability.
+    """
+    if trip_count < 0:
+        raise ValueError("trip count must be >= 0")
+    if trip_count == 0:
+        return 0
+    if mapping.kind == "spatial":
+        ii, drain = 1, 0
+    else:
+        ii = mapping.ii or mapping.schedule_length
+        drain = max(0, mapping.schedule_length - ii)
+    use_hw = mapping.cgra.hw_loop if hw_loop is None else hw_loop
+    if use_hw:
+        return HW_LOOP_SETUP + trip_count * ii + drain
+    return trip_count * (ii + SW_LOOP_OVERHEAD) + drain
+
+
+def loop_speedup(mapping: Mapping, trip_count: int) -> float:
+    """Speedup of hardware loops over software loop control."""
+    sw = loop_execution_cycles(mapping, trip_count, hw_loop=False)
+    hw = loop_execution_cycles(mapping, trip_count, hw_loop=True)
+    return sw / hw if hw else float("inf")

@@ -1,0 +1,36 @@
+"""The mapping problem formulation — the survey's §II-C as code.
+
+"Bind in place and schedule in time operations of the application on
+the CGRA while guaranteeing the dependencies and in a short time, such
+that the application executes as fast as possible."
+
+* :class:`~repro.core.problem.MappingProblem` — DFG + CGRA (+ II),
+  with the MII lower bounds (ResMII / RecMII);
+* :class:`~repro.core.mapping.Mapping` — binding + schedule + routing,
+  and :meth:`~repro.core.mapping.Mapping.validate`, the single source
+  of truth for mapping legality in this package;
+* :class:`~repro.core.resources.Occupancy` — the shared space-time
+  resource accounting (FU slots, bypass slots, register files, links);
+* :class:`~repro.core.mapper.Mapper` — the mapper interface, and the
+  registry (:mod:`repro.core.registry`) whose metadata *is* Table I.
+"""
+
+from repro.core.exceptions import MapFailure, MappingError, ValidationError
+from repro.core.mapping import Mapping
+from repro.core.mapper import Mapper, MapperInfo
+from repro.core.metrics import MappingMetrics, metrics_of
+from repro.core.problem import MappingProblem
+from repro.core.resources import Occupancy
+
+__all__ = [
+    "MapFailure",
+    "Mapper",
+    "MapperInfo",
+    "Mapping",
+    "MappingError",
+    "MappingMetrics",
+    "MappingProblem",
+    "Occupancy",
+    "ValidationError",
+    "metrics_of",
+]

@@ -1,0 +1,39 @@
+"""Exceptions shared across the mapping framework."""
+
+from __future__ import annotations
+
+__all__ = ["MappingError", "MapFailure", "ValidationError"]
+
+
+class MappingError(Exception):
+    """Base class for mapping-related errors."""
+
+
+class MapFailure(MappingError):
+    """A mapper could not produce a valid mapping.
+
+    The survey singles this out: "mapping might fail, which is of
+    course unconceivable from the user point of view."  Mappers raise
+    this (rather than returning partial results) when their search is
+    exhausted; callers like the benchmark harness catch it and record
+    the failure.
+    """
+
+    def __init__(self, message: str, *, mapper: str = "?", attempts: int = 0):
+        super().__init__(message)
+        self.mapper = mapper
+        self.attempts = attempts
+
+
+class ValidationError(MappingError):
+    """A produced mapping violates the execution model.
+
+    Carries the full list of violations so tests and debugging see
+    everything at once, not just the first broken constraint.
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = violations
+        preview = "; ".join(violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        super().__init__(f"{len(violations)} violation(s): {preview}{more}")

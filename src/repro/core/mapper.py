@@ -1,0 +1,129 @@
+"""The mapper interface and its taxonomy metadata.
+
+Every mapping method in :mod:`repro.mappers` subclasses
+:class:`Mapper` and declares a :class:`MapperInfo` — the machine-
+readable version of its cell in the survey's Table I: technique family
+(heuristic / meta-heuristic / exact-ILP-B&B / exact-CSP), subfamily
+(SA, GA, QEA, ILP, SAT, CP, ...), which mapping kinds it solves
+(spatial / temporal), and whether it can prove optimality.
+
+The registry (:mod:`repro.core.registry`) collects these, and the
+Table I benchmark renders the classification *from the registry*, so
+taxonomy and code cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+from repro.arch.cgra import CGRA
+from repro.core.exceptions import MapFailure
+from repro.core.mapping import Mapping
+from repro.core.problem import MappingProblem
+from repro.ir.dfg import DFG
+
+__all__ = ["Mapper", "MapperInfo"]
+
+FAMILIES = ("heuristic", "metaheuristic", "exact")
+KINDS = ("spatial", "temporal")
+
+
+@dataclass(frozen=True)
+class MapperInfo:
+    """One row of the executable Table I.
+
+    Attributes:
+        name: registry key.
+        family: ``heuristic`` / ``metaheuristic`` / ``exact``.
+        subfamily: the technique label the survey uses in the cell
+            (e.g. ``"SA"``, ``"GA"``, ``"ILP"``, ``"SAT"``, ``"CP"``,
+            ``"B&B"``, ``"list"``, ``"graph"``).
+        kinds: mapping kinds supported (``"spatial"``, ``"temporal"``).
+        exact: can prove optimality / infeasibility.
+        solves: which sub-problems are addressed together
+            (``"binding+scheduling"``, ``"binding"``, ``"scheduling"``,
+            or ``"binding"`` alone for spatial).
+        modeled_after: the literature reference(s) the implementation
+            follows (survey citation numbers).
+        year: publication year of the modelled technique.
+    """
+
+    name: str
+    family: str
+    subfamily: str
+    kinds: tuple[str, ...]
+    exact: bool = False
+    solves: str = "binding+scheduling"
+    modeled_after: str = ""
+    year: int = 0
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"bad family {self.family!r}")
+        for k in self.kinds:
+            if k not in KINDS:
+                raise ValueError(f"bad mapping kind {k!r}")
+
+
+class Mapper(abc.ABC):
+    """Abstract mapping method.
+
+    Subclasses implement :meth:`_map`; the public :meth:`map` wraps it
+    with input checking, wall-clock accounting and result stamping.
+
+    Args:
+        seed: RNG seed for stochastic methods (all mappers accept it so
+            harness code can treat them uniformly).
+    """
+
+    info: MapperInfo
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def map(
+        self, dfg: DFG, cgra: CGRA, ii: int | None = None
+    ) -> Mapping:
+        """Produce a validated mapping or raise :class:`MapFailure`."""
+        dfg.check()
+        t0 = time.perf_counter()
+        mapping = self._map(dfg, cgra, ii)
+        mapping.mapper = self.info.name
+        mapping.map_time = time.perf_counter() - t0
+        return mapping
+
+    @abc.abstractmethod
+    def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        """The actual mapping algorithm."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def ii_range(
+        self, dfg: DFG, cgra: CGRA, ii: int | None, *, slack: int = 0
+    ) -> range:
+        """II values to try: requested II, or MII..min(2*MII+ops, contexts).
+
+        ``slack`` widens the upper end for mappers that need routing
+        headroom.
+        """
+        if ii is not None:
+            return range(ii, ii + 1)
+        prob = MappingProblem(dfg, cgra)
+        lo = prob.mii
+        hi = min(cgra.n_contexts, max(2 * lo + dfg.op_count(), lo) + slack)
+        return range(lo, hi + 1)
+
+    def fail(self, message: str, attempts: int = 0) -> MapFailure:
+        """Build a MapFailure tagged with this mapper's name."""
+        return MapFailure(
+            f"{self.info.name}: {message}",
+            mapper=self.info.name,
+            attempts=attempts,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(seed={self.seed})"

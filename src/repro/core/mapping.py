@@ -1,0 +1,375 @@
+"""The mapping object and its validity checker.
+
+"When the problem is solved, the output of the process is a valid
+mapping, i.e. a binding (and scheduling) of operations of the
+application on the hardware resources while guaranteeing the
+dependencies" (§II-B).  :class:`Mapping` is that output;
+:meth:`Mapping.validate` is the package's single source of truth for
+what *valid* means, and every mapper's result goes through it in the
+test suite.
+
+Two mapping kinds exist, mirroring the survey's spatial/temporal
+distinction:
+
+* ``spatial`` — binding only.  Every operation owns its cell for the
+  whole execution (an FPGA-like fully pipelined dataflow); values
+  travel over dedicated route cells.  No schedule.
+* ``modulo`` — binding + schedule with an initiation interval.  A
+  plain (non-overlapped) temporal mapping is the special case
+  ``ii == schedule length``, so one validator covers both; mappers
+  that do not software-pipeline simply emit that degenerate II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.cgra import CGRA
+from repro.arch.tec import HOLD, ROUTE, Step
+from repro.core.exceptions import ValidationError
+from repro.core.resources import Occupancy
+from repro.ir.dfg import DFG, Edge, Op
+
+__all__ = ["Mapping"]
+
+
+@dataclass
+class Mapping:
+    """A (candidate) solution of the mapping problem.
+
+    Attributes:
+        dfg: the application graph.
+        cgra: the target array.
+        kind: ``"spatial"`` or ``"modulo"``.
+        binding: node id -> cell id, for every non-pseudo node.
+        schedule: node id -> absolute issue cycle (modulo mappings).
+        routes: DFG edge -> the route/hold steps carrying the value
+            from the producer's emission to the cycle before (spatial:
+            the cells before) the consumer reads it.  Edges that are
+            satisfied by direct neighbour/self reads have no entry.
+        ii: initiation interval (modulo mappings).
+        mapper: name of the mapper that produced this.
+        map_time: wall-clock seconds the mapper spent.
+        coexec: dual-issue pairs (§III-B1): each frozenset of two node
+            ids may share one FU slot because the hardware issues only
+            one of the two configurations at run time.
+    """
+
+    dfg: DFG
+    cgra: CGRA
+    kind: str = "modulo"
+    binding: dict[int, int] = field(default_factory=dict)
+    schedule: dict[int, int] = field(default_factory=dict)
+    routes: dict[Edge, list[Step]] = field(default_factory=dict)
+    ii: int | None = None
+    mapper: str = "?"
+    map_time: float = 0.0
+    coexec: set[frozenset[int]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def real_nodes(self) -> list[int]:
+        """Nodes that occupy fabric resources (non-pseudo)."""
+        return [n.nid for n in self.dfg.nodes() if not n.op.is_pseudo]
+
+    @property
+    def schedule_length(self) -> int:
+        """Makespan in cycles (0 for spatial mappings)."""
+        if not self.schedule:
+            return 0
+        return max(self.schedule.values()) + 1
+
+    def cells_used(self) -> set[int]:
+        return set(self.binding.values())
+
+    def route_step_count(self) -> int:
+        return sum(len(p) for p in self.routes.values())
+
+    # ------------------------------------------------------------------
+    def validate(self, *, raise_on_error: bool = True) -> list[str]:
+        """Check every constraint of the execution model.
+
+        Returns the list of violations (empty when valid); raises
+        :class:`ValidationError` instead when ``raise_on_error``.
+        """
+        if self.kind == "spatial":
+            violations = self._validate_spatial()
+        elif self.kind == "modulo":
+            violations = self._validate_modulo()
+        else:
+            violations = [f"unknown mapping kind {self.kind!r}"]
+        if violations and raise_on_error:
+            raise ValidationError(violations)
+        return violations
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.validate(raise_on_error=False)
+
+    # ------------------------------------------------------------------
+    def _check_binding(self) -> list[str]:
+        """Shared checks: every real node bound to a supporting cell."""
+        v: list[str] = []
+        for nid in self.real_nodes():
+            node = self.dfg.node(nid)
+            if nid not in self.binding:
+                v.append(f"node n{nid} ({node.op.value}) is not bound")
+                continue
+            cid = self.binding[nid]
+            if not (0 <= cid < self.cgra.n_cells):
+                v.append(f"node n{nid} bound to unknown cell {cid}")
+                continue
+            if not self.cgra.cell(cid).supports(node.op):
+                v.append(
+                    f"cell {cid} cannot execute {node.op.value} (n{nid})"
+                )
+        return v
+
+    def _check_const_edges(self) -> list[str]:
+        v: list[str] = []
+        for e in self.dfg.edges():
+            if self.dfg.node(e.src).op is not Op.CONST:
+                continue
+            dst_node = self.dfg.node(e.dst)
+            if dst_node.op.is_pseudo:
+                continue
+            if e.dst not in self.binding:
+                continue  # reported by _check_binding
+            cell = self.cgra.cell(self.binding[e.dst])
+            value = self.dfg.node(e.src).value or 0
+            if not cell.can_hold_constant(value):
+                v.append(
+                    f"constant {value} (n{e.src}) does not fit the"
+                    f" immediate field of cell {cell.cid} (n{e.dst})"
+                )
+        return v
+
+    def _routable_edge(self, e: Edge) -> bool:
+        """Edges that consume fabric routing (real producer+consumer)."""
+        return (
+            not self.dfg.node(e.src).op.is_pseudo
+            and not self.dfg.node(e.dst).op.is_pseudo
+        )
+
+    # ------------------------------------------------------------------
+    def _validate_spatial(self) -> list[str]:
+        v = self._check_binding() + self._check_const_edges()
+        # One op per cell.
+        owner: dict[int, int] = {}
+        for nid in self.real_nodes():
+            cid = self.binding.get(nid)
+            if cid is None:
+                continue
+            if cid in owner:
+                v.append(
+                    f"cells are exclusive in spatial mapping: cell {cid}"
+                    f" hosts n{owner[cid]} and n{nid}"
+                )
+            else:
+                owner[cid] = nid
+
+        route_owner: dict[int, int] = {}  # route cell -> value
+        for e in self.dfg.edges():
+            if not self._routable_edge(e):
+                continue
+            if e.src not in self.binding or e.dst not in self.binding:
+                continue
+            src_c = self.binding[e.src]
+            dst_c = self.binding[e.dst]
+            path = self.routes.get(e, [])
+            prev = src_c
+            for step in path:
+                if step.kind != ROUTE:
+                    v.append(
+                        f"edge n{e.src}->n{e.dst}: spatial paths use ROUTE"
+                        f" steps only, got {step.kind}"
+                    )
+                if not self.cgra.has_link(prev, step.cell):
+                    v.append(
+                        f"edge n{e.src}->n{e.dst}: no link"
+                        f" {prev}->{step.cell}"
+                    )
+                if step.cell in owner:
+                    v.append(
+                        f"edge n{e.src}->n{e.dst}: route cell {step.cell}"
+                        f" hosts op n{owner[step.cell]}"
+                    )
+                held = route_owner.get(step.cell)
+                if held is not None and held != e.src:
+                    v.append(
+                        f"route cell {step.cell} carries two values"
+                        f" (n{held} and n{e.src})"
+                    )
+                route_owner[step.cell] = e.src
+                prev = step.cell
+            if prev != dst_c and not self.cgra.has_link(prev, dst_c):
+                v.append(
+                    f"edge n{e.src}->n{e.dst}: endpoint cell {dst_c} not"
+                    f" reachable from {prev}"
+                )
+        return v
+
+    # ------------------------------------------------------------------
+    def _validate_modulo(self) -> list[str]:
+        v = self._check_binding() + self._check_const_edges()
+        ii = self.ii
+        if ii is None or ii < 1:
+            v.append(f"modulo mapping needs ii >= 1, got {ii}")
+            return v
+        if ii > self.cgra.n_contexts:
+            v.append(
+                f"ii={ii} exceeds context memory depth"
+                f" ({self.cgra.n_contexts})"
+            )
+
+        for nid in self.real_nodes():
+            if nid not in self.schedule:
+                v.append(f"node n{nid} is not scheduled")
+            elif self.schedule[nid] < 0:
+                v.append(f"node n{nid} scheduled at negative cycle")
+        if v:
+            return v
+
+        occ = Occupancy(self.cgra, ii)
+        for nid in self.real_nodes():
+            c, t = self.binding[nid], self.schedule[nid]
+            if not occ.can_place_op(c, t):
+                other = occ.op_at(c, t)
+                if (
+                    other is not None
+                    and frozenset((other, nid)) in self.coexec
+                ):
+                    continue  # dual-issue pair sharing the slot
+                v.append(
+                    f"FU conflict at cell {c}, slot {occ.slot(t)}:"
+                    f" n{other} vs n{nid}"
+                )
+            occ.place_op(nid, c, t)
+
+        for e in self.dfg.edges():
+            v.extend(self._check_modulo_edge(e, occ, ii))
+        return v
+
+    def _check_modulo_edge(
+        self, e: Edge, occ: Occupancy, ii: int
+    ) -> list[str]:
+        v: list[str] = []
+        if not self._routable_edge(e):
+            return v
+        tag = f"edge n{e.src}->n{e.dst}"
+        src_c = self.binding[e.src]
+        dst_c = self.binding[e.dst]
+        t_u = self.schedule[e.src]
+        lat = self.dfg.node(e.src).op.latency
+        t_consume = self.schedule[e.dst] + e.dist * ii
+        if t_consume < t_u + lat:
+            return [
+                f"{tag}: consumer fires at {t_consume} before the value"
+                f" exists (producer at {t_u}, latency {lat})"
+            ]
+        path = self.routes.get(e, [])
+        expected_len = t_consume - t_u - lat
+        if len(path) != expected_len:
+            return [
+                f"{tag}: path must cover cycles {t_u + lat}..{t_consume - 1}"
+                f" ({expected_len} steps), got {len(path)}"
+            ]
+        value = e.src
+        prev = Step(src_c, t_u + lat - 1, ROUTE)  # the emission itself
+        for step in path:
+            if step.time != prev.time + 1:
+                v.append(
+                    f"{tag}: step at cycle {step.time}, expected"
+                    f" {prev.time + 1}"
+                )
+                return v
+            if step.kind == HOLD:
+                if step.cell != prev.cell:
+                    v.append(
+                        f"{tag}: HOLD must stay on cell {prev.cell},"
+                        f" got {step.cell}"
+                    )
+                    return v
+                if not occ.can_hold(value, step.cell, step.time):
+                    v.append(
+                        f"{tag}: RF of cell {step.cell} full at slot"
+                        f" {occ.slot(step.time)}"
+                    )
+                occ.add_hold(value, step.cell, step.time)
+            elif step.kind == ROUTE:
+                if prev.kind == HOLD and step.cell != prev.cell:
+                    # Re-emitting a held value to a neighbour reads the
+                    # RF and drives the output in one cycle: allowed,
+                    # but the hop still needs the link (checked below).
+                    pass
+                if step.cell != prev.cell and not self.cgra.has_link(
+                    prev.cell, step.cell
+                ):
+                    v.append(
+                        f"{tag}: no link {prev.cell}->{step.cell}"
+                    )
+                    return v
+                if step.cell != prev.cell:
+                    if not occ.can_use_link(
+                        value, prev.cell, step.cell, step.time
+                    ):
+                        v.append(
+                            f"{tag}: link {prev.cell}->{step.cell}"
+                            f" busy at slot {occ.slot(step.time)}"
+                        )
+                    occ.add_link(value, prev.cell, step.cell, step.time)
+                if not occ.can_route(value, step.cell, step.time):
+                    v.append(
+                        f"{tag}: cell {step.cell} cannot route at slot"
+                        f" {occ.slot(step.time)} (busy)"
+                    )
+                occ.add_route(value, step.cell, step.time)
+            else:
+                v.append(f"{tag}: unknown step kind {step.kind!r}")
+                return v
+            prev = step
+
+        # Terminal read: consumer at (dst_c, t_consume) reads `prev`.
+        if prev.kind == HOLD:
+            if prev.cell != dst_c:
+                v.append(
+                    f"{tag}: held value on cell {prev.cell} is not"
+                    f" readable by cell {dst_c}"
+                )
+        else:
+            if prev.cell != dst_c:
+                if not self.cgra.has_link(prev.cell, dst_c):
+                    v.append(
+                        f"{tag}: consumer cell {dst_c} not adjacent to"
+                        f" emission at cell {prev.cell}"
+                    )
+                else:
+                    if not occ.can_use_link(
+                        value, prev.cell, dst_c, t_consume
+                    ):
+                        v.append(
+                            f"{tag}: link {prev.cell}->{dst_c} busy at"
+                            f" slot {occ.slot(t_consume)}"
+                        )
+                    occ.add_link(value, prev.cell, dst_c, t_consume)
+        return v
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable summary."""
+        lines = [
+            f"Mapping of {self.dfg.name} on {self.cgra.name}"
+            f" [{self.kind}] by {self.mapper}"
+        ]
+        if self.kind == "modulo":
+            lines.append(
+                f"  II={self.ii}, makespan={self.schedule_length},"
+                f" route steps={self.route_step_count()}"
+            )
+        for nid in sorted(self.binding):
+            c = self.binding[nid]
+            t = self.schedule.get(nid)
+            where = f"cell {c}" + ("" if t is None else f" @ t={t}")
+            lines.append(
+                f"  n{nid} ({self.dfg.node(nid).op.value}) -> {where}"
+            )
+        return "\n".join(lines)

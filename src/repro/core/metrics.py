@@ -1,0 +1,68 @@
+"""Mapping quality metrics.
+
+The survey's quality criteria (§II-C): "high quality solution with
+fast compilation time" — solution quality for loops is the initiation
+interval; spatial quality is utilisation and route overhead; and the
+compilation time is always reported next to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapping import Mapping
+
+__all__ = ["MappingMetrics", "metrics_of"]
+
+
+@dataclass(frozen=True)
+class MappingMetrics:
+    """Summary numbers for one mapping."""
+
+    kind: str
+    ops: int
+    ii: int | None
+    schedule_length: int
+    cells_used: int
+    route_steps: int
+    utilization: float      #: FU slots used / FU slots available per II
+    route_overhead: float   #: route steps per operation
+    map_time: float         #: mapper wall-clock seconds
+    valid: bool
+
+    def row(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "kind": self.kind,
+            "ops": self.ops,
+            "II": self.ii if self.ii is not None else "-",
+            "len": self.schedule_length,
+            "cells": self.cells_used,
+            "util%": round(100 * self.utilization, 1),
+            "routes": self.route_steps,
+            "time_ms": round(1000 * self.map_time, 2),
+            "valid": self.valid,
+        }
+
+
+def metrics_of(mapping: Mapping) -> MappingMetrics:
+    """Compute the metrics of a mapping (validates without raising)."""
+    ops = mapping.dfg.op_count()
+    n_compute = len(mapping.cgra.compute_cells())
+    if mapping.kind == "modulo" and mapping.ii:
+        capacity = n_compute * mapping.ii
+    else:
+        capacity = n_compute
+    utilization = ops / capacity if capacity else 0.0
+    return MappingMetrics(
+        kind=mapping.kind,
+        ops=ops,
+        ii=mapping.ii,
+        schedule_length=mapping.schedule_length,
+        cells_used=len(mapping.cells_used()),
+        route_steps=mapping.route_step_count(),
+        utilization=utilization,
+        route_overhead=mapping.route_step_count() / ops if ops else 0.0,
+        map_time=mapping.map_time,
+        valid=not mapping.validate(raise_on_error=False),
+    )

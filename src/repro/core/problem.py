@@ -1,0 +1,109 @@
+"""The mapping problem and its lower bounds.
+
+§II-C extracts one general formulation from twenty years of papers:
+given an application DFG and a CGRA model, *bind in place and schedule
+in time*.  :class:`MappingProblem` packages the two inputs and computes
+the classic initiation-interval lower bounds every modulo scheduler
+starts from:
+
+* **ResMII** — resource-constrained minimum II: enough slots must
+  exist for every operation (compute ops over compute cells, memory
+  ops over memory-port cells);
+* **RecMII** — recurrence-constrained minimum II: every dependence
+  cycle must fit within ``II x distance`` cycles.
+
+``MII = max(ResMII, RecMII)`` is where II search begins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.arch.cgra import CGRA
+from repro.ir.dfg import DFG
+
+__all__ = ["MappingProblem"]
+
+
+@dataclass(frozen=True)
+class MappingProblem:
+    """An instance of the CGRA mapping problem."""
+
+    dfg: DFG
+    cgra: CGRA
+
+    @cached_property
+    def n_ops(self) -> int:
+        return self.dfg.op_count()
+
+    @cached_property
+    def res_mii(self) -> int:
+        """Resource-constrained minimum II."""
+        compute_cells = len(self.cgra.compute_cells())
+        if compute_cells == 0:
+            raise ValueError(f"{self.cgra.name} has no compute cells")
+        bound = math.ceil(self.n_ops / compute_cells) if self.n_ops else 1
+        mem_ops = len(self.dfg.memory_ops())
+        if mem_ops:
+            mem_cells = len(self.cgra.memory_cells())
+            if mem_cells == 0:
+                raise ValueError(
+                    f"{self.dfg.name} has memory ops but {self.cgra.name}"
+                    " has no memory cells"
+                )
+            bound = max(bound, math.ceil(mem_ops / mem_cells))
+        return max(1, bound)
+
+    @cached_property
+    def rec_mii(self) -> int:
+        """Recurrence-constrained minimum II.
+
+        ``max over cycles of ceil(sum(latency) / sum(distance))``.
+        Parallel edges between the same node pair are collapsed to the
+        minimum distance, which is the binding variant for the bound.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for nid in self.dfg:
+            g.add_node(nid)
+        for e in self.dfg.edges():
+            if g.has_edge(e.src, e.dst):
+                g[e.src][e.dst]["dist"] = min(
+                    g[e.src][e.dst]["dist"], e.dist
+                )
+            else:
+                g.add_edge(e.src, e.dst, dist=e.dist)
+
+        best = 1
+        for cycle in nx.simple_cycles(g):
+            lat = sum(self.dfg.node(n).op.latency for n in cycle)
+            dist = sum(
+                g[cycle[i]][cycle[(i + 1) % len(cycle)]]["dist"]
+                for i in range(len(cycle))
+            )
+            if dist == 0:
+                # Impossible: dist-0 cycles are rejected by DFG.check().
+                raise ValueError("zero-distance dependence cycle")
+            best = max(best, math.ceil(lat / dist))
+        return best
+
+    @cached_property
+    def mii(self) -> int:
+        """The minimum initiation interval (start of every II search)."""
+        return max(self.res_mii, self.rec_mii)
+
+    def fits_spatially(self) -> bool:
+        """Necessary condition for spatial mapping: one cell per op."""
+        return self.n_ops <= len(self.cgra.compute_cells())
+
+    def describe(self) -> str:
+        return (
+            f"{self.dfg.name} ({self.n_ops} ops,"
+            f" {self.dfg.num_edges()} deps) on {self.cgra.name}"
+            f" ({self.cgra.n_cells} cells):"
+            f" ResMII={self.res_mii}, RecMII={self.rec_mii},"
+            f" MII={self.mii}"
+        )

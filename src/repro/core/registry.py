@@ -1,0 +1,71 @@
+"""Mapper registry — the executable Table I.
+
+Mappers self-register at import via the :func:`register` decorator;
+:func:`catalog` returns their taxonomy metadata, and the Table I
+benchmark groups that metadata by (family x mapping kind) to regenerate
+the survey's classification from the living code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from repro.core.mapper import Mapper
+
+__all__ = ["register", "create", "get", "names", "catalog"]
+
+_REGISTRY: dict[str, Type[Mapper]] = {}
+
+
+def register(cls: Type[Mapper]) -> Type[Mapper]:
+    """Class decorator adding a mapper to the registry."""
+    info = getattr(cls, "info", None)
+    if info is None:
+        raise TypeError(f"{cls.__name__} has no MapperInfo")
+    if info.name in _REGISTRY:
+        raise ValueError(f"duplicate mapper name {info.name!r}")
+    _REGISTRY[info.name] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    """Import the mapper package so registration side effects run."""
+    import repro.mappers  # noqa: F401
+
+
+def names() -> list[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> Type[Mapper]:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mapper {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def create(name: str, **opts: Any) -> Mapper:
+    """Instantiate a registered mapper."""
+    return get(name)(**opts)
+
+
+def catalog() -> dict[str, dict[str, Any]]:
+    """Taxonomy metadata of every registered mapper, keyed by name."""
+    _ensure_loaded()
+    out = {}
+    for name, cls in sorted(_REGISTRY.items()):
+        info = cls.info
+        out[name] = {
+            "family": info.family,
+            "subfamily": info.subfamily,
+            "kinds": list(info.kinds),
+            "exact": info.exact,
+            "solves": info.solves,
+            "modeled_after": info.modeled_after,
+            "year": info.year,
+        }
+    return out

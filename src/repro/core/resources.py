@@ -1,0 +1,167 @@
+"""Space-time resource accounting.
+
+One :class:`Occupancy` instance tracks who uses what on the folded
+(modulo) or plain time axis — the same structure serves
+
+* the validator (:meth:`repro.core.mapping.Mapping.validate` replays a
+  finished mapping through it), and
+* constructive mappers/routers, which query ``can_*`` before committing
+  and ``release_*`` when tearing moves apart (simulated annealing).
+
+Resources per ``(cell, slot)`` (slot = absolute cycle mod II for
+modulo mappings):
+
+==========  ======================================  ===================
+resource    consumed by                             capacity
+==========  ======================================  ===================
+``fu``      the op scheduled there; route steps     1
+            too when ``cgra.route_shares_fu``
+``bypass``  route steps when the fabric has         ``cgra.bypass_capacity``
+            dedicated bypass muxes
+``rf``      hold steps (value parked one cycle)     ``cell.rf_size``
+``link``    a value crossing ``src -> dst``         1 distinct value
+==========  ======================================  ===================
+
+All route/hold/link usage is *deduplicated by value* (the producing
+node id): a value fanning out to several consumers through the same
+wire or slot pays once, which is how real mux fabrics behave.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from repro.arch.cgra import CGRA
+
+__all__ = ["Occupancy"]
+
+
+class Occupancy:
+    """Mutable resource usage on a (possibly modulo-folded) time axis.
+
+    Args:
+        cgra: the target array.
+        ii: modulo period for slot folding; ``None`` disables folding
+            (plain TEC accounting).
+    """
+
+    def __init__(self, cgra: CGRA, ii: int | None = None) -> None:
+        self.cgra = cgra
+        self.ii = ii
+        # (cell, slot) -> op node id occupying the FU.
+        self.fu: dict[tuple[int, int], int] = {}
+        # (cell, slot) -> value -> refcount (shares fu or bypass).
+        # Counts are per *edge* using the resource; capacities count
+        # distinct values, so fan-out shares are free but releasing one
+        # edge's route never frees a slot another edge still uses.
+        self.routed: dict[tuple[int, int], Counter] = defaultdict(Counter)
+        # (cell, slot) -> value -> refcount of RF holds.
+        self.rf: dict[tuple[int, int], Counter] = defaultdict(Counter)
+        # (src, dst, slot) -> value -> refcount on the link.
+        self.link: dict[tuple[int, int, int], Counter] = defaultdict(Counter)
+
+    def slot(self, t: int) -> int:
+        return t % self.ii if self.ii else t
+
+    # ------------------------------------------------------------------
+    # Functional units
+    # ------------------------------------------------------------------
+    def can_place_op(self, cell: int, t: int) -> bool:
+        key = (cell, self.slot(t))
+        if key in self.fu:
+            return False
+        if self.cgra.route_shares_fu and self.routed.get(key):
+            return False
+        return True
+
+    def place_op(self, nid: int, cell: int, t: int) -> None:
+        key = (cell, self.slot(t))
+        self.fu[key] = nid
+
+    def release_op(self, cell: int, t: int) -> None:
+        self.fu.pop((cell, self.slot(t)), None)
+
+    def op_at(self, cell: int, t: int) -> int | None:
+        return self.fu.get((cell, self.slot(t)))
+
+    # ------------------------------------------------------------------
+    # Routing (pass-through re-emission)
+    # ------------------------------------------------------------------
+    def can_route(self, value: int, cell: int, t: int) -> bool:
+        key = (cell, self.slot(t))
+        if value in self.routed[key]:
+            return True  # same value already passes here: free fan-out
+        if self.cgra.route_shares_fu:
+            return key not in self.fu and not self.routed[key]
+        return len(self.routed[key]) < self.cgra.bypass_capacity
+
+    def add_route(self, value: int, cell: int, t: int) -> None:
+        self.routed[(cell, self.slot(t))][value] += 1
+
+    def release_route(self, value: int, cell: int, t: int) -> None:
+        key = (cell, self.slot(t))
+        self.routed[key][value] -= 1
+        if self.routed[key][value] <= 0:
+            del self.routed[key][value]
+
+    # ------------------------------------------------------------------
+    # Register-file holds
+    # ------------------------------------------------------------------
+    def can_hold(self, value: int, cell: int, t: int) -> bool:
+        key = (cell, self.slot(t))
+        if value in self.rf[key]:
+            return True
+        return len(self.rf[key]) < self.cgra.cell(cell).rf_size
+
+    def add_hold(self, value: int, cell: int, t: int) -> None:
+        self.rf[(cell, self.slot(t))][value] += 1
+
+    def release_hold(self, value: int, cell: int, t: int) -> None:
+        key = (cell, self.slot(t))
+        self.rf[key][value] -= 1
+        if self.rf[key][value] <= 0:
+            del self.rf[key][value]
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    def can_use_link(self, value: int, src: int, dst: int, t: int) -> bool:
+        key = (src, dst, self.slot(t))
+        users = self.link[key]
+        return value in users or not users
+
+    def add_link(self, value: int, src: int, dst: int, t: int) -> None:
+        self.link[(src, dst, self.slot(t))][value] += 1
+
+    def release_link(self, value: int, src: int, dst: int, t: int) -> None:
+        key = (src, dst, self.slot(t))
+        self.link[key][value] -= 1
+        if self.link[key][value] <= 0:
+            del self.link[key][value]
+
+    # ------------------------------------------------------------------
+    def pressure(self) -> float:
+        """A congestion summary: mean occupied slots per resource class.
+
+        Used by negotiated-congestion routers as a progress signal.
+        """
+        used = (
+            len(self.fu)
+            + sum(1 for v in self.routed.values() if v)
+            + sum(1 for v in self.rf.values() if v)
+            + sum(1 for v in self.link.values() if v)
+        )
+        return float(used)
+
+    def copy(self) -> "Occupancy":
+        out = Occupancy(self.cgra, self.ii)
+        out.fu = dict(self.fu)
+        out.routed = defaultdict(
+            Counter, {k: Counter(v) for k, v in self.routed.items()}
+        )
+        out.rf = defaultdict(
+            Counter, {k: Counter(v) for k, v in self.rf.items()}
+        )
+        out.link = defaultdict(
+            Counter, {k: Counter(v) for k, v in self.link.items()}
+        )
+        return out

@@ -1,0 +1,103 @@
+"""Mapping serialization.
+
+A framework is only adoptable if its artifacts travel: tool A maps,
+tool B simulates, a colleague inspects.  This module round-trips a
+:class:`~repro.core.mapping.Mapping` through plain JSON — binding,
+schedule, routes, II, dual-issue pairs — with enough architecture and
+DFG fingerprinting to refuse loading against the wrong substrate.
+
+The DFG and CGRA themselves are *not* serialized (they are code-level
+objects with factories); the fingerprint ties a mapping file to the
+(dfg, cgra) pair it was produced for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.arch.cgra import CGRA
+from repro.arch.tec import Step
+from repro.core.mapping import Mapping
+from repro.ir.dfg import DFG
+
+__all__ = ["mapping_to_json", "mapping_from_json", "fingerprint"]
+
+FORMAT_VERSION = 1
+
+
+def fingerprint(dfg: DFG, cgra: CGRA) -> str:
+    """A stable digest of the (application, architecture) pair."""
+    h = hashlib.sha256()
+    h.update(dfg.pretty().encode())
+    h.update(cgra.render().encode())
+    h.update(str(sorted(cgra.links)).encode())
+    return h.hexdigest()[:16]
+
+
+def mapping_to_json(mapping: Mapping, *, indent: int | None = 2) -> str:
+    """Serialize a mapping (of either kind) to a JSON string."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "fingerprint": fingerprint(mapping.dfg, mapping.cgra),
+        "dfg": mapping.dfg.name,
+        "cgra": mapping.cgra.name,
+        "kind": mapping.kind,
+        "ii": mapping.ii,
+        "mapper": mapping.mapper,
+        "binding": {str(k): v for k, v in mapping.binding.items()},
+        "schedule": {str(k): v for k, v in mapping.schedule.items()},
+        "routes": [
+            {
+                "edge": [e.src, e.dst, e.port, e.dist],
+                "steps": [[s.cell, s.time, s.kind] for s in steps],
+            }
+            for e, steps in mapping.routes.items()
+        ],
+        "coexec": [sorted(p) for p in mapping.coexec],
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def mapping_from_json(
+    text: str, dfg: DFG, cgra: CGRA, *, verify: bool = True
+) -> Mapping:
+    """Rebuild a mapping against its (dfg, cgra) pair.
+
+    Raises ValueError when the file's fingerprint does not match the
+    supplied substrate (unless ``verify=False``), or on an unknown
+    format version.  The result is re-validated before returning.
+    """
+    doc = json.loads(text)
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported mapping format {doc.get('format')!r}"
+        )
+    if verify and doc["fingerprint"] != fingerprint(dfg, cgra):
+        raise ValueError(
+            "mapping fingerprint mismatch: this file was produced for"
+            f" a different (DFG, CGRA) pair (file: {doc['dfg']!r} on"
+            f" {doc['cgra']!r})"
+        )
+    from repro.ir.dfg import Edge
+
+    routes = {}
+    for entry in doc["routes"]:
+        src, dst, port, dist = entry["edge"]
+        edge = Edge(src, dst, port=port, dist=dist)
+        routes[edge] = [
+            Step(cell, time, kind) for cell, time, kind in entry["steps"]
+        ]
+    mapping = Mapping(
+        dfg,
+        cgra,
+        kind=doc["kind"],
+        binding={int(k): v for k, v in doc["binding"].items()},
+        schedule={int(k): v for k, v in doc["schedule"].items()},
+        routes=routes,
+        ii=doc["ii"],
+        mapper=doc.get("mapper", "?"),
+        coexec={frozenset(p) for p in doc.get("coexec", [])},
+    )
+    mapping.validate()
+    return mapping

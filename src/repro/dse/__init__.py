@@ -1,0 +1,22 @@
+"""Architecture design-space exploration.
+
+The survey's §IV points at the open-source framework wave (CGRA-ME
+[75], Aurora [76], the template-based explorer of Podobas et al. [77])
+whose purpose is exactly this: sweep the architectural dimensions the
+introduction lists — "processing elements and their homogeneity,
+interconnection network, context frame…" — against a workload, and
+report which architectures dominate.
+
+:func:`repro.dse.explorer.explore` runs the sweep;
+:func:`repro.dse.explorer.pareto_front` extracts the cost/performance
+frontier.
+"""
+
+from repro.dse.explorer import (
+    DesignPoint,
+    default_space,
+    explore,
+    pareto_front,
+)
+
+__all__ = ["DesignPoint", "default_space", "explore", "pareto_front"]

@@ -1,0 +1,154 @@
+"""Sweep architecture parameters against a kernel suite.
+
+Each design point instantiates a CGRA (size, topology, register-file
+depth, memory-column policy, routing discipline), maps the whole suite
+with a chosen mapper, and aggregates:
+
+* **performance** — mean 1/II over the kernels that mapped (failed
+  kernels are charged a sequential-execution fallback, so fragile
+  architectures do not win by cherry-picking);
+* **cost** — a gate-count proxy: cells weighted by their feature set
+  (ALU, memory port, RF depth) plus links;
+* **success rate** — the fraction of kernels mapped at all.
+
+:func:`pareto_front` then yields the cost/performance frontier — the
+artifact the cited exploration frameworks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+from repro.arch import presets
+from repro.arch.cgra import CGRA
+from repro.core.exceptions import MapFailure
+from repro.core.registry import create
+from repro.ir import kernels as kernel_lib
+
+__all__ = ["DesignPoint", "default_space", "explore", "pareto_front"]
+
+#: Gate-cost weights of the cost proxy (relative units).
+COST_ALU = 10.0
+COST_MEM_PORT = 6.0
+COST_RF_ENTRY = 1.0
+COST_LINK = 0.5
+COST_BYPASS = 2.0
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored architecture with its aggregate results."""
+
+    size: int
+    topology: str
+    rf_size: int
+    mem_cells: str
+    performance: float
+    cost: float
+    success_rate: float
+
+    def label(self) -> str:
+        return (
+            f"{self.size}x{self.size}/{self.topology}"
+            f"/rf{self.rf_size}/mem-{self.mem_cells}"
+        )
+
+
+def architecture_cost(cgra: CGRA) -> float:
+    """Gate-count proxy for one array."""
+    total = 0.0
+    for cell in cgra.cells:
+        if cell.is_compute:
+            total += COST_ALU
+        if cell.has_memory_port:
+            total += COST_MEM_PORT
+        total += COST_RF_ENTRY * cell.rf_size
+    total += COST_LINK * len(cgra.links)
+    if not cgra.route_shares_fu:
+        total += COST_BYPASS * cgra.n_cells
+    return total
+
+
+def default_space() -> list[dict]:
+    """A compact sweep: 24 design points."""
+    return [
+        {
+            "size": size,
+            "topology": topo,
+            "rf_size": rf,
+            "mem_cells": mem,
+        }
+        for size, topo, rf, mem in product(
+            (4, 6),
+            ("mesh", "diagonal", "one_hop"),
+            (2, 8),
+            ("left", "all"),
+        )
+    ]
+
+
+def evaluate_point(
+    params: dict,
+    suite: Sequence[str],
+    *,
+    mapper: str = "list_sched",
+) -> DesignPoint:
+    """Map the suite on one architecture; aggregate the outcome."""
+    cgra = presets.simple_cgra(
+        params["size"],
+        params["size"],
+        topology=params["topology"],
+        rf_size=params["rf_size"],
+        mem_cells=params["mem_cells"],
+    )
+    perfs: list[float] = []
+    succeeded = 0
+    for kname in suite:
+        dfg = kernel_lib.kernel(kname)
+        if dfg.memory_ops() and not cgra.memory_cells():
+            perfs.append(1.0 / dfg.op_count())
+            continue
+        try:
+            mapping = create(mapper).map(dfg, cgra)
+            perfs.append(1.0 / mapping.ii)
+            succeeded += 1
+        except MapFailure:
+            perfs.append(1.0 / dfg.op_count())  # host fallback
+    return DesignPoint(
+        size=params["size"],
+        topology=params["topology"],
+        rf_size=params["rf_size"],
+        mem_cells=params["mem_cells"],
+        performance=sum(perfs) / len(perfs),
+        cost=architecture_cost(cgra),
+        success_rate=succeeded / len(suite),
+    )
+
+
+def explore(
+    space: Sequence[dict] | None = None,
+    suite: Sequence[str] | None = None,
+    *,
+    mapper: str = "list_sched",
+) -> list[DesignPoint]:
+    """Evaluate every design point in the space."""
+    pts = [
+        evaluate_point(
+            params,
+            suite or ["dot_product", "fir4", "sobel_x", "if_select"],
+            mapper=mapper,
+        )
+        for params in (space if space is not None else default_space())
+    ]
+    return sorted(pts, key=lambda p: (p.cost, -p.performance))
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> list[DesignPoint]:
+    """Cost/performance non-dominated subset (lower cost, higher perf)."""
+    front: list[DesignPoint] = []
+    for p in sorted(points, key=lambda p: (p.cost, -p.performance)):
+        if not front or p.performance > front[-1].performance + 1e-12:
+            front.append(p)
+    return front

@@ -1,0 +1,40 @@
+"""The front end: a small C-like kernel language -> CDFG.
+
+Fig. 3's flow starts at source code; this package supplies the parsing
+stage ("front-end: parsing, abstract syntax tree") for a language just
+big enough to express the loop bodies CGRAs accelerate::
+
+    kernel dot {
+        sum = sum + a * b;   # reading `sum` before assigning it
+        out sum;             # reads last iteration's value
+    }
+
+    kernel clamp {
+        if (x > hi) { y = hi; } else { y = x; }
+        out y;
+    }
+
+Semantics:
+
+* the body is one loop iteration; free identifiers are streaming
+  live-ins (one element per iteration);
+* reading a variable that the body assigns *later or on this line*
+  yields its value from the previous iteration (a loop-carried
+  dependence of distance 1) — `x@k` reads `k` iterations back;
+* ``A[i]`` loads from array ``A``; ``A[i] = v;`` stores;
+* one top-level ``if/else`` is allowed and becomes a CDFG diamond
+  (the §III-B1 transforms take it from there);
+* ``out expr;`` / ``out expr as name;`` defines a live-out.
+"""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse
+from repro.frontend.lower import compile_to_cdfg, compile_to_dfg
+
+__all__ = [
+    "Token",
+    "compile_to_cdfg",
+    "compile_to_dfg",
+    "parse",
+    "tokenize",
+]

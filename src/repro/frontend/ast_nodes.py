@@ -1,0 +1,106 @@
+"""Abstract syntax tree for the kernel language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Assign",
+    "ArrayRef",
+    "ArrayStore",
+    "BinOp",
+    "Call",
+    "Delayed",
+    "If",
+    "Kernel",
+    "Num",
+    "Out",
+    "Stmt",
+    "UnOp",
+    "Var",
+]
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Delayed(Expr):
+    """``name@k`` — the variable's value ``k`` iterations ago."""
+
+    name: str
+    dist: int
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Builtin calls: abs(x), min(a,b), max(a,b), select(c,a,b)."""
+
+    fn: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    array: str
+    index: Expr
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ArrayStore(Stmt):
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Out(Stmt):
+    value: Expr
+    name: str
+
+
+@dataclass(frozen=True)
+class Kernel:
+    name: str
+    body: tuple[Stmt, ...]

@@ -1,0 +1,60 @@
+"""Tokenizer for the kernel language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Token", "tokenize", "LexError"]
+
+
+class LexError(ValueError):
+    """Raised on an unrecognised character."""
+
+
+KEYWORDS = {"kernel", "if", "else", "out", "as"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<num>\d+)
+  | (?P<id>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>=(){}\[\];,@])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   #: "num", "id", "kw", or the operator text itself
+    text: str
+    pos: int    #: character offset (for error messages)
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Token stream for ``source``; raises :class:`LexError` on junk."""
+    out: list[Token] = []
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise LexError(
+                f"line {line}: unexpected character {source[pos]!r}"
+            )
+        text = m.group(0)
+        if m.lastgroup == "ws":
+            line += text.count("\n")
+        elif m.lastgroup == "num":
+            out.append(Token("num", text, pos, line))
+        elif m.lastgroup == "id":
+            kind = "kw" if text in KEYWORDS else "id"
+            out.append(Token(kind, text, pos, line))
+        else:
+            out.append(Token(text, text, pos, line))
+        pos = m.end()
+    out.append(Token("eof", "", pos, line))
+    return out

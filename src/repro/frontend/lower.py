@@ -1,0 +1,339 @@
+"""AST -> CDFG lowering.
+
+Straight-line kernels become a single basic block; a top-level
+``if``/``else`` becomes the classic diamond that the §III-B1
+predication transforms consume.  Loop-carried semantics follow the
+language rule: reading a variable the kernel assigns (before that
+assignment has happened this iteration) yields the previous
+iteration's value — lowered as a distance-1 edge from the final
+definition; ``x@k`` generalises to distance ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend import ast_nodes as A
+from repro.frontend.parser import parse
+from repro.ir.cdfg import CDFG
+from repro.ir.dfg import DFG, Op
+
+__all__ = ["compile_to_cdfg", "compile_to_dfg", "LowerError"]
+
+
+class LowerError(ValueError):
+    pass
+
+
+_BINOPS = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "/": Op.DIV,
+    "%": Op.MOD,
+    "&": Op.AND,
+    "|": Op.OR,
+    "^": Op.XOR,
+    "<<": Op.SHL,
+    ">>": Op.SHR,
+    "<": Op.LT,
+    "<=": Op.LE,
+    ">": Op.GT,
+    ">=": Op.GE,
+    "==": Op.EQ,
+    "!=": Op.NE,
+}
+
+_CALLS = {"abs": Op.ABS, "min": Op.MIN, "max": Op.MAX, "select": Op.SELECT}
+
+
+@dataclass
+class _Builder:
+    """One basic block under construction."""
+
+    g: DFG
+    env: dict[str, int] = field(default_factory=dict)
+    inputs: dict[str, int] = field(default_factory=dict)
+    consts: dict[int, int] = field(default_factory=dict)
+    #: deferred loop-carried reads: (node, port, name, dist)
+    holes: list[tuple[int, int, str, int]] = field(default_factory=list)
+    #: names the whole kernel assigns (drives carried-read detection)
+    assigned: frozenset[str] = frozenset()
+    #: names that may not be read before assignment in this block
+    #: (cross-if recurrences are unsupported and must be diagnosed)
+    forbidden: frozenset[str] = frozenset()
+
+    def const(self, value: int) -> int:
+        if value not in self.consts:
+            self.consts[value] = self.g.const(value)
+        return self.consts[value]
+
+    def live_in(self, name: str) -> int:
+        if name not in self.inputs:
+            self.inputs[name] = self.g.input(name)
+        return self.inputs[name]
+
+    def read(self, name: str) -> int | tuple[str, int]:
+        """A variable read: node id, or a carried-read marker."""
+        if name in self.env:
+            return self.env[name]
+        if name in self.assigned:
+            return (name, 1)  # previous iteration's value
+        if name in self.forbidden:
+            raise LowerError(
+                f"{name!r} is read before its assignment in another"
+                " region: loop-carried reads may not cross an if"
+            )
+        return self.live_in(name)
+
+    # ------------------------------------------------------------------
+    def expr(self, e: A.Expr) -> int | tuple[str, int]:
+        if isinstance(e, A.Num):
+            return self.const(e.value)
+        if isinstance(e, A.Var):
+            return self.read(e.name)
+        if isinstance(e, A.Delayed):
+            if e.name in self.assigned or e.name in self.env:
+                return (e.name, e.dist)
+            # Delayed read of a pure live-in stream.
+            node = self.g.add(Op.ROUTE)
+            self.g.connect(
+                self.live_in(e.name), node, port=0, dist=e.dist
+            )
+            return node
+        if isinstance(e, A.BinOp):
+            if e.op in ("&&", "||"):
+                lhs = self._bool(self.expr(e.lhs))
+                rhs = self._bool(self.expr(e.rhs))
+                return self._node(
+                    Op.AND if e.op == "&&" else Op.OR, lhs, rhs
+                )
+            return self._node(
+                _BINOPS[e.op], self.expr(e.lhs), self.expr(e.rhs)
+            )
+        if isinstance(e, A.UnOp):
+            v = self.expr(e.operand)
+            if e.op == "-":
+                return self._node(Op.NEG, v)
+            if e.op == "~":
+                return self._node(Op.NOT, v)
+            return self._node(Op.EQ, v, self.const(0))  # logical !
+        if isinstance(e, A.Call):
+            return self._node(
+                _CALLS[e.fn], *(self.expr(a) for a in e.args)
+            )
+        if isinstance(e, A.ArrayRef):
+            idx = self.expr(e.index)
+            node = self.g.add(Op.LOAD, array=e.array)
+            self._wire(node, 0, idx)
+            return node
+        raise LowerError(f"cannot lower expression {e!r}")
+
+    def _bool(self, v) -> int:
+        return self._node(Op.NE, v, self.const(0))
+
+    def _node(self, op: Op, *operands) -> int:
+        node = self.g.add(op)
+        for port, v in enumerate(operands):
+            self._wire(node, port, v)
+        return node
+
+    def _wire(self, node: int, port: int, v) -> None:
+        if isinstance(v, tuple):
+            self.holes.append((node, port, v[0], v[1]))
+        else:
+            self.g.connect(v, node, port=port)
+
+    # ------------------------------------------------------------------
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Assign):
+            v = self.expr(s.value)
+            if isinstance(v, tuple):
+                # `x = y` where y is a carried read: pass through ROUTE.
+                node = self.g.add(Op.ROUTE)
+                self.holes.append((node, 0, v[0], v[1]))
+                v = node
+            self.env[s.name] = v
+            return
+        if isinstance(s, A.ArrayStore):
+            node = self.g.add(Op.STORE, array=s.array)
+            self._wire(node, 0, self.expr(s.index))
+            self._wire(node, 1, self.expr(s.value))
+            self.env[f"__store_{node}"] = node
+            return
+        if isinstance(s, A.Out):
+            v = self.expr(s.value)
+            if isinstance(v, tuple):
+                node = self.g.add(Op.ROUTE)
+                self.holes.append((node, 0, v[0], v[1]))
+                v = node
+            self.g.output(v, s.name)
+            return
+        raise LowerError(f"cannot lower statement {s!r}")
+
+    def fill_holes(self) -> None:
+        for node, port, name, dist in self.holes:
+            if name not in self.env:
+                raise LowerError(
+                    f"loop-carried read of {name!r} but the block never"
+                    " assigns it (recurrences may not cross an if)"
+                )
+            self.g.connect(self.env[name], node, port=port, dist=dist)
+        self.holes.clear()
+
+
+def _assigned_names(stmts) -> set[str]:
+    names: set[str] = set()
+    for s in stmts:
+        if isinstance(s, A.Assign):
+            names.add(s.name)
+        elif isinstance(s, A.If):
+            names |= _assigned_names(s.then_body)
+            names |= _assigned_names(s.else_body)
+    return names
+
+
+def _split_at_if(body):
+    """(pre, if_stmt|None, post); enforces single top-level if."""
+    pre, post = [], []
+    if_stmt = None
+    for s in body:
+        if isinstance(s, A.If):
+            if if_stmt is not None:
+                raise LowerError("at most one top-level if is supported")
+            if_stmt = s
+        elif if_stmt is None:
+            pre.append(s)
+        else:
+            post.append(s)
+    return pre, if_stmt, post
+
+
+def compile_to_cdfg(source: str) -> CDFG:
+    """Front end entry point: source text -> checked CDFG."""
+    kernel = parse(source)
+    pre, if_stmt, post = _split_at_if(kernel.body)
+    cdfg = CDFG(kernel.name)
+
+    if if_stmt is None:
+        bid = cdfg.add_block(label=kernel.name)
+        b = _Builder(cdfg.block(bid).body,
+                     assigned=frozenset(_assigned_names(kernel.body)))
+        for s in kernel.body:
+            b.stmt(s)
+        b.fill_holes()
+        cdfg.set_exit(bid)
+        cdfg.check()
+        return cdfg
+
+    for s in pre:
+        if isinstance(s, A.Out):
+            raise LowerError("out statements must follow the if")
+    carried = frozenset(_assigned_names(pre))
+
+    # Entry: pre statements + the condition.
+    entry = cdfg.add_block(label="entry")
+    eb = _Builder(cdfg.block(entry).body, assigned=carried)
+    for s in pre:
+        eb.stmt(s)
+    cond = eb.expr(if_stmt.cond)
+    if isinstance(cond, tuple):
+        node = eb.g.add(Op.ROUTE)
+        eb.holes.append((node, 0, cond[0], cond[1]))
+        cond = node
+    eb.fill_holes()
+    eb.g.output(cond, "__cond")
+    # Export every entry definition the arms or tail might read.
+    needed = set()
+    for region in (if_stmt.then_body, if_stmt.else_body, post):
+        needed |= _read_names(region)
+    for name, nid in eb.env.items():
+        if name in needed and not name.startswith("__store_"):
+            eb.g.output(nid, name)
+
+    entry_defined = frozenset(eb.env)
+    all_assigned = frozenset(_assigned_names(kernel.body))
+
+    def arm_block(stmts, label):
+        bid = cdfg.add_block(label=label)
+        ab = _Builder(
+            cdfg.block(bid).body,
+            assigned=frozenset(),
+            forbidden=all_assigned - entry_defined,
+        )
+        for s in stmts:
+            if isinstance(s, (A.If,)):
+                raise LowerError("nested ifs are not supported")
+            if isinstance(s, A.Out):
+                raise LowerError("out statements must follow the if")
+            ab.stmt(s)
+        ab.fill_holes()
+        for name, nid in ab.env.items():
+            if not name.startswith("__store_"):
+                ab.g.output(nid, name)
+        return bid
+
+    then_b = arm_block(if_stmt.then_body, "then")
+    else_b = arm_block(if_stmt.else_body, "else")
+
+    arm_defined = frozenset(_assigned_names(if_stmt.then_body)) | frozenset(
+        _assigned_names(if_stmt.else_body)
+    )
+    join = cdfg.add_block(label="join")
+    jb = _Builder(
+        cdfg.block(join).body,
+        assigned=frozenset(),
+        forbidden=all_assigned - entry_defined - arm_defined,
+    )
+    for s in post:
+        jb.stmt(s)
+    jb.fill_holes()
+
+    cdfg.set_branch(entry, "__cond", then_b, else_b)
+    cdfg.set_jump(then_b, join)
+    cdfg.set_jump(else_b, join)
+    cdfg.set_exit(join)
+    cdfg.check()
+    return cdfg
+
+
+def _read_names(stmts) -> set[str]:
+    """Variable names read anywhere in a statement list."""
+    out: set[str] = set()
+
+    def expr(e) -> None:
+        if isinstance(e, A.Var):
+            out.add(e.name)
+        elif isinstance(e, A.Delayed):
+            out.add(e.name)
+        elif isinstance(e, A.BinOp):
+            expr(e.lhs)
+            expr(e.rhs)
+        elif isinstance(e, A.UnOp):
+            expr(e.operand)
+        elif isinstance(e, A.Call):
+            for a in e.args:
+                expr(a)
+        elif isinstance(e, A.ArrayRef):
+            expr(e.index)
+
+    for s in stmts:
+        if isinstance(s, A.Assign):
+            expr(s.value)
+        elif isinstance(s, A.ArrayStore):
+            expr(s.index)
+            expr(s.value)
+        elif isinstance(s, A.Out):
+            expr(s.value)
+        elif isinstance(s, A.If):
+            expr(s.cond)
+            out.update(_read_names(s.then_body))
+            out.update(_read_names(s.else_body))
+    return out
+
+
+def compile_to_dfg(source: str) -> DFG:
+    """Source text -> single if-converted DFG (the full front half)."""
+    from repro.controlflow import flatten_cdfg
+
+    return flatten_cdfg(compile_to_cdfg(source))

@@ -1,0 +1,215 @@
+"""Recursive-descent parser for the kernel language.
+
+Grammar (precedence climbing for expressions)::
+
+    kernel   := "kernel" id "{" stmt* "}"
+    stmt     := assign | arrstore | ifstmt | outstmt
+    assign   := id "=" expr ";"
+    arrstore := id "[" expr "]" "=" expr ";"
+    ifstmt   := "if" "(" expr ")" block ["else" block]
+    outstmt  := "out" expr ["as" id] ";"
+    block    := "{" stmt* "}"
+    expr     := binary expression over: || && | ^ & == != < <= > >=
+                << >> + - * / %   (C precedence), unary - ! ~,
+                atoms: num, id, id "@" num, id "[" expr "]",
+                fn "(" args ")", "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Call,
+    Delayed,
+    If,
+    Kernel,
+    Num,
+    Out,
+    Stmt,
+    UnOp,
+    Var,
+)
+from repro.frontend.lexer import Token, tokenize
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    pass
+
+
+_BUILTINS = {"abs": 1, "min": 2, "max": 2, "select": 3}
+
+# Binary operator precedence, loosest first.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.toks = tokens
+        self.i = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.toks[self.i]
+
+    def next(self) -> Token:
+        t = self.toks[self.i]
+        self.i += 1
+        return t
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        t = self.next()
+        if t.kind != kind or (text is not None and t.text != text):
+            want = text or kind
+            raise ParseError(
+                f"line {t.line}: expected {want!r}, got {t.text!r}"
+            )
+        return t
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        t = self.peek()
+        if t.kind == kind and (text is None or t.text == text):
+            return self.next()
+        return None
+
+    # ------------------------------------------------------------------
+    def kernel(self) -> Kernel:
+        self.expect("kw", "kernel")
+        name = self.expect("id").text
+        self.expect("{")
+        body = self.stmts_until("}")
+        self.expect("}")
+        self.expect("eof")
+        return Kernel(name, tuple(body))
+
+    def stmts_until(self, closer: str) -> list[Stmt]:
+        out: list[Stmt] = []
+        while self.peek().text != closer:
+            if self.peek().kind == "eof":
+                raise ParseError(f"unexpected end of input, missing {closer!r}")
+            out.append(self.stmt())
+        return out
+
+    def stmt(self) -> Stmt:
+        t = self.peek()
+        if t.kind == "kw" and t.text == "if":
+            return self.if_stmt()
+        if t.kind == "kw" and t.text == "out":
+            return self.out_stmt()
+        if t.kind == "id":
+            name = self.next().text
+            if self.accept("["):
+                idx = self.expr()
+                self.expect("]")
+                self.expect("=")
+                val = self.expr()
+                self.expect(";")
+                return ArrayStore(name, idx, val)
+            self.expect("=")
+            val = self.expr()
+            self.expect(";")
+            return Assign(name, val)
+        raise ParseError(f"line {t.line}: unexpected token {t.text!r}")
+
+    def if_stmt(self) -> If:
+        self.expect("kw", "if")
+        self.expect("(")
+        cond = self.expr()
+        self.expect(")")
+        self.expect("{")
+        then_body = self.stmts_until("}")
+        self.expect("}")
+        else_body: list[Stmt] = []
+        if self.accept("kw", "else"):
+            self.expect("{")
+            else_body = self.stmts_until("}")
+            self.expect("}")
+        return If(cond, tuple(then_body), tuple(else_body))
+
+    def out_stmt(self) -> Out:
+        self.expect("kw", "out")
+        value = self.expr()
+        if self.accept("kw", "as"):
+            name = self.expect("id").text
+        elif isinstance(value, Var):
+            name = value.name
+        else:
+            raise ParseError(
+                "out <expr> needs 'as <name>' unless it is a variable"
+            )
+        self.expect(";")
+        return Out(value, name)
+
+    # ------------------------------------------------------------------
+    def expr(self, level: int = 0):
+        if level == len(_PRECEDENCE):
+            return self.unary()
+        lhs = self.expr(level + 1)
+        while self.peek().text in _PRECEDENCE[level]:
+            op = self.next().text
+            rhs = self.expr(level + 1)
+            lhs = BinOp(op, lhs, rhs)
+        return lhs
+
+    def unary(self):
+        t = self.peek()
+        if t.text in ("-", "!", "~"):
+            self.next()
+            return UnOp(t.text, self.unary())
+        return self.atom()
+
+    def atom(self):
+        t = self.next()
+        if t.kind == "num":
+            return Num(int(t.text))
+        if t.text == "(":
+            e = self.expr()
+            self.expect(")")
+            return e
+        if t.kind == "id":
+            name = t.text
+            if name in _BUILTINS and self.peek().text == "(":
+                self.next()
+                args = [self.expr()]
+                while self.accept(","):
+                    args.append(self.expr())
+                self.expect(")")
+                if len(args) != _BUILTINS[name]:
+                    raise ParseError(
+                        f"line {t.line}: {name}() takes"
+                        f" {_BUILTINS[name]} argument(s)"
+                    )
+                return Call(name, tuple(args))
+            if self.accept("@"):
+                dist = int(self.expect("num").text)
+                if dist < 1:
+                    raise ParseError(
+                        f"line {t.line}: delay must be >= 1"
+                    )
+                return Delayed(name, dist)
+            if self.accept("["):
+                idx = self.expr()
+                self.expect("]")
+                return ArrayRef(name, idx)
+            return Var(name)
+        raise ParseError(f"line {t.line}: unexpected token {t.text!r}")
+
+
+def parse(source: str) -> Kernel:
+    """Parse kernel source text into an AST."""
+    return _Parser(tokenize(source)).kernel()

@@ -1,0 +1,37 @@
+"""Application intermediate representation.
+
+The IR follows the terminology of the survey's §II-B:
+
+* a :class:`~repro.ir.dfg.DFG` is a graph whose nodes are operations
+  and whose edges are data dependencies (optionally loop-carried, with
+  an iteration *distance*);
+* a :class:`~repro.ir.cdfg.CFG` is a graph of basic blocks connected by
+  control dependencies;
+* a :class:`~repro.ir.cdfg.CDFG` combines the two: each basic block
+  embeds a DFG.
+
+:mod:`repro.ir.kernels` ships the classic CGRA benchmark kernels
+(dot product, FIR, matmul, convolutions, …), :mod:`repro.ir.randdfg`
+generates random DFGs for stress and property tests, and
+:mod:`repro.ir.interp` is the reference interpreter against which both
+middle-end passes and the CGRA simulator are checked.
+"""
+
+from repro.ir.dfg import DFG, Op, Node, Edge
+from repro.ir.cdfg import CFG, CDFG, BasicBlock
+from repro.ir import kernels, randdfg
+from repro.ir.interp import DFGInterpreter, evaluate
+
+__all__ = [
+    "DFG",
+    "Op",
+    "Node",
+    "Edge",
+    "CFG",
+    "CDFG",
+    "BasicBlock",
+    "kernels",
+    "randdfg",
+    "DFGInterpreter",
+    "evaluate",
+]

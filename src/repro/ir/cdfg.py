@@ -1,0 +1,236 @@
+"""Control/data flow graphs.
+
+A :class:`CFG` is a graph of :class:`BasicBlock`\\ s connected by control
+edges; each block embeds a :class:`~repro.ir.dfg.DFG` (its straight-line
+data-flow body).  The combination is the :class:`CDFG` of the survey's
+§II-B — "an application … represented in the form of a graph, where the
+nodes are the operations, and the edges are the dependencies (control or
+data)".
+
+Blocks end in one of three terminators:
+
+* ``jump``   — unconditional edge to one successor,
+* ``branch`` — two successors selected by a condition value computed in
+  the block's DFG,
+* ``exit``   — no successor.
+
+Values crossing block boundaries are named: a block's DFG exposes them
+as ``OUTPUT`` nodes and consumers re-import them as ``INPUT`` nodes with
+the same name.  The control-flow mapping transforms in
+:mod:`repro.controlflow` consume this structure and produce a single
+predicated DFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ir.dfg import DFG, Op
+
+__all__ = ["BasicBlock", "CFG", "CDFG", "CFGError"]
+
+
+class CFGError(ValueError):
+    """Raised when a CFG violates a structural invariant."""
+
+
+@dataclass
+class BasicBlock:
+    """A basic block: a DFG body plus a terminator.
+
+    Attributes:
+        bid: block id, unique within the CFG.
+        body: the block's data-flow graph.
+        kind: terminator kind — ``"jump"``, ``"branch"``, or ``"exit"``.
+        cond: for a branch, the *name* of the body OUTPUT holding the
+            condition (non-zero means the true edge is taken).
+        label: optional human-readable name.
+    """
+
+    bid: int
+    body: DFG
+    kind: str = "exit"
+    cond: str | None = None
+    label: str | None = None
+
+    def defined_names(self) -> set[str]:
+        """Names this block exports (its OUTPUT node names)."""
+        return {
+            n.name
+            for n in self.body.nodes()
+            if n.op is Op.OUTPUT and n.name is not None
+        }
+
+    def used_names(self) -> set[str]:
+        """Names this block imports (its INPUT node names)."""
+        return {
+            n.name
+            for n in self.body.nodes()
+            if n.op is Op.INPUT and n.name is not None
+        }
+
+
+class CFG:
+    """A control flow graph of basic blocks."""
+
+    def __init__(self, name: str = "cfg") -> None:
+        self.name = name
+        self._blocks: dict[int, BasicBlock] = {}
+        self._succ: dict[int, list[tuple[int, bool | None]]] = {}
+        self._pred: dict[int, list[int]] = {}
+        self._next_id = 0
+        self.entry: int | None = None
+
+    # ------------------------------------------------------------------
+    def add_block(self, body: DFG | None = None, label: str | None = None) -> int:
+        bid = self._next_id
+        self._next_id += 1
+        self._blocks[bid] = BasicBlock(
+            bid, body or DFG(f"bb{bid}"), label=label
+        )
+        self._succ[bid] = []
+        self._pred[bid] = []
+        if self.entry is None:
+            self.entry = bid
+        return bid
+
+    def block(self, bid: int) -> BasicBlock:
+        return self._blocks[bid]
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        return iter(self._blocks.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def set_jump(self, bid: int, target: int) -> None:
+        self._set_term(bid, "jump", None)
+        self._add_edge(bid, target, None)
+
+    def set_branch(
+        self, bid: int, cond: str, if_true: int, if_false: int
+    ) -> None:
+        self._set_term(bid, "branch", cond)
+        self._add_edge(bid, if_true, True)
+        self._add_edge(bid, if_false, False)
+
+    def set_exit(self, bid: int) -> None:
+        self._set_term(bid, "exit", None)
+
+    def _set_term(self, bid: int, kind: str, cond: str | None) -> None:
+        blk = self._blocks[bid]
+        # Re-setting a terminator clears old out-edges.
+        for tgt, _ in self._succ[bid]:
+            self._pred[tgt].remove(bid)
+        self._succ[bid] = []
+        blk.kind = kind
+        blk.cond = cond
+
+    def _add_edge(self, src: int, dst: int, taken: bool | None) -> None:
+        if dst not in self._blocks:
+            raise CFGError(f"unknown block {dst}")
+        self._succ[src].append((dst, taken))
+        self._pred[dst].append(src)
+
+    # ------------------------------------------------------------------
+    def successors(self, bid: int) -> list[tuple[int, bool | None]]:
+        """Successor blocks as ``(bid, edge_label)`` pairs.
+
+        The label is True/False for branch edges, None for jumps.
+        """
+        return list(self._succ[bid])
+
+    def predecessors(self, bid: int) -> list[int]:
+        return list(self._pred[bid])
+
+    def check(self) -> None:
+        """Validate the CFG and every block body."""
+        if self.entry is None:
+            raise CFGError("empty CFG")
+        for blk in self._blocks.values():
+            blk.body.check()
+            n_succ = len(self._succ[blk.bid])
+            if blk.kind == "exit" and n_succ != 0:
+                raise CFGError(f"exit block {blk.bid} has successors")
+            if blk.kind == "jump" and n_succ != 1:
+                raise CFGError(f"jump block {blk.bid} has {n_succ} successors")
+            if blk.kind == "branch":
+                if n_succ != 2:
+                    raise CFGError(
+                        f"branch block {blk.bid} has {n_succ} successors"
+                    )
+                if blk.cond is None or blk.cond not in blk.defined_names():
+                    raise CFGError(
+                        f"branch block {blk.bid} condition {blk.cond!r} is"
+                        " not defined by its body"
+                    )
+        # Reachability from entry.
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            stack.extend(t for t, _ in self._succ[b])
+        unreachable = set(self._blocks) - seen
+        if unreachable:
+            raise CFGError(f"unreachable blocks: {sorted(unreachable)}")
+
+    def reverse_postorder(self) -> list[int]:
+        """Blocks in reverse post-order from the entry (forward analysis)."""
+        seen: set[int] = set()
+        post: list[int] = []
+
+        def visit(b: int) -> None:
+            seen.add(b)
+            for t, _ in self._succ[b]:
+                if t not in seen:
+                    visit(t)
+            post.append(b)
+
+        assert self.entry is not None
+        visit(self.entry)
+        return list(reversed(post))
+
+    def is_diamond(self) -> bool:
+        """True if this CFG is a single if-then-else diamond.
+
+        Entry branch block, two disjoint single-entry arms (each a jump
+        block), one join block.  The shape the §III-B1 ITE transforms
+        accept directly.
+        """
+        if len(self._blocks) != 4 or self.entry is None:
+            return False
+        entry = self._blocks[self.entry]
+        if entry.kind != "branch":
+            return False
+        (t, _), (f, _) = sorted(
+            self._succ[self.entry], key=lambda x: x[1] is not True
+        )
+        for arm in (t, f):
+            if self._blocks[arm].kind != "jump":
+                return False
+        jt = self._succ[t][0][0]
+        jf = self._succ[f][0][0]
+        return jt == jf and self._blocks[jt].kind == "exit"
+
+    def pretty(self) -> str:
+        lines = [f"CFG {self.name}: {len(self)} blocks, entry bb{self.entry}"]
+        for blk in self._blocks.values():
+            succ = ", ".join(
+                f"bb{t}" + ("" if lab is None else f"[{lab}]")
+                for t, lab in self._succ[blk.bid]
+            )
+            lines.append(
+                f"  bb{blk.bid} ({blk.label or blk.kind}):"
+                f" {blk.body.op_count()} ops -> {succ or 'exit'}"
+            )
+        return "\n".join(lines)
+
+
+# The survey uses "CDFG" for the combined structure; structurally it is
+# a CFG whose blocks carry DFG bodies, which is exactly what CFG already
+# is — the alias keeps client code aligned with the paper's vocabulary.
+CDFG = CFG

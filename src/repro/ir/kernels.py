@@ -1,0 +1,540 @@
+"""The classic CGRA benchmark kernel library.
+
+Every kernel the CGRA mapping literature leans on — dot product (the
+survey's Fig. 3 worked example), FIR filters, matrix multiply, 2-D
+convolutions, Sobel, SAD, IIR recurrences — expressed as
+:class:`~repro.ir.dfg.DFG` loop bodies.
+
+Kernels come in *streaming* form (operands arrive through ``INPUT``
+nodes, one element per loop iteration) because that is the abstraction
+mappers consume; a few *memory* variants (explicit LOAD/STORE with
+address computation) exist for the data-mapping experiments.
+
+The module-level :data:`KERNELS` registry maps kernel names to
+zero-argument factories and is what the benchmark harness sweeps over.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.dfg import DFG, Op
+
+__all__ = [
+    "KERNELS",
+    "kernel",
+    "kernel_names",
+    "accumulate",
+    "conv3x3",
+    "dfg_fig3_dot_product",
+    "dot_product",
+    "fir",
+    "iir_biquad",
+    "if_select",
+    "matmul_body",
+    "sad",
+    "sobel_x",
+    "vector_add",
+    "vector_scale",
+    "dot_product_mem",
+    "vector_add_mem",
+    "butterfly",
+    "chain",
+    "diamonds",
+    "horner",
+]
+
+KERNELS: dict[str, Callable[[], DFG]] = {}
+
+
+def _register(fn: Callable[[], DFG]) -> Callable[[], DFG]:
+    KERNELS[fn.__name__] = fn
+    return fn
+
+
+def kernel(name: str) -> DFG:
+    """Build a registered kernel by name."""
+    try:
+        factory = KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None
+    return factory()
+
+
+def kernel_names() -> list[str]:
+    return sorted(KERNELS)
+
+
+# ---------------------------------------------------------------------------
+# Streaming kernels
+# ---------------------------------------------------------------------------
+@_register
+def dot_product() -> DFG:
+    """``sum += A[i] * B[i]`` — the survey's Fig. 3 loop body.
+
+    The accumulation is a loop-carried self-dependence on the ADD
+    (distance 1), which is exactly what lets modulo scheduling reach
+    II = 1: iteration ``i+1``'s multiply overlaps iteration ``i``'s add.
+    """
+    g = DFG("dot_product")
+    a = g.input("a")
+    b = g.input("b")
+    m = g.add(Op.MUL, a, b, name="a*b")
+    s = g.add(Op.ADD, m, m, name="sum")  # placeholder second operand
+    # Replace port 1 with the loop-carried accumulation edge.
+    e = g.operand(s, 1)
+    g.remove_edge(e)
+    g.connect(s, s, port=1, dist=1)
+    g.output(s, "sum")
+    return g
+
+
+# Alias used by the Fig. 3 bench so the experiment reads like the paper.
+dfg_fig3_dot_product = dot_product
+
+
+@_register
+def vector_add() -> DFG:
+    """``C[i] = A[i] + B[i]`` — the minimal two-input streaming kernel."""
+    g = DFG("vector_add")
+    a = g.input("a")
+    b = g.input("b")
+    s = g.add(Op.ADD, a, b)
+    g.output(s, "c")
+    return g
+
+
+@_register
+def vector_scale() -> DFG:
+    """``C[i] = (A[i] * k) >> s`` — fixed-point scaling."""
+    g = DFG("vector_scale")
+    a = g.input("a")
+    k = g.const(3, name="k")
+    sh = g.const(1, name="shift")
+    m = g.add(Op.MUL, a, k)
+    r = g.add(Op.SHR, m, sh)
+    g.output(r, "c")
+    return g
+
+
+@_register
+def accumulate() -> DFG:
+    """``sum += A[i]`` — the smallest recurrence kernel (RecMII = 1)."""
+    g = DFG("accumulate")
+    a = g.input("a")
+    s = g.add(Op.ADD, a, a)
+    e = g.operand(s, 1)
+    g.remove_edge(e)
+    g.connect(s, s, port=1, dist=1)
+    g.output(s, "sum")
+    return g
+
+
+def fir(taps: int = 4) -> DFG:
+    """An N-tap FIR filter: ``y = sum_k h[k] * x[i-k]``.
+
+    The delayed samples ``x[i-k]`` are loop-carried edges of distance
+    ``k`` from the single streaming input, so the DFG is one iteration
+    of the canonical transversal filter.
+    """
+    g = DFG(f"fir{taps}")
+    x = g.input("x")
+    acc = None
+    for k in range(taps):
+        h = g.const(k + 1, name=f"h{k}")
+        m = g.add(Op.MUL, h, h, name=f"m{k}")
+        e = g.operand(m, 1)
+        g.remove_edge(e)
+        g.connect(x, m, port=1, dist=k)
+        acc = m if acc is None else g.add(Op.ADD, acc, m)
+    g.output(acc, "y")
+    return g
+
+
+@_register
+def fir4() -> DFG:
+    return fir(4)
+
+
+@_register
+def fir8() -> DFG:
+    return fir(8)
+
+
+@_register
+def matmul_body() -> DFG:
+    """Inner body of matrix multiply: ``c += A[i][k] * B[k][j]``.
+
+    Structurally the dot product, but with the address streams exposed,
+    matching how the kernel appears after loop normalisation.
+    """
+    g = DFG("matmul_body")
+    aik = g.input("a_ik")
+    bkj = g.input("b_kj")
+    m = g.add(Op.MUL, aik, bkj)
+    s = g.add(Op.ADD, m, m, name="c")
+    e = g.operand(s, 1)
+    g.remove_edge(e)
+    g.connect(s, s, port=1, dist=1)
+    g.output(s, "c")
+    return g
+
+
+@_register
+def conv3x3() -> DFG:
+    """Unrolled 3x3 convolution: 9 multiplies reduced by an adder tree.
+
+    A wide, shallow DFG — the stress case for *spatial* parallelism
+    (9 independent multiplies per iteration).
+    """
+    g = DFG("conv3x3")
+    prods = []
+    for i in range(9):
+        p = g.input(f"p{i}")
+        w = g.const((i * 7) % 11 + 1, name=f"w{i}")
+        prods.append(g.add(Op.MUL, p, w))
+    # Balanced adder tree.
+    level = prods
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(g.add(Op.ADD, level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    g.output(level[0], "acc")
+    return g
+
+
+@_register
+def sobel_x() -> DFG:
+    """Horizontal Sobel gradient on a 3x3 neighbourhood.
+
+    ``gx = (p2 + 2*p5 + p8) - (p0 + 2*p3 + p6)`` followed by |gx|.
+    """
+    g = DFG("sobel_x")
+    p = [g.input(f"p{i}") for i in range(9)]
+    two = g.const(2, name="2")
+    right = g.add(
+        Op.ADD, g.add(Op.ADD, p[2], g.add(Op.MUL, two, p[5])), p[8]
+    )
+    left = g.add(
+        Op.ADD, g.add(Op.ADD, p[0], g.add(Op.MUL, two, p[3])), p[6]
+    )
+    gx = g.add(Op.SUB, right, left)
+    mag = g.add(Op.ABS, gx)
+    g.output(mag, "gx")
+    return g
+
+
+@_register
+def sad() -> DFG:
+    """Sum of absolute differences over a 4-wide window per iteration."""
+    g = DFG("sad")
+    terms = []
+    for i in range(4):
+        a = g.input(f"a{i}")
+        b = g.input(f"b{i}")
+        d = g.add(Op.SUB, a, b)
+        terms.append(g.add(Op.ABS, d))
+    t0 = g.add(Op.ADD, terms[0], terms[1])
+    t1 = g.add(Op.ADD, terms[2], terms[3])
+    t = g.add(Op.ADD, t0, t1)
+    s = g.add(Op.ADD, t, t, name="sad")
+    e = g.operand(s, 1)
+    g.remove_edge(e)
+    g.connect(s, s, port=1, dist=1)
+    g.output(s, "sad")
+    return g
+
+
+@_register
+def iir_biquad() -> DFG:
+    """Direct-form-I biquad: two feedback taps.
+
+    ``y = b0*x + b1*x[-1] - a1*y[-1] - a2*y[-2]``.  The distance-2
+    feedback makes RecMII interesting (> latency of a single op).
+    """
+    g = DFG("iir_biquad")
+    x = g.input("x")
+    b0 = g.const(3, name="b0")
+    b1 = g.const(2, name="b1")
+    a1 = g.const(1, name="a1")
+    a2 = g.const(1, name="a2")
+    t0 = g.add(Op.MUL, b0, x)
+    t1 = g.add(Op.MUL, b1, b1, name="b1*x1")
+    e = g.operand(t1, 1)
+    g.remove_edge(e)
+    g.connect(x, t1, port=1, dist=1)
+    ff = g.add(Op.ADD, t0, t1)
+    # Feedback terms read y (the final node) from 1 and 2 iterations ago.
+    fb1 = g.add(Op.MUL, a1, a1, name="a1*y1")
+    fb2 = g.add(Op.MUL, a2, a2, name="a2*y2")
+    fb = g.add(Op.ADD, fb1, fb2)
+    y = g.add(Op.SUB, ff, fb, name="y")
+    for node, dist in ((fb1, 1), (fb2, 2)):
+        e = g.operand(node, 1)
+        g.remove_edge(e)
+        g.connect(y, node, port=1, dist=dist)
+    g.output(y, "y")
+    return g
+
+
+@_register
+def if_select() -> DFG:
+    """``y = (a > b) ? a - b : b - a`` — an if-converted ITE body.
+
+    This is what the four branch-mapping methods of §III-B produce from
+    the same source; the SELECT is the predication primitive.
+    """
+    g = DFG("if_select")
+    a = g.input("a")
+    b = g.input("b")
+    c = g.add(Op.GT, a, b)
+    t = g.add(Op.SUB, a, b)
+    f = g.add(Op.SUB, b, a)
+    y = g.add(Op.SELECT, c, t, f)
+    g.output(y, "y")
+    return g
+
+
+@_register
+def horner() -> DFG:
+    """Degree-4 polynomial by Horner's rule — a pure serial chain.
+
+    The stress case for *temporal* mapping: no instruction-level
+    parallelism at all, schedule length = critical path.
+    """
+    g = DFG("horner")
+    x = g.input("x")
+    acc = g.const(5, name="c4")
+    for i in range(4):
+        c = g.const(4 - i, name=f"c{3 - i}")
+        m = g.add(Op.MUL, acc, x)
+        acc = g.add(Op.ADD, m, c)
+    g.output(acc, "y")
+    return g
+
+
+@_register
+def butterfly() -> DFG:
+    """Radix-2 FFT butterfly on fixed-point pairs (real arithmetic).
+
+    ``(ar, ai, br, bi) -> (ar+br, ai+bi, ar-br, ai-bi)`` with a twiddle
+    multiply on the difference path.
+    """
+    g = DFG("butterfly")
+    ar, ai = g.input("ar"), g.input("ai")
+    br, bi = g.input("br"), g.input("bi")
+    wr, wi = g.const(3, name="wr"), g.const(1, name="wi")
+    # Twiddle multiply (br, bi) * (wr, wi)
+    t_r = g.add(Op.SUB, g.add(Op.MUL, br, wr), g.add(Op.MUL, bi, wi))
+    t_i = g.add(Op.ADD, g.add(Op.MUL, br, wi), g.add(Op.MUL, bi, wr))
+    g.output(g.add(Op.ADD, ar, t_r), "xr")
+    g.output(g.add(Op.ADD, ai, t_i), "xi")
+    g.output(g.add(Op.SUB, ar, t_r), "yr")
+    g.output(g.add(Op.SUB, ai, t_i), "yi")
+    return g
+
+
+def chain(length: int = 8) -> DFG:
+    """A serial dependence chain of ``length`` adds (no ILP)."""
+    g = DFG(f"chain{length}")
+    x = g.input("x")
+    one = g.const(1, name="1")
+    acc = x
+    for _ in range(length):
+        acc = g.add(Op.ADD, acc, one)
+    g.output(acc, "y")
+    return g
+
+
+@_register
+def chain8() -> DFG:
+    return chain(8)
+
+
+def diamonds(count: int = 3) -> DFG:
+    """``count`` stacked diamond patterns (fan-out 2 / fan-in 2).
+
+    The classic routing stress shape: every diamond forces two disjoint
+    paths between its fork and join.
+    """
+    g = DFG(f"diamonds{count}")
+    x = g.input("x")
+    one = g.const(1, name="1")
+    cur = x
+    for _ in range(count):
+        l = g.add(Op.ADD, cur, one)
+        r = g.add(Op.SHL, cur, one)
+        cur = g.add(Op.XOR, l, r)
+    g.output(cur, "y")
+    return g
+
+
+@_register
+def diamonds3() -> DFG:
+    return diamonds(3)
+
+
+# ---------------------------------------------------------------------------
+# Memory-explicit kernels (for the data-mapping experiments)
+# ---------------------------------------------------------------------------
+@_register
+def dot_product_mem() -> DFG:
+    """Dot product with explicit LOADs: ``sum += A[i] * B[i]``.
+
+    The loop index arrives as the streaming input ``i``; both loads use
+    it as address.  Bank-conflict analysis sees two arrays accessed in
+    the same cycle.
+    """
+    g = DFG("dot_product_mem")
+    i = g.input("i")
+    a = g.add(Op.LOAD, i, array="A")
+    b = g.add(Op.LOAD, i, array="B")
+    m = g.add(Op.MUL, a, b)
+    s = g.add(Op.ADD, m, m, name="sum")
+    e = g.operand(s, 1)
+    g.remove_edge(e)
+    g.connect(s, s, port=1, dist=1)
+    g.output(s, "sum")
+    return g
+
+
+@_register
+def vector_add_mem() -> DFG:
+    """``C[i] = A[i] + B[i]`` with explicit loads and a store."""
+    g = DFG("vector_add_mem")
+    i = g.input("i")
+    a = g.add(Op.LOAD, i, array="A")
+    b = g.add(Op.LOAD, i, array="B")
+    s = g.add(Op.ADD, a, b)
+    st = g.add(Op.STORE, i, s, array="C")
+    g.output(st, "stored")
+    return g
+
+
+@_register
+def stencil1d_mem() -> DFG:
+    """``B[i] = (A[i-1] + A[i] + A[i+1]) / 3`` — neighbouring accesses.
+
+    Three loads into the same array at adjacent addresses in one
+    iteration: the canonical bank-conflict workload.
+    """
+    g = DFG("stencil1d_mem")
+    i = g.input("i")
+    one = g.const(1, name="1")
+    three = g.const(3, name="3")
+    im1 = g.add(Op.SUB, i, one)
+    ip1 = g.add(Op.ADD, i, one)
+    a0 = g.add(Op.LOAD, im1, array="A")
+    a1 = g.add(Op.LOAD, i, array="A")
+    a2 = g.add(Op.LOAD, ip1, array="A")
+    s = g.add(Op.ADD, g.add(Op.ADD, a0, a1), a2)
+    avg = g.add(Op.DIV, s, three)
+    st = g.add(Op.STORE, i, avg, array="B")
+    g.output(st, "stored")
+    return g
+
+
+# ---------------------------------------------------------------------------
+# AI / second-wave kernels (§IV: "CGRAs experience a new momentum as
+# they get carried away by artificial intelligence applications")
+# ---------------------------------------------------------------------------
+@_register
+def relu() -> DFG:
+    """``y = max(x, 0)`` — the activation that launched a thousand
+    accelerators."""
+    g = DFG("relu")
+    x = g.input("x")
+    zero = g.const(0, name="0")
+    g.output(g.add(Op.MAX, x, zero), "y")
+    return g
+
+
+@_register
+def leaky_relu() -> DFG:
+    """``y = x > 0 ? x : x >> 3`` — fixed-point leaky activation."""
+    g = DFG("leaky_relu")
+    x = g.input("x")
+    zero = g.const(0, name="0")
+    three = g.const(3, name="3")
+    c = g.add(Op.GT, x, zero)
+    leak = g.add(Op.SHR, x, three)
+    g.output(g.add(Op.SELECT, c, x, leak), "y")
+    return g
+
+
+@_register
+def mac4() -> DFG:
+    """4-wide multiply-accumulate: one GEMV strip per iteration.
+
+    ``acc += sum_k w[k] * x[k]`` with the weights as immediates — the
+    inner kernel of the AI workloads the survey's §IV names.
+    """
+    g = DFG("mac4")
+    terms = []
+    for k in range(4):
+        x = g.input(f"x{k}")
+        w = g.const(k + 1, name=f"w{k}")
+        terms.append(g.add(Op.MUL, x, w))
+    t0 = g.add(Op.ADD, terms[0], terms[1])
+    t1 = g.add(Op.ADD, terms[2], terms[3])
+    t = g.add(Op.ADD, t0, t1)
+    acc = g.add(Op.ADD, t, t, name="acc")
+    e = g.operand(acc, 1)
+    g.remove_edge(e)
+    g.connect(acc, acc, port=1, dist=1)
+    g.output(acc, "acc")
+    return g
+
+
+@_register
+def maxpool4() -> DFG:
+    """2x2 max pooling: ``y = max(max(a, b), max(c, d))``."""
+    g = DFG("maxpool4")
+    a, b = g.input("a"), g.input("b")
+    c, d = g.input("c"), g.input("d")
+    g.output(
+        g.add(Op.MAX, g.add(Op.MAX, a, b), g.add(Op.MAX, c, d)), "y"
+    )
+    return g
+
+
+@_register
+def sigmoid_pw() -> DFG:
+    """Piecewise-linear sigmoid approximation (fixed point, scale 16).
+
+    ``y = x < -4 ? 0 : x > 4 ? 16 : 8 + 2*x`` — the three-segment
+    approximation common in integer inference engines.
+    """
+    g = DFG("sigmoid_pw")
+    x = g.input("x")
+    lo = g.const(-4, name="-4")
+    hi = g.const(4, name="4")
+    zero = g.const(0, name="0")
+    one6 = g.const(16, name="16")
+    mid = g.add(Op.ADD, g.const(8, name="8"),
+                g.add(Op.MUL, g.const(2, name="2"), x))
+    below = g.add(Op.LT, x, lo)
+    above = g.add(Op.GT, x, hi)
+    upper = g.add(Op.SELECT, above, one6, mid)
+    g.output(g.add(Op.SELECT, below, zero, upper), "y")
+    return g
+
+
+@_register
+def batch_norm_lite() -> DFG:
+    """``y = ((x - mean) * gamma) >> 4 + beta`` — inference-time BN."""
+    g = DFG("batch_norm_lite")
+    x = g.input("x")
+    mean = g.const(7, name="mean")
+    gamma = g.const(5, name="gamma")
+    beta = g.const(3, name="beta")
+    four = g.const(4, name="4")
+    centred = g.add(Op.SUB, x, mean)
+    scaled = g.add(Op.SHR, g.add(Op.MUL, centred, gamma), four)
+    g.output(g.add(Op.ADD, scaled, beta), "y")
+    return g

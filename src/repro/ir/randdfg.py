@@ -1,0 +1,163 @@
+"""Random DFG generators for stress and property-based tests.
+
+Three families, mirroring the shapes that appear in the mapping
+literature's benchmark sets:
+
+* :func:`layered` — the standard layered random DAG (TGFF-style):
+  nodes are organised in ranks, edges only go forward a bounded number
+  of ranks; controls width (spatial pressure) and depth (temporal
+  pressure) independently;
+* :func:`series_parallel` — recursively composed series/parallel
+  blocks, always mappable on trivial fabrics;
+* :func:`with_recurrences` — adds loop-carried self/back edges to an
+  existing DFG to give it a non-trivial RecMII.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.dfg import DFG, Op
+
+__all__ = ["layered", "series_parallel", "with_recurrences"]
+
+# Binary ops a random interior node may take.
+_BINOPS = [Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.MIN, Op.MAX]
+_UNOPS = [Op.NEG, Op.ABS, Op.NOT]
+
+
+def layered(
+    n_ops: int,
+    *,
+    width: int = 4,
+    max_skip: int = 2,
+    seed: int = 0,
+    n_inputs: int = 2,
+) -> DFG:
+    """A layered random DAG with ``n_ops`` compute nodes.
+
+    Args:
+        n_ops: number of compute (non-pseudo) nodes.
+        width: maximum nodes per rank.
+        max_skip: edges may span up to this many ranks.
+        seed: RNG seed (generation is deterministic).
+        n_inputs: number of streaming live-ins.
+    """
+    if n_ops < 1:
+        raise ValueError("n_ops must be >= 1")
+    rng = random.Random(seed)
+    g = DFG(f"layered_{n_ops}_w{width}_s{seed}")
+    inputs = [g.input(f"x{i}") for i in range(n_inputs)]
+
+    ranks: list[list[int]] = [inputs]
+    remaining = n_ops
+    while remaining > 0:
+        k = min(remaining, rng.randint(1, width))
+        rank: list[int] = []
+        for _ in range(k):
+            op = rng.choice(_BINOPS if rng.random() < 0.8 else _UNOPS)
+            # Pick producers from the previous `max_skip` ranks.
+            pool: list[int] = []
+            for r in ranks[-max_skip:]:
+                pool.extend(r)
+            srcs = [rng.choice(pool) for _ in range(op.arity)]
+            rank.append(g.add(op, *srcs))
+        ranks.append(rank)
+        remaining -= k
+
+    # Every sink feeds an output so no node is dead.
+    sinks = [
+        n.nid
+        for n in g.nodes()
+        if not g.out_edges(n.nid) and n.op is not Op.OUTPUT
+    ]
+    if len(sinks) == 1:
+        g.output(sinks[0], "y")
+    else:
+        acc = sinks[0]
+        for s in sinks[1:]:
+            acc = g.add(Op.XOR, acc, s)
+        g.output(acc, "y")
+    g.check()
+    return g
+
+
+def series_parallel(
+    depth: int = 3,
+    *,
+    seed: int = 0,
+) -> DFG:
+    """A series-parallel DFG built by recursive composition.
+
+    At each level the generator either chains two sub-blocks (series)
+    or forks/joins them (parallel).  Depth 0 is a single operation.
+    """
+    rng = random.Random(seed)
+    g = DFG(f"sp_d{depth}_s{seed}")
+    x = g.input("x")
+
+    def build(d: int, src: int) -> int:
+        if d == 0:
+            op = rng.choice(_BINOPS)
+            other = g.const(rng.randint(1, 7))
+            return g.add(op, src, other)
+        if rng.random() < 0.5:  # series
+            mid = build(d - 1, src)
+            return build(d - 1, mid)
+        left = build(d - 1, src)  # parallel
+        right = build(d - 1, src)
+        return g.add(rng.choice(_BINOPS), left, right)
+
+    y = build(depth, x)
+    g.output(y, "y")
+    g.check()
+    return g
+
+
+def with_recurrences(
+    g: DFG,
+    *,
+    count: int = 1,
+    max_dist: int = 2,
+    seed: int = 0,
+) -> DFG:
+    """Return a copy of ``g`` with ``count`` extra loop-carried edges.
+
+    Each added edge goes *backwards* in topological order (consumer
+    earlier than producer) with distance >= 1, so the dist=0 subgraph
+    stays acyclic while RecMII becomes non-trivial.  Edges are added by
+    widening a unary op into a two-operand one via a MAX merge, to keep
+    operand arity valid.
+    """
+    rng = random.Random(seed)
+    out = g.copy(name=f"{g.name}_rec{count}")
+    order = out.topo_order()
+    compute = [
+        nid for nid in order if not out.node(nid).op.is_pseudo
+    ]
+    if len(compute) < 2:
+        return out
+    added = 0
+    attempts = 0
+    while added < count and attempts < 50 * count:
+        attempts += 1
+        i = rng.randrange(1, len(compute))
+        j = rng.randrange(0, i)
+        late, early = compute[i], compute[j]
+        # Merge the carried value into `early` via a MAX node spliced
+        # onto its port-0 operand.
+        e = out.operand(early, 0)
+        if e is None:
+            continue
+        out.remove_edge(e)
+        merge = out.add(Op.MAX, e.src, e.src)
+        e2 = out.operand(merge, 1)
+        out.remove_edge(e2)
+        out.connect(late, merge, port=1, dist=rng.randint(1, max_dist))
+        out.connect(merge, early, port=0, dist=e.dist)
+        compute.append(merge)
+        added += 1
+    out.check()
+    return out

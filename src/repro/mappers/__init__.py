@@ -1,0 +1,46 @@
+"""Mapper implementations — one module per surveyed technique family.
+
+Importing this package registers every mapper with
+:mod:`repro.core.registry`; the registry's metadata is the executable
+form of the survey's Table I.  See DESIGN.md §2.3 for the full
+mapper-to-citation table.
+"""
+
+from repro.mappers import (  # noqa: F401
+    bnb_mapper,
+    crimson,
+    csp_mapper,
+    dresc,
+    edge_centric,
+    epimap,
+    genmap,
+    graph_drawing,
+    graph_minor,
+    himap,
+    ilp_spatial,
+    ilp_temporal,
+    list_sched,
+    qea,
+    ramp,
+    regimap,
+    rl_mapper,
+    sa_spatial,
+    sat_mapper,
+    smt_mapper,
+    spr,
+    ultrafast,
+)
+from repro.mappers.construct import PlacementState, greedy_construct
+from repro.mappers.routing import Router, RouteRequest
+from repro.mappers.schedule import alap, asap, heights, priority_order
+
+__all__ = [
+    "PlacementState",
+    "RouteRequest",
+    "Router",
+    "alap",
+    "asap",
+    "greedy_construct",
+    "heights",
+    "priority_order",
+]

@@ -1,0 +1,122 @@
+"""The adjacency-placement model behind the exact mappers.
+
+Exact formulations cannot afford the router's full step-by-step search
+inside the solver, so — like most published ILP/SAT/CP formulations —
+they solve a *restricted but sound* placement model and let graph
+extension recover generality:
+
+* every operation takes one ``(cell, cycle)`` slot from a finite
+  domain;
+* an edge ``u -> v`` is satisfied when either
+
+  - the consumer fires the cycle after the value is emitted and sits
+    on the producer's cell or an out-neighbour (a direct wire read), or
+  - producer and consumer share a cell and the gap is bridged by
+    register-file holds (any length);
+
+* multi-hop communication is recovered by inserting explicit ``ROUTE``
+  operations into the DFG (:func:`repro.mappers.regraph
+  .split_dist0_edges`), which then occupy cells like any op — the
+  solver decides where; exact mappers escalate insertion rounds before
+  escalating II.
+
+Solutions translate mechanically into validated mappings
+(:func:`build_mapping` materialises the hold chains).
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.arch.tec import HOLD, Step
+from repro.core.mapping import Mapping
+from repro.ir.dfg import DFG, Edge
+from repro.mappers.schedule import asap
+
+__all__ = [
+    "Slot",
+    "build_mapping",
+    "compatible",
+    "real_edges",
+    "slot_domains",
+]
+
+Slot = tuple[int, int]  # (cell, cycle)
+
+
+def real_edges(dfg: DFG) -> list[Edge]:
+    return [
+        e
+        for e in dfg.edges()
+        if not dfg.node(e.src).op.is_pseudo
+        and not dfg.node(e.dst).op.is_pseudo
+    ]
+
+
+def slot_domains(
+    dfg: DFG, cgra: CGRA, ii: int, *, window: int | None = None
+) -> dict[int, list[Slot]]:
+    """Per-op candidate slots: supporting cells x an ASAP-anchored window."""
+    win = window if window is not None else ii + 2
+    t0 = asap(dfg, ii)
+    domains: dict[int, list[Slot]] = {}
+    for node in dfg.nodes():
+        if node.op.is_pseudo:
+            continue
+        cells = [c.cid for c in cgra.cells if c.supports(node.op)]
+        lo = t0[node.nid]
+        domains[node.nid] = [
+            (c, t) for t in range(lo, lo + win + 1) for c in cells
+        ]
+    return domains
+
+
+def compatible(
+    cgra: CGRA, ii: int, e: Edge, lat: int, su: Slot, sv: Slot
+) -> bool:
+    """May edge ``e`` connect producer slot ``su`` to consumer ``sv``?"""
+    cu, tu = su
+    cv, tv = sv
+    delta = tv + e.dist * ii - tu - lat
+    if delta < 0:
+        return False
+    if cu == cv:
+        return True  # register-file holds bridge the gap
+    return delta == 0 and cgra.has_link(cu, cv)
+
+
+def build_mapping(
+    dfg: DFG,
+    cgra: CGRA,
+    ii: int,
+    assign: dict[int, Slot],
+    mapper: str,
+) -> Mapping:
+    """Materialise an adjacency-model solution as a Mapping.
+
+    Same-cell gaps become HOLD chains; direct reads need no steps.
+    The result still goes through ``validate()`` (RF capacity is not
+    part of the solver model, so the caller must check).
+    """
+    binding = {nid: s[0] for nid, s in assign.items()}
+    schedule = {nid: s[1] for nid, s in assign.items()}
+    routes: dict[Edge, list[Step]] = {}
+    for e in real_edges(dfg):
+        cu, tu = assign[e.src]
+        cv, tv = assign[e.dst]
+        lat = dfg.node(e.src).op.latency
+        t_consume = tv + e.dist * ii
+        gap = t_consume - tu - lat
+        if gap > 0:
+            routes[e] = [
+                Step(cu, tu + lat + k, HOLD) for k in range(gap)
+            ]
+    return Mapping(
+        dfg,
+        cgra,
+        kind="modulo",
+        binding=binding,
+        schedule=schedule,
+        routes=routes,
+        ii=ii,
+        mapper=mapper,
+    )

@@ -1,0 +1,287 @@
+"""The constructive mapping engine.
+
+Most published heuristics share one skeleton: walk the operations in
+some priority order; for each, scan candidate ``(cell, cycle)`` slots
+in some preference order; commit the first slot from which every edge
+to an already-placed endpoint can be routed; fail (for this II) when an
+operation has no feasible slot.  What distinguishes EMS from a plain
+list scheduler from UltraFast is *which* order and *which* preference —
+so those arrive as parameters, and the mapper modules are thin.
+
+:class:`PlacementState` is the mutable working set (occupancy, partial
+binding/schedule/routes) with transactional ``place``/``unplace`` so
+simulated-annealing mappers can reuse it for rip-up-and-reroute moves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Sequence
+
+from repro.arch.cgra import CGRA
+from repro.arch.tec import Step
+from repro.core.mapping import Mapping
+from repro.core.resources import Occupancy
+from repro.ir.dfg import DFG, Edge
+from repro.mappers.routing import (
+    Router,
+    RouteRequest,
+    commit_route,
+    release_route,
+)
+
+__all__ = ["PlacementState", "greedy_construct", "default_candidates"]
+
+
+class PlacementState:
+    """Partial mapping under construction for one II."""
+
+    def __init__(
+        self, dfg: DFG, cgra: CGRA, ii: int, *, allow_hold: bool = True
+    ) -> None:
+        self.dfg = dfg
+        self.cgra = cgra
+        self.ii = ii
+        self.occ = Occupancy(cgra, ii)
+        self.router = Router(cgra, allow_hold=allow_hold)
+        self.binding: dict[int, int] = {}
+        self.schedule: dict[int, int] = {}
+        self.routes: dict[Edge, list[Step]] = {}
+
+    # ------------------------------------------------------------------
+    def _edge_request(self, e: Edge) -> RouteRequest:
+        lat = self.dfg.node(e.src).op.latency
+        return RouteRequest(
+            value=e.src,
+            src_cell=self.binding[e.src],
+            t_emit=self.schedule[e.src] + lat - 1,
+            dst_cell=self.binding[e.dst],
+            t_consume=self.schedule[e.dst] + e.dist * self.ii,
+        )
+
+    def _routable_edges_of(self, nid: int) -> list[Edge]:
+        """Edges of ``nid`` whose other endpoint is already placed."""
+        out = []
+        for e in self.dfg.in_edges(nid):
+            if self.dfg.node(e.src).op.is_pseudo:
+                continue
+            if e.src in self.binding:
+                out.append(e)
+        for e in self.dfg.out_edges(nid):
+            if self.dfg.node(e.dst).op.is_pseudo:
+                continue
+            if e.dst in self.binding and e.dst != nid:
+                out.append(e)
+        return out
+
+    def place(self, nid: int, cell: int, t: int) -> bool:
+        """Try to place ``nid`` at ``(cell, t)`` and route its edges.
+
+        Atomic: on any failure the state is unchanged.
+        """
+        node = self.dfg.node(nid)
+        if t < 0 or not self.cgra.cell(cell).supports(node.op):
+            return False
+        if not self.occ.can_place_op(cell, t):
+            return False
+        self.occ.place_op(nid, cell, t)
+        self.binding[nid] = cell
+        self.schedule[nid] = t
+
+        committed: list[tuple[Edge, RouteRequest, list[Step]]] = []
+        for e in self._routable_edges_of(nid):
+            req = self._edge_request(e)
+            steps = self.router.find(self.occ, req)
+            if steps is None:
+                for ce, creq, csteps in committed:
+                    release_route(self.occ, self.cgra, creq, csteps)
+                    del self.routes[ce]
+                self.occ.release_op(cell, t)
+                del self.binding[nid], self.schedule[nid]
+                return False
+            commit_route(self.occ, self.cgra, req, steps)
+            self.routes[e] = steps
+            committed.append((e, req, steps))
+        return True
+
+    def place_loose(self, nid: int, cell: int, t: int) -> bool:
+        """Place ``nid`` if its FU slot is free, routing edges best-effort.
+
+        Unlike :meth:`place`, edges that cannot be routed right now are
+        left pending (see :meth:`unrouted_edges`) instead of rolling
+        the placement back — the accounting simulated-annealing mappers
+        (DRESC-style) need, where infeasible intermediate states are
+        part of the walk and are penalised by the cost function.
+        """
+        node = self.dfg.node(nid)
+        if t < 0 or not self.cgra.cell(cell).supports(node.op):
+            return False
+        if not self.occ.can_place_op(cell, t):
+            return False
+        self.occ.place_op(nid, cell, t)
+        self.binding[nid] = cell
+        self.schedule[nid] = t
+        for e in self._routable_edges_of(nid):
+            self.try_route(e)
+        return True
+
+    def try_route(self, e: Edge) -> bool:
+        """Attempt to route one pending edge; both endpoints must be placed."""
+        if e in self.routes:
+            return True
+        req = self._edge_request(e)
+        if req.t_consume < req.t_emit + 1:
+            return False  # timing violation: no path can fix this
+        steps = self.router.find(self.occ, req)
+        if steps is None:
+            return False
+        commit_route(self.occ, self.cgra, req, steps)
+        self.routes[e] = steps
+        return True
+
+    def unrouted_edges(self) -> list[Edge]:
+        """Routable edges with both endpoints placed but no route yet."""
+        out = []
+        for e in self.dfg.edges():
+            if (
+                e.src in self.binding
+                and e.dst in self.binding
+                and e not in self.routes
+                and not self.dfg.node(e.src).op.is_pseudo
+                and not self.dfg.node(e.dst).op.is_pseudo
+            ):
+                out.append(e)
+        return out
+
+    def unplace(self, nid: int) -> None:
+        """Remove ``nid`` and the routes of its placed edges."""
+        cell, t = self.binding[nid], self.schedule[nid]
+        for e in self._routable_edges_of(nid):
+            if e in self.routes:
+                release_route(
+                    self.occ, self.cgra, self._edge_request(e),
+                    self.routes.pop(e),
+                )
+        self.occ.release_op(cell, t)
+        del self.binding[nid], self.schedule[nid]
+
+    # ------------------------------------------------------------------
+    def time_bounds(self, nid: int, window: int) -> tuple[int, int]:
+        """Feasible issue-cycle interval given placed neighbours."""
+        lb = 0
+        ub = lb + window
+        for e in self.dfg.in_edges(nid):
+            if e.src in self.schedule and not self.dfg.node(e.src).op.is_pseudo:
+                lat = self.dfg.node(e.src).op.latency
+                lb = max(lb, self.schedule[e.src] + lat - e.dist * self.ii)
+        ub = lb + window
+        for e in self.dfg.out_edges(nid):
+            if (
+                e.dst in self.schedule
+                and e.dst != nid
+                and not self.dfg.node(e.dst).op.is_pseudo
+            ):
+                lat = self.dfg.node(nid).op.latency
+                ub = min(
+                    ub,
+                    self.schedule[e.dst] + e.dist * self.ii - lat,
+                )
+        return lb, ub
+
+    def neighbor_cells(self, nid: int) -> list[int]:
+        """Cells of already-placed graph neighbours (for cost)."""
+        cells = []
+        for e in self.dfg.in_edges(nid):
+            if e.src in self.binding:
+                cells.append(self.binding[e.src])
+        for e in self.dfg.out_edges(nid):
+            if e.dst in self.binding and e.dst != nid:
+                cells.append(self.binding[e.dst])
+        return cells
+
+    def to_mapping(self, mapper: str = "?") -> Mapping:
+        return Mapping(
+            self.dfg,
+            self.cgra,
+            kind="modulo",
+            binding=dict(self.binding),
+            schedule=dict(self.schedule),
+            routes=dict(self.routes),
+            ii=self.ii,
+            mapper=mapper,
+        )
+
+
+# ---------------------------------------------------------------------------
+CandidateFn = Callable[
+    [PlacementState, int, int, int], Iterable[tuple[int, int]]
+]
+
+
+def default_candidates(
+    state: PlacementState,
+    nid: int,
+    lb: int,
+    ub: int,
+    *,
+    rng: random.Random | None = None,
+) -> Iterable[tuple[int, int]]:
+    """(cell, t) slots in time order, nearest-to-neighbours first.
+
+    The default preference of the constructive engine: earliest cycle
+    first (keeps schedules short), and within a cycle the cells closest
+    to the op's placed graph neighbours (keeps routes short).  ``rng``
+    shuffles distance ties to decorrelate restarts.
+    """
+    cgra = state.cgra
+    op = state.dfg.node(nid).op
+    anchors = state.neighbor_cells(nid)
+    cells = [c for c in range(cgra.n_cells) if cgra.cell(c).supports(op)]
+
+    def dist_cost(c: int) -> int:
+        return sum(
+            min(cgra.distance(a, c), cgra.distance(c, a)) for a in anchors
+        )
+
+    if rng is not None:
+        rng.shuffle(cells)
+    cells.sort(key=dist_cost)
+    for t in range(lb, ub + 1):
+        for c in cells:
+            yield (c, t)
+
+
+def greedy_construct(
+    dfg: DFG,
+    cgra: CGRA,
+    ii: int,
+    order: Sequence[int],
+    *,
+    candidates: CandidateFn | None = None,
+    window: int | None = None,
+    rng: random.Random | None = None,
+    allow_hold: bool = True,
+) -> Mapping | None:
+    """Run the constructive skeleton for one II.
+
+    Returns a finished mapping (not yet validated) or None when some
+    operation found no feasible slot.
+    """
+    state = PlacementState(dfg, cgra, ii, allow_hold=allow_hold)
+    win = window if window is not None else max(2 * ii + 2, 6)
+    for nid in order:
+        lb, ub = state.time_bounds(nid, win)
+        if lb > ub:
+            return None
+        placed = False
+        if candidates is not None:
+            slots = candidates(state, nid, lb, ub)
+        else:
+            slots = default_candidates(state, nid, lb, ub, rng=rng)
+        for cell, t in slots:
+            if state.place(nid, cell, t):
+                placed = True
+                break
+        if not placed:
+            return None
+    return state.to_mapping()

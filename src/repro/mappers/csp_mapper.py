@@ -1,0 +1,116 @@
+"""Constraint-programming mapper.
+
+Raffin et al. [43] model scheduling, binding and routing of their
+reconfigurable multimedia architecture as a constraint satisfaction
+problem and hand it to a CP solver.  Here the adjacency-placement
+model becomes a finite-domain CSP over this package's own solver
+(:mod:`repro.solvers.csp`): one variable per operation with
+``(cell, cycle)`` domains, binary edge-compatibility constraints, and
+pairwise FU-slot exclusivity — AC-3 plus MRV/forward-checking do the
+rest.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.core.mapper import Mapper, MapperInfo
+from repro.core.mapping import Mapping
+from repro.core.registry import register
+from repro.ir.dfg import DFG
+from repro.mappers import adjplace
+from repro.mappers.regraph import split_dist0_edges
+from repro.solvers.csp import CSP, CSPTimeout, CSPUnsat
+
+__all__ = ["CSPMapper"]
+
+
+@register
+class CSPMapper(Mapper):
+    """Finite-domain CSP formulation (CP, Raffin et al. style)."""
+
+    info = MapperInfo(
+        name="csp",
+        family="exact",
+        subfamily="CP",
+        kinds=("temporal",),
+        solves="binding+scheduling",
+        modeled_after="[43]",
+        year=2010,
+        exact=True,
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        node_limit: int = 150_000,
+        max_route_rounds: int = 1,
+    ) -> None:
+        super().__init__(seed)
+        self.node_limit = node_limit
+        self.max_route_rounds = max_route_rounds
+
+    def _solve(
+        self, dfg: DFG, cgra: CGRA, ii: int
+    ) -> dict[int, adjplace.Slot] | None:
+        domains = adjplace.slot_domains(dfg, cgra, ii)
+        csp = CSP(name=f"map_{dfg.name}_ii{ii}")
+        for nid, dom in domains.items():
+            csp.add_var(f"n{nid}", dom)
+
+        for e in adjplace.real_edges(dfg):
+            lat = dfg.node(e.src).op.latency
+            if e.src == e.dst:
+                # Self-recurrence: slot must be compatible with itself.
+                csp.add_constraint(
+                    (f"n{e.src}",),
+                    lambda s, e=e, lat=lat: adjplace.compatible(
+                        cgra, ii, e, lat, s, s
+                    ),
+                )
+                continue
+            csp.add_constraint(
+                (f"n{e.src}", f"n{e.dst}"),
+                lambda su, sv, e=e, lat=lat: adjplace.compatible(
+                    cgra, ii, e, lat, su, sv
+                ),
+                name=f"edge{e.src}->{e.dst}",
+            )
+
+        nids = list(domains)
+        for i, a in enumerate(nids):
+            for b in nids[i + 1 :]:
+                csp.add_constraint(
+                    (f"n{a}", f"n{b}"),
+                    lambda sa, sb: not (
+                        sa[0] == sb[0] and sa[1] % ii == sb[1] % ii
+                    ),
+                    name=f"fu{a},{b}",
+                )
+
+        try:
+            sol = csp.solve(node_limit=self.node_limit)
+        except (CSPUnsat, CSPTimeout):
+            return None
+        return {nid: sol[f"n{nid}"] for nid in domains}
+
+    def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        attempts = 0
+        for ii_try in self.ii_range(dfg, cgra, ii):
+            for rounds in range(self.max_route_rounds + 1):
+                attempts += 1
+                work = (
+                    dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
+                )
+                assign = self._solve(work, cgra, ii_try)
+                if assign is None:
+                    continue
+                mapping = adjplace.build_mapping(
+                    work, cgra, ii_try, assign, self.info.name
+                )
+                if not mapping.validate(raise_on_error=False):
+                    return mapping
+        raise self.fail(
+            f"CSP proved the windowed model infeasible on {cgra.name}",
+            attempts=attempts,
+        )

@@ -1,0 +1,184 @@
+"""DRESC-style simulated-annealing modulo mapper.
+
+Mei et al.'s DRESC [22] — the compiler behind ADRES, and the reference
+point of two decades of temporal mapping — couples modulo scheduling
+with simulated annealing: operations move between ``(cell, cycle)``
+slots, their edges are ripped up and rerouted, and infeasible
+intermediate states are allowed but penalised, so the walk can tunnel
+through congestion that defeats constructive methods.  The II search
+starts at MII and grows on failure, as in the original.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.arch.cgra import CGRA
+from repro.core.mapper import Mapper, MapperInfo
+from repro.core.mapping import Mapping
+from repro.core.registry import register
+from repro.ir.dfg import DFG
+from repro.mappers.construct import PlacementState
+from repro.mappers.schedule import asap, priority_order
+
+__all__ = ["DRESCMapper"]
+
+UNROUTED_PENALTY = 50.0
+
+
+@register
+class DRESCMapper(Mapper):
+    """Simulated annealing over modulo placements with rip-up/reroute."""
+
+    info = MapperInfo(
+        name="dresc",
+        family="metaheuristic",
+        subfamily="SA",
+        kinds=("temporal",),
+        solves="binding+scheduling",
+        modeled_after="[22]",
+        year=2002,
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        t_start: float = 20.0,
+        t_end: float = 0.2,
+        cooling: float = 0.9,
+        moves_per_temp: int = 80,
+        window: int | None = None,
+    ) -> None:
+        super().__init__(seed)
+        self.t_start = t_start
+        self.t_end = t_end
+        self.cooling = cooling
+        self.moves_per_temp = moves_per_temp
+        self.window = window
+
+    # ------------------------------------------------------------------
+    def _cost(self, state: PlacementState) -> float:
+        return (
+            UNROUTED_PENALTY * len(state.unrouted_edges())
+            + state.occ.pressure() * 0.01
+            + sum(len(p) for p in state.routes.values())
+        )
+
+    def _initial(
+        self, dfg: DFG, cgra: CGRA, ii: int, rng: random.Random
+    ) -> PlacementState | None:
+        """Loose initial placement near the ASAP schedule."""
+        state = PlacementState(dfg, cgra, ii)
+        t0 = asap(dfg, ii)
+        order = priority_order(dfg, by="height")
+        for nid in order:
+            op = dfg.node(nid).op
+            anchors = state.neighbor_cells(nid)
+            cells = [c.cid for c in cgra.cells if c.supports(op)]
+            rng.shuffle(cells)
+            cells.sort(
+                key=lambda c: sum(cgra.distance(a, c) for a in anchors)
+            )
+            lb, ub = state.time_bounds(nid, 4 * ii)
+            lb = max(lb, t0[nid])
+            if ub < lb:
+                ub = lb + 4 * ii
+            placed = False
+            for t in range(lb, ub + 1):
+                for cell in cells:
+                    if state.place_loose(nid, cell, t):
+                        placed = True
+                        break
+                if placed:
+                    break
+            if not placed:
+                return None
+        return state
+
+    def _move(
+        self, state: PlacementState, nid: int, rng: random.Random,
+        window: int,
+    ) -> tuple[int, int] | None:
+        """Relocate ``nid`` to a random free slot; returns old (cell, t)."""
+        old = (state.binding[nid], state.schedule[nid])
+        state.unplace(nid)
+        op = state.dfg.node(nid).op
+        cells = [c.cid for c in state.cgra.cells if c.supports(op)]
+        lb, ub = state.time_bounds(nid, window)
+        if ub < lb:
+            # The op's own window is empty (neighbours must move first);
+            # keep exploring around lb so the walk stays alive.
+            ub = lb + window
+        for _ in range(12):
+            cell = rng.choice(cells)
+            t = rng.randint(lb, ub)
+            if state.place_loose(nid, cell, t):
+                return old
+        # Could not find any free slot: restore.
+        restored = state.place_loose(nid, old[0], old[1])
+        assert restored, "restoring a just-vacated slot cannot fail"
+        return None
+
+    def _anneal(
+        self, dfg: DFG, cgra: CGRA, ii: int, rng: random.Random
+    ) -> Mapping | None:
+        state = self._initial(dfg, cgra, ii, rng)
+        if state is None:
+            return None
+        window = self.window if self.window is not None else 2 * ii + 2
+        nodes = list(state.binding)
+        cost = self._cost(state)
+        temp = self.t_start
+        while temp > self.t_end:
+            for _ in range(self.moves_per_temp):
+                if cost == 0 or not state.unrouted_edges():
+                    mapping = state.to_mapping(self.info.name)
+                    if not mapping.validate(raise_on_error=False):
+                        return mapping
+                nid = rng.choice(nodes)
+                # Snapshot for revert: rerouted edges may claim the
+                # vacated slot, so "move back" is not always possible.
+                snap = (
+                    state.occ.copy(),
+                    dict(state.binding),
+                    dict(state.schedule),
+                    dict(state.routes),
+                )
+                old = self._move(state, nid, rng, window)
+                if old is None:
+                    continue
+                # Opportunistically retry previously stuck edges.
+                for e in state.unrouted_edges():
+                    state.try_route(e)
+                new_cost = self._cost(state)
+                delta = new_cost - cost
+                if delta <= 0 or rng.random() < math.exp(-delta / temp):
+                    cost = new_cost
+                else:
+                    (
+                        state.occ,
+                        state.binding,
+                        state.schedule,
+                        state.routes,
+                    ) = snap
+            temp *= self.cooling
+        if not state.unrouted_edges():
+            mapping = state.to_mapping(self.info.name)
+            if not mapping.validate(raise_on_error=False):
+                return mapping
+        return None
+
+    def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        rng = random.Random(self.seed)
+        attempts = 0
+        for ii_try in self.ii_range(dfg, cgra, ii):
+            attempts += 1
+            mapping = self._anneal(dfg, cgra, ii_try, rng)
+            if mapping is not None:
+                return mapping
+        raise self.fail(
+            f"annealing found no feasible II for {dfg.name} on {cgra.name}",
+            attempts=attempts,
+        )

@@ -1,0 +1,126 @@
+"""Spatial ILP mapper.
+
+Chin & Anderson's architecture-agnostic ILP [34] (and the
+constraint-centric spatial scheduler of Nowatzki et al. [35]) bind a
+dataflow graph onto cells exactly: ``x[v, c]`` binaries, one cell per
+op, one op per cell, and every edge constrained to land on physically
+adjacent cells.  Multi-hop communication is recovered by ROUTE-node
+insertion rounds (the ROUTE ops occupy cells, exactly like the route
+resources of the published formulations); an infeasible verdict at a
+round is *proven* by the branch-and-bound ILP solver.
+
+The objective minimises total edge distance, which for the adjacency
+model means preferring same-cell self-edges and tight clusters.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.core.mapper import Mapper, MapperInfo
+from repro.core.mapping import Mapping
+from repro.core.registry import register
+from repro.ir.dfg import DFG
+from repro.mappers import adjplace
+from repro.mappers.regraph import split_dist0_edges
+from repro.mappers.spatial_common import candidate_cells, finalize
+from repro.solvers.ilp import ILP
+
+__all__ = ["ILPSpatialMapper"]
+
+
+@register
+class ILPSpatialMapper(Mapper):
+    """Exact spatial binding via 0/1 ILP."""
+
+    info = MapperInfo(
+        name="ilp_spatial",
+        family="exact",
+        subfamily="ILP",
+        kinds=("spatial",),
+        solves="binding",
+        modeled_after="[34], [35]",
+        year=2018,
+        exact=True,
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        node_limit: int = 20_000,
+        time_limit: float = 20.0,
+        max_route_rounds: int = 2,
+    ) -> None:
+        super().__init__(seed)
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.max_route_rounds = max_route_rounds
+
+    def _solve(self, dfg: DFG, cgra: CGRA) -> dict[int, int] | None:
+        nodes = [n.nid for n in dfg.nodes() if not n.op.is_pseudo]
+        cands = {nid: candidate_cells(dfg, cgra, nid) for nid in nodes}
+        if any(not c for c in cands.values()):
+            return None
+        ilp = ILP(name=f"spatial_{dfg.name}")
+        var: dict[tuple[int, int], int] = {}
+        for nid in nodes:
+            for c in cands[nid]:
+                var[(nid, c)] = ilp.add_var(f"x_{nid}_{c}")
+            ilp.add_constraint(
+                {var[(nid, c)]: 1.0 for c in cands[nid]}, "==", 1.0
+            )
+        by_cell: dict[int, list[int]] = {}
+        for (nid, c), v in var.items():
+            by_cell.setdefault(c, []).append(v)
+        for vs in by_cell.values():
+            if len(vs) > 1:
+                ilp.add_constraint({v: 1.0 for v in vs}, "<=", 1.0)
+
+        for e in adjplace.real_edges(dfg):
+            if e.src == e.dst:
+                continue  # self-edges live on the op's own cell
+            for cu in cands[e.src]:
+                support = {
+                    var[(e.dst, cv)]: 1.0
+                    for cv in cands[e.dst]
+                    if cv != cu and cgra.has_link(cu, cv)
+                }
+                coeffs = dict(support)
+                coeffs[var[(e.src, cu)]] = -1.0
+                ilp.add_constraint(coeffs, ">=", 0.0)
+
+        ilp.set_objective(
+            {
+                v: float(cgra.coords(c)[0] + cgra.coords(c)[1]) * 0.01
+                for (nid, c), v in var.items()
+            }
+        )
+        res = ilp.solve(
+            node_limit=self.node_limit, time_limit=self.time_limit
+        )
+        if not res.ok:
+            return None
+        binding: dict[int, int] = {}
+        for (nid, c), v in var.items():
+            if res.x[v] > 0.5:
+                binding[nid] = c
+        return binding
+
+    def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        attempts = 0
+        for rounds in range(self.max_route_rounds + 1):
+            attempts += 1
+            work = dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
+            if work.op_count() > len(cgra.compute_cells()):
+                break  # further insertion cannot fit spatially
+            binding = self._solve(work, cgra)
+            if binding is None:
+                continue
+            mapping = finalize(work, cgra, binding, self.info.name)
+            if mapping is not None:
+                return mapping
+        raise self.fail(
+            f"ILP proved spatial binding infeasible on {cgra.name}"
+            f" (within {self.max_route_rounds} route rounds)",
+            attempts=attempts,
+        )

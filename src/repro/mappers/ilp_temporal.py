@@ -1,0 +1,131 @@
+"""Space-time ILP mapper.
+
+The integer-linear-programming line of Table I ([41] Brenner et al.'s
+optimal simultaneous scheduling/binding/routing; [15] Guo et al.'s
+data-arrival synchronisers): binding and scheduling solved together as
+one 0/1 program.  Variables ``x[v, s]`` choose a ``(cell, cycle)``
+slot per operation; constraints are assignment, folded FU exclusivity
+and edge compatibility (implication form).  The program is solved as
+pure feasibility: the II search stops at the first II whose model
+admits an integral point, and infeasibility of every lower II is
+*proven* by the branch-and-bound solver — the defining feature of the
+exact column.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.core.mapper import Mapper, MapperInfo
+from repro.core.mapping import Mapping
+from repro.core.registry import register
+from repro.ir.dfg import DFG
+from repro.mappers import adjplace
+from repro.mappers.regraph import split_dist0_edges
+from repro.solvers.ilp import ILP
+
+__all__ = ["ILPTemporalMapper"]
+
+
+@register
+class ILPTemporalMapper(Mapper):
+    """0/1 ILP over (cell, cycle) slots, solved by our B&B solver."""
+
+    info = MapperInfo(
+        name="ilp",
+        family="exact",
+        subfamily="ILP",
+        kinds=("temporal",),
+        solves="binding+scheduling",
+        modeled_after="[41], [15], [34]",
+        year=2006,
+        exact=True,
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        node_limit: int = 20_000,
+        time_limit: float = 20.0,
+        max_route_rounds: int = 1,
+        window: int | None = None,
+    ) -> None:
+        super().__init__(seed)
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.max_route_rounds = max_route_rounds
+        self.window = window
+
+    def _solve(
+        self, dfg: DFG, cgra: CGRA, ii: int
+    ) -> dict[int, adjplace.Slot] | None:
+        domains = adjplace.slot_domains(dfg, cgra, ii, window=self.window)
+        ilp = ILP(name=f"map_{dfg.name}_ii{ii}")
+        var: dict[tuple[int, adjplace.Slot], int] = {}
+        for nid, dom in domains.items():
+            for s in dom:
+                var[(nid, s)] = ilp.add_var(f"x_{nid}_{s[0]}_{s[1]}")
+            ilp.add_constraint(
+                {var[(nid, s)]: 1.0 for s in dom}, "==", 1.0
+            )
+
+        by_res: dict[tuple[int, int], list[int]] = {}
+        for (nid, (c, t)), v in var.items():
+            by_res.setdefault((c, t % ii), []).append(v)
+        for vs in by_res.values():
+            if len(vs) > 1:
+                ilp.add_constraint({v: 1.0 for v in vs}, "<=", 1.0)
+
+        for e in adjplace.real_edges(dfg):
+            lat = dfg.node(e.src).op.latency
+            if e.src == e.dst:
+                for s in domains[e.src]:
+                    if not adjplace.compatible(cgra, ii, e, lat, s, s):
+                        ilp.add_constraint(
+                            {var[(e.src, s)]: 1.0}, "<=", 0.0
+                        )
+                continue
+            for su in domains[e.src]:
+                support = {
+                    var[(e.dst, sv)]: 1.0
+                    for sv in domains[e.dst]
+                    if adjplace.compatible(cgra, ii, e, lat, su, sv)
+                }
+                coeffs = dict(support)
+                coeffs[var[(e.src, su)]] = -1.0
+                # x[u, su] <= sum of compatible x[v, sv]
+                ilp.add_constraint(coeffs, ">=", 0.0)
+
+        # Pure feasibility: any integral point proves the II, so the
+        # first incumbent terminates the search immediately.
+        res = ilp.solve(
+            node_limit=self.node_limit, time_limit=self.time_limit
+        )
+        if not res.ok:
+            return None
+        assign: dict[int, adjplace.Slot] = {}
+        for (nid, s), v in var.items():
+            if res.x[v] > 0.5:
+                assign[nid] = s
+        return assign
+
+    def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        attempts = 0
+        for ii_try in self.ii_range(dfg, cgra, ii):
+            for rounds in range(self.max_route_rounds + 1):
+                attempts += 1
+                work = (
+                    dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
+                )
+                assign = self._solve(work, cgra, ii_try)
+                if assign is None:
+                    continue
+                mapping = adjplace.build_mapping(
+                    work, cgra, ii_try, assign, self.info.name
+                )
+                if not mapping.validate(raise_on_error=False):
+                    return mapping
+        raise self.fail(
+            f"ILP proved the windowed model infeasible on {cgra.name}",
+            attempts=attempts,
+        )

@@ -1,0 +1,54 @@
+"""DFG extension by explicit routing operations.
+
+EPIMap [28] introduced the move that most exact formulations borrow:
+when the graph does not embed, *change the graph* — insert ROUTE
+operations so every hop is a direct neighbour read.  Routing ops are
+real operations (they occupy a cell for a cycle), which is precisely
+how the architecture pays for multi-hop communication.
+
+:func:`split_dist0_edges` adds one ROUTE op on every intra-iteration
+edge between real operations; applying it ``r`` times gives every
+producer-consumer pair ``r`` relay stations.  Loop-carried edges are
+left alone: splitting them would lengthen their recurrence cycles and
+raise RecMII, which no published method does implicitly.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dfg import DFG, Edge, Op
+
+__all__ = ["split_dist0_edges", "split_edge"]
+
+
+def split_edge(dfg: DFG, e: Edge) -> int:
+    """Insert a ROUTE node on edge ``e`` (in place); returns its id.
+
+    ``u -> v`` becomes ``u -> r -> v``; the dependence distance stays
+    on the first segment so consumer timing semantics are unchanged.
+    """
+    dfg.remove_edge(e)
+    r = dfg.add(Op.ROUTE, e.src)
+    if e.dist:
+        # Move the distance onto the u -> r segment.
+        old = dfg.operand(r, 0)
+        dfg.remove_edge(old)
+        dfg.connect(e.src, r, port=0, dist=e.dist)
+    dfg.connect(r, e.dst, port=e.port, dist=0)
+    return r
+
+
+def split_dist0_edges(dfg: DFG, rounds: int = 1) -> DFG:
+    """A copy of ``dfg`` with every real dist-0 edge split ``rounds`` times."""
+    out = dfg.copy(name=f"{dfg.name}+r{rounds}")
+    for _ in range(rounds):
+        targets = [
+            e
+            for e in list(out.edges())
+            if e.dist == 0
+            and not out.node(e.src).op.is_pseudo
+            and not out.node(e.dst).op.is_pseudo
+        ]
+        for e in targets:
+            split_edge(out, e)
+    out.check()
+    return out

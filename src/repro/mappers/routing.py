@@ -1,0 +1,256 @@
+"""Routing on the (modulo-folded) time-extended CGRA.
+
+"Routing does not mean creating a new route with a physical wire, but
+use an existing link without interfering with already existing
+communications" (§II-B).  The :class:`Router` finds, for one DFG edge,
+the chain of route/hold steps from the producer's emission to the
+consumer's read — respecting everything an :class:`~repro.core
+.resources.Occupancy` already carries.
+
+Two disciplines are provided:
+
+* :meth:`Router.find` — breadth-first over time layers, admitting only
+  steps whose resources are free: the greedy discipline used by the
+  constructive mappers;
+* :meth:`Router.find_negotiated` — PathFinder-style: overused
+  resources are allowed but penalised by a rising congestion cost, and
+  a Dijkstra search minimises total cost.  SPR iterates this to
+  resolve congestion gradually.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.arch.cgra import CGRA
+from repro.arch.tec import HOLD, ROUTE, Step
+from repro.core.resources import Occupancy
+
+__all__ = ["Router", "RouteRequest", "commit_route", "release_route"]
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """One edge to route.
+
+    ``t_emit`` is the producer's last execution cycle (emission is
+    readable from ``t_emit + 1``); ``t_consume`` is the absolute cycle
+    the consumer fires.
+    """
+
+    value: int
+    src_cell: int
+    t_emit: int
+    dst_cell: int
+    t_consume: int
+
+
+class Router:
+    def __init__(
+        self, cgra: CGRA, *, allow_hold: bool = True, max_hold: int = 64
+    ) -> None:
+        self.cgra = cgra
+        self.allow_hold = allow_hold
+        self.max_hold = max_hold
+        self._reach = {
+            c.cid: [c.cid, *cgra.neighbors_out(c.cid)] for c in cgra.cells
+        }
+
+    # ------------------------------------------------------------------
+    def find(
+        self, occ: Occupancy, req: RouteRequest
+    ) -> list[Step] | None:
+        """Feasible step chain, or None.
+
+        The chain covers cycles ``t_emit+1 .. t_consume-1`` (may be
+        empty) and ends readable by ``dst_cell`` at ``t_consume``.
+        """
+        span = req.t_consume - req.t_emit - 1
+        if span < 0:
+            return None
+        if span == 0:
+            # Direct read of the emission.
+            if self._final_ok(occ, req, Step(req.src_cell, req.t_emit, ROUTE)):
+                return []
+            return None
+        # BFS over time layers; states are (cell, kind-of-last-step).
+        start = (req.src_cell, ROUTE)
+        frontier: dict[tuple[int, str], list[Step]] = {start: []}
+        for k in range(span):
+            t = req.t_emit + 1 + k
+            last = k == span - 1
+            nxt: dict[tuple[int, str], list[Step]] = {}
+            for (cell, kind), path in frontier.items():
+                for step in self._expansions(occ, req.value, cell, kind, t):
+                    key = (step.cell, step.kind)
+                    if key in nxt:
+                        continue
+                    cand = path + [step]
+                    if last:
+                        if self._final_ok(occ, req, step):
+                            return cand
+                    nxt[key] = cand
+            if not nxt:
+                return None
+            frontier = nxt
+        return None
+
+    def _expansions(self, occ, value, cell, kind, t):
+        """Feasible single steps leaving state (cell, kind) at cycle t.
+
+        Holds come first: parking in the RF is cheaper than burning an
+        FU/bypass slot on a same-cell re-emission, and BFS keeps the
+        first path found among equals.
+        """
+        if self.allow_hold and occ.can_hold(value, cell, t):
+            yield Step(cell, t, HOLD)
+        # Re-emission to self or neighbours.
+        for nxt in self._reach[cell]:
+            if nxt != cell and not occ.can_use_link(value, cell, nxt, t):
+                continue
+            if occ.can_route(value, nxt, t):
+                yield Step(nxt, t, ROUTE)
+
+    def _final_ok(self, occ, req: RouteRequest, last: Step) -> bool:
+        """Can the consumer read the value after ``last``?"""
+        if last.kind == HOLD:
+            return last.cell == req.dst_cell
+        if last.cell == req.dst_cell:
+            return True
+        return self.cgra.has_link(last.cell, req.dst_cell) and occ.can_use_link(
+            req.value, last.cell, req.dst_cell, req.t_consume
+        )
+
+    # ------------------------------------------------------------------
+    def find_negotiated(
+        self,
+        occ: Occupancy,
+        req: RouteRequest,
+        *,
+        history: dict | None = None,
+        penalty: float = 10.0,
+    ) -> tuple[list[Step], float] | None:
+        """PathFinder-style search: congestion is costed, not forbidden.
+
+        Returns ``(steps, cost)``; cost counts one per step plus
+        ``penalty`` (scaled by historical congestion) for each step
+        whose resource is already occupied by another value.  The SPR
+        mapper iterates: route all edges, raise history on overused
+        slots, repeat until no overuse.
+        """
+        span = req.t_consume - req.t_emit - 1
+        if span < 0:
+            return None
+        history = history or {}
+
+        def step_cost(step: Step) -> float:
+            key = (step.cell, occ.slot(step.time), step.kind)
+            base = 1.0 + history.get(key, 0.0)
+            free = (
+                occ.can_hold(req.value, step.cell, step.time)
+                if step.kind == HOLD
+                else occ.can_route(req.value, step.cell, step.time)
+            )
+            return base if free else base + penalty
+
+        if span == 0:
+            last = Step(req.src_cell, req.t_emit, ROUTE)
+            if last.cell == req.dst_cell or self.cgra.has_link(
+                last.cell, req.dst_cell
+            ):
+                return [], 0.0
+            return None
+
+        # Dijkstra over (cell, kind, layer).
+        start = (req.src_cell, ROUTE, 0)
+        dist: dict[tuple, float] = {start: 0.0}
+        prev: dict[tuple, tuple | None] = {start: None}
+        steps_at: dict[tuple, Step | None] = {start: None}
+        heap = [(0.0, start)]
+        best: tuple | None = None
+        while heap:
+            d, state = heapq.heappop(heap)
+            if d > dist.get(state, float("inf")):
+                continue
+            cell, kind, layer = state
+            if layer == span:
+                last = steps_at[state]
+                ok = (
+                    last is not None
+                    and (
+                        (last.kind == HOLD and last.cell == req.dst_cell)
+                        or (
+                            last.kind == ROUTE
+                            and (
+                                last.cell == req.dst_cell
+                                or self.cgra.has_link(
+                                    last.cell, req.dst_cell
+                                )
+                            )
+                        )
+                    )
+                )
+                if ok:
+                    best = state
+                    break
+                continue
+            t = req.t_emit + 1 + layer
+            candidates = [
+                Step(nxt, t, ROUTE) for nxt in self._reach[cell]
+            ] + [Step(cell, t, HOLD)]
+            for step in candidates:
+                nd = d + step_cost(step)
+                ns = (step.cell, step.kind, layer + 1)
+                if nd < dist.get(ns, float("inf")):
+                    dist[ns] = nd
+                    prev[ns] = state
+                    steps_at[ns] = step
+                    heapq.heappush(heap, (nd, ns))
+        if best is None:
+            return None
+        # Reconstruct.
+        out: list[Step] = []
+        s: tuple | None = best
+        while s is not None and steps_at[s] is not None:
+            out.append(steps_at[s])
+            s = prev[s]
+        out.reverse()
+        return out, dist[best]
+
+
+# ---------------------------------------------------------------------------
+def commit_route(
+    occ: Occupancy, cgra: CGRA, req: RouteRequest, steps: list[Step]
+) -> None:
+    """Charge a found route (incl. terminal link) to the occupancy."""
+    prev_cell = req.src_cell
+    for step in steps:
+        if step.kind == HOLD:
+            occ.add_hold(req.value, step.cell, step.time)
+        else:
+            if step.cell != prev_cell:
+                occ.add_link(req.value, prev_cell, step.cell, step.time)
+            occ.add_route(req.value, step.cell, step.time)
+        prev_cell = step.cell
+    last_kind = steps[-1].kind if steps else ROUTE
+    if last_kind == ROUTE and prev_cell != req.dst_cell:
+        occ.add_link(req.value, prev_cell, req.dst_cell, req.t_consume)
+
+
+def release_route(
+    occ: Occupancy, cgra: CGRA, req: RouteRequest, steps: list[Step]
+) -> None:
+    """Undo :func:`commit_route`."""
+    prev_cell = req.src_cell
+    for step in steps:
+        if step.kind == HOLD:
+            occ.release_hold(req.value, step.cell, step.time)
+        else:
+            if step.cell != prev_cell:
+                occ.release_link(req.value, prev_cell, step.cell, step.time)
+            occ.release_route(req.value, step.cell, step.time)
+        prev_cell = step.cell
+    last_kind = steps[-1].kind if steps else ROUTE
+    if last_kind == ROUTE and prev_cell != req.dst_cell:
+        occ.release_link(req.value, prev_cell, req.dst_cell, req.t_consume)

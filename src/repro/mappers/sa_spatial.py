@@ -1,0 +1,115 @@
+"""Simulated-annealing spatial mapper.
+
+The binding discipline of the recent spatial-dataflow generators
+(DSAGEN [32], SNAFU [33]): start from a random injective binding,
+propose moves (relocate an op to a free cell, or swap two ops), accept
+by the Metropolis criterion on the wirelength objective, cool
+geometrically, and route at the end (with a few restarts).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.arch.cgra import CGRA
+from repro.core.mapper import Mapper, MapperInfo
+from repro.core.mapping import Mapping
+from repro.core.registry import register
+from repro.ir.dfg import DFG
+from repro.mappers.spatial_common import (
+    candidate_cells,
+    finalize,
+    random_binding,
+    spatial_cost,
+)
+
+__all__ = ["SimulatedAnnealingSpatialMapper"]
+
+
+@register
+class SimulatedAnnealingSpatialMapper(Mapper):
+    """SA over injective bindings, wirelength objective."""
+
+    info = MapperInfo(
+        name="sa_spatial",
+        family="metaheuristic",
+        subfamily="SA",
+        kinds=("spatial",),
+        solves="binding",
+        modeled_after="[32], [33]",
+        year=2020,
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        t_start: float = 4.0,
+        t_end: float = 0.05,
+        cooling: float = 0.92,
+        moves_per_temp: int = 60,
+        restarts: int = 4,
+    ) -> None:
+        super().__init__(seed)
+        self.t_start = t_start
+        self.t_end = t_end
+        self.cooling = cooling
+        self.moves_per_temp = moves_per_temp
+        self.restarts = restarts
+
+    def _anneal(
+        self, dfg: DFG, cgra: CGRA, rng: random.Random
+    ) -> dict[int, int] | None:
+        binding = random_binding(dfg, cgra, rng)
+        if binding is None:
+            return None
+        nodes = list(binding)
+        cost = spatial_cost(dfg, cgra, binding)
+        temp = self.t_start
+        while temp > self.t_end:
+            for _ in range(self.moves_per_temp):
+                nid = rng.choice(nodes)
+                old_cell = binding[nid]
+                used = set(binding.values())
+                options = candidate_cells(dfg, cgra, nid)
+                target = rng.choice(options)
+                swap_with = None
+                if target in used and target != old_cell:
+                    # Swap if the resident op may live on our old cell.
+                    swap_with = next(
+                        n for n, c in binding.items() if c == target
+                    )
+                    if old_cell not in candidate_cells(dfg, cgra, swap_with):
+                        continue
+                    binding[swap_with] = old_cell
+                binding[nid] = target
+                new_cost = spatial_cost(dfg, cgra, binding)
+                delta = new_cost - cost
+                if delta <= 0 or rng.random() < math.exp(-delta / temp):
+                    cost = new_cost
+                else:  # revert
+                    binding[nid] = old_cell
+                    if swap_with is not None:
+                        binding[swap_with] = target
+            temp *= self.cooling
+        return binding
+
+    def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        rng = random.Random(self.seed)
+        attempts = 0
+        for r in range(self.restarts):
+            attempts += 1
+            binding = self._anneal(dfg, cgra, rng)
+            if binding is None:
+                raise self.fail(
+                    f"{dfg.name} does not fit spatially on {cgra.name}",
+                    attempts=attempts,
+                )
+            mapping = finalize(dfg, cgra, binding, self.info.name)
+            if mapping is not None:
+                return mapping
+        raise self.fail(
+            f"routing failed after {self.restarts} annealing restarts",
+            attempts=attempts,
+        )

@@ -1,0 +1,137 @@
+"""SAT-based mapper.
+
+Miyasaka et al. [17] encode DFG-onto-CGRA mapping as Boolean
+satisfiability.  The adjacency-placement model becomes CNF over this
+package's DPLL solver (:mod:`repro.solvers.sat`):
+
+* ``x[v, s]`` — operation ``v`` occupies slot ``s = (cell, cycle)``;
+  exactly one slot per operation;
+* at most one operation per ``(cell, cycle mod II)`` resource slot;
+* per edge, each producer slot implies the disjunction of compatible
+  consumer slots (and vice versa).
+
+An UNSAT answer proves the windowed model infeasible for that II and
+route-insertion round — the defining property of the exact column of
+Table I.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.core.mapper import Mapper, MapperInfo
+from repro.core.mapping import Mapping
+from repro.core.registry import register
+from repro.ir.dfg import DFG
+from repro.mappers import adjplace
+from repro.mappers.regraph import split_dist0_edges
+from repro.solvers.sat import CNF, SatSolver
+
+__all__ = ["SATMapper"]
+
+
+@register
+class SATMapper(Mapper):
+    """CNF encoding of the adjacency-placement model."""
+
+    info = MapperInfo(
+        name="sat",
+        family="exact",
+        subfamily="SAT",
+        kinds=("temporal",),
+        solves="binding+scheduling",
+        modeled_after="[17]",
+        year=2021,
+        exact=True,
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        conflict_limit: int = 200_000,
+        max_route_rounds: int = 1,
+    ) -> None:
+        super().__init__(seed)
+        self.conflict_limit = conflict_limit
+        self.max_route_rounds = max_route_rounds
+
+    def _solve(
+        self, dfg: DFG, cgra: CGRA, ii: int
+    ) -> dict[int, adjplace.Slot] | None:
+        domains = adjplace.slot_domains(dfg, cgra, ii)
+        cnf = CNF()
+        var: dict[tuple[int, adjplace.Slot], int] = {}
+        for nid, dom in domains.items():
+            lits = []
+            for s in dom:
+                v = cnf.new_var()
+                var[(nid, s)] = v
+                lits.append(v)
+            cnf.exactly_one(lits)
+
+        # Resource exclusivity per (cell, slot mod II).
+        by_res: dict[tuple[int, int], list[int]] = {}
+        for (nid, (c, t)), v in var.items():
+            by_res.setdefault((c, t % ii), []).append(v)
+        for lits in by_res.values():
+            if len(lits) > 1:
+                cnf.at_most_one(lits)
+
+        # Edge compatibility, implication form in both directions.
+        for e in adjplace.real_edges(dfg):
+            lat = dfg.node(e.src).op.latency
+            if e.src == e.dst:
+                for s in domains[e.src]:
+                    if not adjplace.compatible(cgra, ii, e, lat, s, s):
+                        cnf.add(-var[(e.src, s)])
+                continue
+            for su in domains[e.src]:
+                support = [
+                    var[(e.dst, sv)]
+                    for sv in domains[e.dst]
+                    if adjplace.compatible(cgra, ii, e, lat, su, sv)
+                ]
+                if support:
+                    cnf.implies_any(var[(e.src, su)], support)
+                else:
+                    cnf.add(-var[(e.src, su)])
+            for sv in domains[e.dst]:
+                support = [
+                    var[(e.src, su)]
+                    for su in domains[e.src]
+                    if adjplace.compatible(cgra, ii, e, lat, su, sv)
+                ]
+                if support:
+                    cnf.implies_any(var[(e.dst, sv)], support)
+                else:
+                    cnf.add(-var[(e.dst, sv)])
+
+        res = SatSolver(cnf).solve(conflict_limit=self.conflict_limit)
+        if not res.sat:
+            return None
+        assign: dict[int, adjplace.Slot] = {}
+        for (nid, s), v in var.items():
+            if res.assignment[v]:
+                assign[nid] = s
+        return assign
+
+    def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        attempts = 0
+        for ii_try in self.ii_range(dfg, cgra, ii):
+            for rounds in range(self.max_route_rounds + 1):
+                attempts += 1
+                work = (
+                    dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
+                )
+                assign = self._solve(work, cgra, ii_try)
+                if assign is None:
+                    continue
+                mapping = adjplace.build_mapping(
+                    work, cgra, ii_try, assign, self.info.name
+                )
+                if not mapping.validate(raise_on_error=False):
+                    return mapping
+        raise self.fail(
+            f"UNSAT for every windowed model on {cgra.name}",
+            attempts=attempts,
+        )

@@ -1,0 +1,113 @@
+"""Scheduling utilities shared by the temporal mappers.
+
+Modulo-aware ASAP/ALAP levels, height-based priorities, and the
+operation orders the constructive mappers walk.  Loop-carried edges of
+distance ``d`` relax a dependence by ``d * II`` cycles, exactly as in
+Rau's modulo scheduling framework.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dfg import DFG
+
+__all__ = ["asap", "alap", "heights", "priority_order", "mobility"]
+
+
+def asap(dfg: DFG, ii: int) -> dict[int, int]:
+    """Earliest start cycles honouring dist-relaxed dependences.
+
+    Iterates to a fixed point so loop-carried edges participate; with a
+    feasible II (>= RecMII) this converges.
+    """
+    t = {nid: 0 for nid in dfg}
+    changed = True
+    guard = 0
+    while changed:
+        changed = False
+        guard += 1
+        if guard > len(t) + 10:
+            # II below RecMII: carried cycles keep pushing times up.
+            break
+        for nid in dfg.topo_order():
+            for e in dfg.in_edges(nid):
+                lat = dfg.node(e.src).op.latency
+                lo = t[e.src] + lat - e.dist * ii
+                if lo > t[nid]:
+                    t[nid] = lo
+                    changed = True
+    for nid in t:
+        t[nid] = max(0, t[nid])
+    return t
+
+
+def alap(dfg: DFG, ii: int, horizon: int) -> dict[int, int]:
+    """Latest start cycles for a schedule ending by ``horizon``."""
+    t = {nid: horizon for nid in dfg}
+    for nid in reversed(dfg.topo_order()):
+        lat = dfg.node(nid).op.latency
+        for e in dfg.out_edges(nid):
+            hi = t[e.dst] - lat + e.dist * ii
+            if hi < t[nid]:
+                t[nid] = hi
+    for nid in t:
+        t[nid] = max(0, t[nid])
+    return t
+
+
+def heights(dfg: DFG) -> dict[int, int]:
+    """Longest path (in latency) from each node to any sink, dist-0 only.
+
+    The classic list-scheduling priority: schedule tall nodes first.
+    """
+    h = {nid: 0 for nid in dfg}
+    for nid in reversed(dfg.topo_order()):
+        lat = dfg.node(nid).op.latency
+        for e in dfg.out_edges(nid):
+            if e.dist == 0:
+                h[nid] = max(h[nid], h[e.dst] + lat)
+    return h
+
+
+def mobility(dfg: DFG, ii: int, horizon: int) -> dict[int, int]:
+    """ALAP - ASAP slack per node (0 = on the critical path)."""
+    lo = asap(dfg, ii)
+    hi = alap(dfg, ii, horizon)
+    return {nid: max(0, hi[nid] - lo[nid]) for nid in dfg}
+
+
+def priority_order(dfg: DFG, *, by: str = "height") -> list[int]:
+    """Compute nodes in scheduling order.
+
+    ``by="height"`` — topological order tie-broken by descending
+    height (critical-path first); ``by="topo"`` — plain deterministic
+    topological order.  Pseudo nodes are excluded (they consume no
+    fabric resources).
+    """
+    if by == "topo":
+        return [
+            n for n in dfg.topo_order() if not dfg.node(n).op.is_pseudo
+        ]
+    if by != "height":
+        raise ValueError(f"unknown order {by!r}")
+    # Kahn's algorithm with a max-height ready queue: topological over
+    # dist-0 edges, critical-path-first among the ready set.
+    import heapq
+
+    h = heights(dfg)
+    indeg = {nid: 0 for nid in dfg}
+    for e in dfg.edges():
+        if e.dist == 0:
+            indeg[e.dst] += 1
+    ready = [(-h[n], n) for n, d in indeg.items() if d == 0]
+    heapq.heapify(ready)
+    order: list[int] = []
+    while ready:
+        _, nid = heapq.heappop(ready)
+        if not dfg.node(nid).op.is_pseudo:
+            order.append(nid)
+        for e in dfg.out_edges(nid):
+            if e.dist == 0:
+                indeg[e.dst] -= 1
+                if indeg[e.dst] == 0:
+                    heapq.heappush(ready, (-h[e.dst], e.dst))
+    return order

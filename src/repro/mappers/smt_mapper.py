@@ -1,0 +1,261 @@
+"""SMT-based mapper (lazy DPLL(T)).
+
+Donovick et al. [44] map CGRAs with restricted routing networks via
+satisfiability modulo theories.  This implementation runs the classic
+*lazy* SMT loop on the adjacency-placement model:
+
+1. the Boolean skeleton — one ``x[v, c]`` literal per op/cell pair,
+   exactly-one per op, op-support and spatial-degree constraints — is
+   solved by the package's DPLL SAT solver;
+2. each Boolean model (a complete binding) goes to the **theory
+   solver**: scheduling as difference logic.  Adjacent producer/
+   consumer pairs pin exact time offsets (``t_v = t_u + 1`` modulo the
+   iteration distance), same-cell pairs allow register-file slack
+   (``t_v >= t_u + 1``), anything else is a theory conflict.  Equality
+   components collapse to single integer offsets; the residual
+   offset/fold problem is finite-domain and solved exactly;
+3. a theory conflict adds a blocking clause over the binding literals
+   and the loop resumes — until a model schedules or the skeleton is
+   exhausted (UNSAT: infeasibility proven within the model).
+
+Like the other exact mappers, ROUTE-insertion rounds recover multi-hop
+communication before the II escalates.
+
+Caveat: the loop enumerates at most ``max_models`` Boolean models per
+(II, round); when that budget is exhausted the mapper escalates even
+though an unexplored binding might have scheduled, so infeasibility is
+*proven* only when the skeleton itself goes UNSAT within the budget.
+On larger kernels this can yield a higher II than the eager ILP/SAT
+encodings (which explore bindings and schedules jointly) — the classic
+lazy-SMT trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.core.mapper import Mapper, MapperInfo
+from repro.core.mapping import Mapping
+from repro.core.registry import register
+from repro.ir.dfg import DFG
+from repro.mappers import adjplace
+from repro.mappers.regraph import split_dist0_edges
+from repro.solvers.csp import CSP, CSPTimeout, CSPUnsat
+from repro.solvers.sat import CNF, SatSolver
+
+__all__ = ["SMTMapper"]
+
+
+@register
+class SMTMapper(Mapper):
+    """Lazy SMT: SAT binding skeleton + difference-logic scheduling."""
+
+    info = MapperInfo(
+        name="smt",
+        family="exact",
+        subfamily="SMT",
+        kinds=("temporal",),
+        solves="binding+scheduling",
+        modeled_after="[44]",
+        year=2019,
+        exact=True,
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        max_models: int = 200,
+        max_route_rounds: int = 1,
+        offset_window: int | None = None,
+    ) -> None:
+        super().__init__(seed)
+        self.max_models = max_models
+        self.max_route_rounds = max_route_rounds
+        self.offset_window = offset_window
+
+    # ------------------------------------------------------------------
+    def _theory_schedule(
+        self, dfg: DFG, cgra: CGRA, ii: int, binding: dict[int, int]
+    ) -> dict[int, int] | None:
+        """Difference-logic scheduling for a fixed binding.
+
+        Returns issue cycles, or None on a theory conflict.
+        """
+        nodes = list(binding)
+        edges = adjplace.real_edges(dfg)
+
+        # Union-find over equality constraints (adjacent placements fix
+        # the relative offset of the endpoints exactly).
+        parent = {n: n for n in nodes}
+        delta = {n: 0 for n in nodes}  # t(n) - t(root)
+
+        def find(n):
+            if parent[n] == n:
+                return n, 0
+            root, off = find(parent[n])
+            parent[n] = root
+            delta[n] += off
+            return root, delta[n]
+
+        def union(a, b, diff):
+            """Impose t(b) - t(a) == diff; False on contradiction."""
+            ra, da = find(a)
+            rb, db = find(b)
+            if ra == rb:
+                return (db - da) == diff
+            parent[rb] = ra
+            delta[rb] = da + diff - db
+            return True
+
+        ineqs: list[tuple[int, int, int]] = []  # t(b) - t(a) >= w
+        for e in edges:
+            lat = dfg.node(e.src).op.latency
+            cu, cv = binding[e.src], binding[e.dst]
+            w = lat - e.dist * ii
+            if cu == cv:
+                if e.src == e.dst:
+                    if w > 0:
+                        return None  # recurrence tighter than II
+                    continue
+                ineqs.append((e.src, e.dst, w))
+            elif cgra.has_link(cu, cv):
+                if not union(e.src, e.dst, w):
+                    return None
+            else:
+                return None  # endpoints not reachable in this model
+
+        # Components: offset variables over a finite window.
+        comps: dict[int, list[int]] = {}
+        for n in nodes:
+            root, _ = find(n)
+            comps.setdefault(root, []).append(n)
+        window = (
+            self.offset_window
+            if self.offset_window is not None
+            else 2 * ii + len(nodes)
+        )
+        # Member time = comp offset + rel, and must be >= 0: the
+        # component's domain starts where all members are non-negative.
+        rel = {n: find(n)[1] for n in nodes}
+        csp = CSP(name="smt_theory")
+        for root, members in comps.items():
+            lo = max(-rel[m] for m in members)
+            csp.add_var(f"c{root}", range(lo, lo + window + 1))
+
+        for a, b, w in ineqs:
+            ra, rb = find(a)[0], find(b)[0]
+            if ra == rb:
+                if rel[b] - rel[a] < w:
+                    return None
+                continue
+            csp.add_constraint(
+                (f"c{ra}", f"c{rb}"),
+                lambda ta, tb, w=w, da=rel[a], db=rel[b]: (
+                    tb + db - ta - da >= w
+                ),
+            )
+
+        # Folded FU exclusivity between ops sharing a cell.
+        by_cell: dict[int, list[int]] = {}
+        for n in nodes:
+            by_cell.setdefault(binding[n], []).append(n)
+        for cell, members in by_cell.items():
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    ra, rb = find(a)[0], find(b)[0]
+                    if ra == rb:
+                        if (rel[a] - rel[b]) % ii == 0:
+                            return None
+                        continue
+                    csp.add_constraint(
+                        (f"c{ra}", f"c{rb}"),
+                        lambda ta, tb, da=rel[a], db=rel[b], ii=ii: (
+                            (ta + da - tb - db) % ii != 0
+                        ),
+                    )
+        try:
+            sol = csp.solve(node_limit=20_000)
+        except (CSPUnsat, CSPTimeout):
+            return None
+        return {
+            n: sol[f"c{find(n)[0]}"] + rel[n] for n in nodes
+        }
+
+    # ------------------------------------------------------------------
+    def _solve(
+        self, dfg: DFG, cgra: CGRA, ii: int
+    ) -> tuple[dict[int, int], dict[int, int]] | None:
+        nodes = [n.nid for n in dfg.nodes() if not n.op.is_pseudo]
+        cells = {
+            nid: [
+                c.cid for c in cgra.cells
+                if c.supports(dfg.node(nid).op)
+            ]
+            for nid in nodes
+        }
+        if any(not cs for cs in cells.values()):
+            return None
+        cnf = CNF()
+        var: dict[tuple[int, int], int] = {}
+        for nid in nodes:
+            lits = []
+            for c in cells[nid]:
+                v = cnf.new_var()
+                var[(nid, c)] = v
+                lits.append(v)
+            cnf.exactly_one(lits)
+        # Boolean-level pruning: endpoints of an edge must share a cell
+        # or be linked (the theory would reject anything else anyway).
+        for e in adjplace.real_edges(dfg):
+            if e.src == e.dst:
+                continue
+            for cu in cells[e.src]:
+                support = [
+                    var[(e.dst, cv)]
+                    for cv in cells[e.dst]
+                    if cv == cu or cgra.has_link(cu, cv)
+                ]
+                if support:
+                    cnf.implies_any(var[(e.src, cu)], support)
+                else:
+                    cnf.add(-var[(e.src, cu)])
+
+        for _ in range(self.max_models):
+            res = SatSolver(cnf).solve()
+            if not res.sat:
+                return None
+            binding = {
+                nid: c
+                for (nid, c), v in var.items()
+                if res.assignment[v]
+            }
+            schedule = self._theory_schedule(dfg, cgra, ii, binding)
+            if schedule is not None:
+                return binding, schedule
+            # Theory conflict: block this binding.
+            cnf.add(*(-var[(nid, c)] for nid, c in binding.items()))
+        return None
+
+    def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        attempts = 0
+        for ii_try in self.ii_range(dfg, cgra, ii):
+            for rounds in range(self.max_route_rounds + 1):
+                attempts += 1
+                work = (
+                    dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
+                )
+                solved = self._solve(work, cgra, ii_try)
+                if solved is None:
+                    continue
+                binding, schedule = solved
+                assign = {
+                    nid: (binding[nid], schedule[nid]) for nid in binding
+                }
+                mapping = adjplace.build_mapping(
+                    work, cgra, ii_try, assign, self.info.name
+                )
+                if not mapping.validate(raise_on_error=False):
+                    return mapping
+        raise self.fail(
+            f"SMT skeleton exhausted on {cgra.name}", attempts=attempts
+        )

@@ -1,0 +1,161 @@
+"""Shared machinery for spatial (binding-only) mappers.
+
+A spatial mapping dedicates one cell per operation — FPGA-style fully
+pipelined dataflow (§II-B "spatial computation").  What varies between
+the spatial mappers is how the binding is chosen; routing is common: a
+value crossing non-adjacent cells claims a chain of *free* cells as
+dedicated routers, each carrying exactly one value for the whole
+execution.
+
+:func:`route_spatial` performs that routing (BFS per edge, longest
+edges first, fan-out shares allowed); :func:`spatial_cost` is the
+wirelength + congestion objective the meta-heuristics minimise;
+:func:`finalize` bundles binding + routing into a validated
+:class:`~repro.core.mapping.Mapping`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.arch.cgra import CGRA
+from repro.arch.tec import ROUTE, Step
+from repro.core.mapping import Mapping
+from repro.ir.dfg import DFG, Edge
+
+__all__ = [
+    "route_spatial",
+    "spatial_cost",
+    "finalize",
+    "random_binding",
+    "candidate_cells",
+]
+
+
+def candidate_cells(dfg: DFG, cgra: CGRA, nid: int) -> list[int]:
+    op = dfg.node(nid).op
+    return [c.cid for c in cgra.cells if c.supports(op)]
+
+
+def random_binding(
+    dfg: DFG, cgra: CGRA, rng: random.Random
+) -> dict[int, int] | None:
+    """A random injective binding respecting op support, or None."""
+    binding: dict[int, int] = {}
+    used: set[int] = set()
+    nodes = [n.nid for n in dfg.nodes() if not n.op.is_pseudo]
+    # Most-constrained ops first (fewest candidate cells).
+    nodes.sort(key=lambda n: len(candidate_cells(dfg, cgra, n)))
+    for nid in nodes:
+        options = [c for c in candidate_cells(dfg, cgra, nid) if c not in used]
+        if not options:
+            return None
+        cell = rng.choice(options)
+        binding[nid] = cell
+        used.add(cell)
+    return binding
+
+
+def _routable_edges(dfg: DFG) -> list[Edge]:
+    return [
+        e
+        for e in dfg.edges()
+        if not dfg.node(e.src).op.is_pseudo
+        and not dfg.node(e.dst).op.is_pseudo
+    ]
+
+
+def spatial_cost(dfg: DFG, cgra: CGRA, binding: dict[int, int]) -> float:
+    """Wirelength proxy: sum over edges of (hop distance - 1)+.
+
+    Zero when every edge connects adjacent (or identical) cells — i.e.
+    no route cells are needed at all.
+    """
+    total = 0.0
+    for e in _routable_edges(dfg):
+        src, dst = binding[e.src], binding[e.dst]
+        if src == dst:
+            continue
+        total += max(0, cgra.distance(src, dst) - 1)
+    return total
+
+
+def route_spatial(
+    dfg: DFG, cgra: CGRA, binding: dict[int, int]
+) -> dict[Edge, list[Step]] | None:
+    """Claim route cells for every non-adjacent edge; None on failure.
+
+    Route cells must be free of operations and carry one value each;
+    edges of the same value may share cells (fan-out).  Edges are
+    routed longest-first (hardest first), each by BFS over usable
+    cells.
+    """
+    op_cells = set(binding.values())
+    owner: dict[int, int] = {}  # route cell -> value
+    routes: dict[Edge, list[Step]] = {}
+
+    edges = _routable_edges(dfg)
+    edges.sort(
+        key=lambda e: -cgra.distance(binding[e.src], binding[e.dst])
+    )
+    for e in edges:
+        src, dst = binding[e.src], binding[e.dst]
+        if src == dst or cgra.has_link(src, dst):
+            continue
+
+        def usable(cell: int, value: int) -> bool:
+            if cell in op_cells:
+                return False
+            held = owner.get(cell)
+            return held is None or held == value
+
+        # BFS from src's neighbours to a cell adjacent to dst.
+        prev: dict[int, int] = {}
+        q = deque()
+        for n in cgra.neighbors_out(src):
+            if usable(n, e.src) and n not in prev:
+                prev[n] = -1
+                q.append(n)
+        goal = None
+        while q:
+            cur = q.popleft()
+            if cgra.has_link(cur, dst):
+                goal = cur
+                break
+            for n in cgra.neighbors_out(cur):
+                if usable(n, e.src) and n not in prev:
+                    prev[n] = cur
+                    q.append(n)
+        if goal is None:
+            return None
+        chain: list[int] = []
+        cur = goal
+        while cur != -1:
+            chain.append(cur)
+            cur = prev[cur]
+        chain.reverse()
+        for cell in chain:
+            owner[cell] = e.src
+        routes[e] = [Step(cell, i, ROUTE) for i, cell in enumerate(chain)]
+    return routes
+
+
+def finalize(
+    dfg: DFG, cgra: CGRA, binding: dict[int, int], mapper: str
+) -> Mapping | None:
+    """Route the binding and return a valid Mapping, or None."""
+    routes = route_spatial(dfg, cgra, binding)
+    if routes is None:
+        return None
+    mapping = Mapping(
+        dfg,
+        cgra,
+        kind="spatial",
+        binding=dict(binding),
+        routes=routes,
+        mapper=mapper,
+    )
+    if mapping.validate(raise_on_error=False):
+        return None
+    return mapping

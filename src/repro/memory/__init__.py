@@ -1,0 +1,41 @@
+"""Data mapping (§III-C).
+
+"The interaction between the CGRA and the memory … defines the
+efficiency of the whole execution."  This package models the
+parameters the survey lists — number of banks, bandwidth, placement —
+and the register-file side:
+
+* :mod:`repro.memory.banks` — a multi-bank scratchpad with cyclic or
+  block interleaving and per-cycle conflict accounting [65]–[68];
+* :mod:`repro.memory.data_placement` — array-to-bank assignment that
+  minimises same-cycle conflicts for a given mapping (greedy colouring
+  of the conflict graph, with an exhaustive optimum for small cases);
+* :mod:`repro.memory.regalloc` — register allocation for the values a
+  mapping parks in register files: rotating-register-file allocation
+  (DRESC/ADRES style [29]) and unified-RF linear scan ([25]).
+"""
+
+from repro.memory.banks import BankedMemory, conflict_schedule
+from repro.memory.data_placement import (
+    access_conflict_graph,
+    greedy_bank_assignment,
+    optimal_bank_assignment,
+    stall_cycles,
+)
+from repro.memory.regalloc import (
+    RegisterAllocation,
+    allocate_registers,
+    register_pressure,
+)
+
+__all__ = [
+    "BankedMemory",
+    "RegisterAllocation",
+    "access_conflict_graph",
+    "allocate_registers",
+    "conflict_schedule",
+    "greedy_bank_assignment",
+    "optimal_bank_assignment",
+    "register_pressure",
+    "stall_cycles",
+]

@@ -1,0 +1,71 @@
+"""Multi-bank scratchpad model.
+
+A CGRA's data memory is split into banks that can each serve one
+access per cycle; two same-cycle accesses to the same bank *conflict*
+and stall the fabric.  Arrays are placed whole into banks (block
+placement) or word-interleaved across all banks (cyclic) — the two
+disciplines the multi-bank mapping papers [65]–[68] trade off.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["BankedMemory", "conflict_schedule"]
+
+
+@dataclass
+class BankedMemory:
+    """``n_banks`` single-ported banks with a placement policy.
+
+    ``placement`` maps array names to bank ids (block placement);
+    arrays absent from it are word-interleaved across all banks
+    (cyclic), in which case the accessed *address* selects the bank.
+    """
+
+    n_banks: int
+    placement: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_banks < 1:
+            raise ValueError("need at least one bank")
+        for name, bank in self.placement.items():
+            if not 0 <= bank < self.n_banks:
+                raise ValueError(
+                    f"array {name!r} placed in bank {bank}"
+                    f" of {self.n_banks}"
+                )
+
+    def bank_of(self, array: str, address: int = 0) -> int:
+        """Which bank serves an access to ``array[address]``."""
+        if array in self.placement:
+            return self.placement[array]
+        return address % self.n_banks
+
+    def conflicts(
+        self, accesses: list[tuple[str, int]]
+    ) -> int:
+        """Extra stall cycles for one cycle's worth of accesses.
+
+        ``k`` same-bank accesses serialise into ``k`` cycles: ``k - 1``
+        stalls each.  Different banks proceed in parallel.
+        """
+        banks = Counter(
+            self.bank_of(arr, addr) for arr, addr in accesses
+        )
+        return sum(k - 1 for k in banks.values() if k > 1)
+
+
+def conflict_schedule(
+    memory: BankedMemory,
+    per_cycle_accesses: list[list[tuple[str, int]]],
+) -> tuple[int, int]:
+    """(total stall cycles, total cycles) over an access trace.
+
+    ``per_cycle_accesses[t]`` lists the ``(array, address)`` accesses
+    issued at cycle ``t``; the returned total is ``len(trace) +
+    stalls``.
+    """
+    stalls = sum(memory.conflicts(acc) for acc in per_cycle_accesses)
+    return stalls, len(per_cycle_accesses) + stalls

@@ -1,0 +1,147 @@
+"""Array-to-bank placement driven by the mapping's access schedule.
+
+Given a modulo mapping, memory operations scheduled in the same cycle
+(mod II) contend if their arrays land in the same bank.  The placement
+problem is a colouring of the *conflict graph* — arrays as vertices,
+same-slot co-access counts as weighted edges — with banks as colours:
+
+* :func:`greedy_bank_assignment` — heaviest-edge-first greedy
+  colouring (what the multi-bank papers deploy at scale);
+* :func:`optimal_bank_assignment` — exhaustive optimum for small
+  array counts, used to measure the greedy gap;
+* :func:`stall_cycles` — the cost function both minimise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+from repro.core.mapping import Mapping
+from repro.memory.banks import BankedMemory
+
+__all__ = [
+    "access_conflict_graph",
+    "greedy_bank_assignment",
+    "optimal_bank_assignment",
+    "stall_cycles",
+    "slot_accesses",
+]
+
+
+def slot_accesses(mapping: Mapping) -> dict[int, list[str]]:
+    """Arrays accessed per schedule slot (cycle mod II)."""
+    ii = mapping.ii or max(1, mapping.schedule_length)
+    out: dict[int, list[str]] = defaultdict(list)
+    for node in mapping.dfg.nodes():
+        if not node.op.is_memory or node.nid not in mapping.schedule:
+            continue
+        slot = mapping.schedule[node.nid] % ii
+        out[slot].append(node.array or "?")
+    return dict(out)
+
+
+def access_conflict_graph(
+    mapping: Mapping,
+) -> dict[frozenset[str], int]:
+    """Weighted co-access counts between array pairs (same slot)."""
+    weights: dict[frozenset[str], int] = defaultdict(int)
+    for arrays in slot_accesses(mapping).values():
+        for a, b in itertools.combinations(sorted(arrays), 2):
+            if a != b:
+                weights[frozenset((a, b))] += 1
+    return dict(weights)
+
+
+def stall_cycles(
+    mapping: Mapping, memory: BankedMemory
+) -> int:
+    """Stalls per kernel iteration under the given bank placement.
+
+    Block-placed arrays (present in ``memory.placement``) serialise
+    all their same-slot accesses on one bank.  Cyclic-interleaved
+    arrays (absent from the placement) model the compiler-partitioned
+    layout of the conflict-free mapping line ([68]): the distinct
+    same-slot accesses of one array land on consecutive banks, so they
+    stall only when there are more of them than banks.
+    """
+    total = 0
+    for arrays in slot_accesses(mapping).values():
+        per_array_seq: dict[str, int] = {}
+        accesses = []
+        for a in arrays:
+            seq = per_array_seq.get(a, 0)
+            per_array_seq[a] = seq + 1
+            accesses.append((a, seq))
+        total += memory.conflicts(accesses)
+    return total
+
+
+def _arrays_of(mapping: Mapping) -> list[str]:
+    return sorted(
+        {
+            n.array or "?"
+            for n in mapping.dfg.nodes()
+            if n.op.is_memory
+        }
+    )
+
+
+def greedy_bank_assignment(
+    mapping: Mapping, n_banks: int
+) -> BankedMemory:
+    """Greedy conflict-graph colouring into ``n_banks`` banks.
+
+    Arrays that conflict *with themselves* (several same-slot accesses)
+    are left unplaced — i.e. cyclic-interleaved — because no whole-array
+    bank choice can separate intra-array accesses; everything else is
+    block-placed by heaviest-conflict-first colouring.
+    """
+    arrays = _arrays_of(mapping)
+    self_conflicting = set()
+    for arrs in slot_accesses(mapping).values():
+        for a in arrs:
+            if arrs.count(a) > 1:
+                self_conflicting.add(a)
+    arrays = [a for a in arrays if a not in self_conflicting]
+    weights = access_conflict_graph(mapping)
+    # Order arrays by total conflict weight, heaviest first.
+    score = {a: 0 for a in arrays}
+    for pair, w in weights.items():
+        for a in pair:
+            if a in score:  # cyclic arrays are out of the colouring
+                score[a] += w
+    placement: dict[str, int] = {}
+    for a in sorted(arrays, key=lambda x: -score[x]):
+        cost_per_bank = []
+        for bank in range(n_banks):
+            trial = BankedMemory(n_banks, {**placement, a: bank})
+            cost_per_bank.append((stall_cycles(mapping, trial), bank))
+        placement[a] = min(cost_per_bank)[1]
+    return BankedMemory(n_banks, placement)
+
+
+def optimal_bank_assignment(
+    mapping: Mapping, n_banks: int, *, max_arrays: int = 8
+) -> BankedMemory:
+    """Exhaustive optimum (small array counts only)."""
+    arrays = _arrays_of(mapping)
+    if len(arrays) > max_arrays:
+        raise ValueError(
+            f"{len(arrays)} arrays exceed the exhaustive limit"
+            f" ({max_arrays}); use greedy_bank_assignment"
+        )
+    best: tuple[int, BankedMemory] | None = None
+    # Option n_banks means "leave the array cyclic-interleaved".
+    for combo in itertools.product(
+        range(n_banks + 1), repeat=len(arrays)
+    ):
+        placement = {
+            a: b for a, b in zip(arrays, combo) if b < n_banks
+        }
+        mem = BankedMemory(n_banks, placement)
+        cost = stall_cycles(mapping, mem)
+        if best is None or cost < best[0]:
+            best = (cost, mem)
+    assert best is not None
+    return best[1]

@@ -1,0 +1,139 @@
+"""Register allocation for mapped loops.
+
+De Sutter et al. [29] showed register allocation on CGRAs is a
+placement-and-routing by-product: every HOLD step of a mapping is a
+value living in some cell's register file for one cycle.  This module
+turns a mapping's hold steps into per-cell lifetimes and allocates:
+
+* **rotating register files** [29] — in a modulo schedule a value
+  produced every II cycles with lifetime ``L`` needs
+  ``ceil(L / II)`` physical registers (successive iterations' copies
+  coexist); rotation renames them for free;
+* **unified register files** (URECA [25]) — one shared file; linear-
+  scan colouring of all lifetimes folded onto the II window.
+
+:func:`register_pressure` reports the per-cell per-slot demand the
+validator already bounds by ``rf_size``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.arch.tec import HOLD
+from repro.core.mapping import Mapping
+
+__all__ = ["RegisterAllocation", "allocate_registers", "register_pressure"]
+
+
+@dataclass
+class RegisterAllocation:
+    """Result of allocating a mapping's held values to registers.
+
+    ``registers[cell][value]`` is the list of physical register
+    indices the value occupies in that cell's file (one per live
+    iteration copy for rotating files).
+    """
+
+    mode: str
+    registers: dict[int, dict[int, list[int]]]
+    spills: int = 0
+
+    def per_cell_count(self) -> dict[int, int]:
+        return {
+            cell: max(
+                (r for regs in vals.values() for r in regs), default=-1
+            )
+            + 1
+            for cell, vals in self.registers.items()
+        }
+
+    @property
+    def total_registers(self) -> int:
+        return sum(self.per_cell_count().values())
+
+
+def _lifetimes(mapping: Mapping) -> dict[int, dict[int, tuple[int, int]]]:
+    """Per cell: value -> (first hold cycle, last hold cycle)."""
+    lives: dict[int, dict[int, tuple[int, int]]] = defaultdict(dict)
+    for edge, steps in mapping.routes.items():
+        for s in steps:
+            if s.kind != HOLD:
+                continue
+            prev = lives[s.cell].get(edge.src)
+            if prev is None:
+                lives[s.cell][edge.src] = (s.time, s.time)
+            else:
+                lives[s.cell][edge.src] = (
+                    min(prev[0], s.time),
+                    max(prev[1], s.time),
+                )
+    return lives
+
+
+def register_pressure(mapping: Mapping) -> dict[tuple[int, int], int]:
+    """Distinct held values per (cell, slot mod II)."""
+    ii = mapping.ii or max(1, mapping.schedule_length)
+    pressure: dict[tuple[int, int], set[int]] = defaultdict(set)
+    for edge, steps in mapping.routes.items():
+        for s in steps:
+            if s.kind == HOLD:
+                pressure[(s.cell, s.time % ii)].add(edge.src)
+    return {k: len(v) for k, v in pressure.items()}
+
+
+def allocate_registers(
+    mapping: Mapping, *, mode: str = "rotating"
+) -> RegisterAllocation:
+    """Allocate every held value to physical registers.
+
+    ``mode="rotating"``: per value, ``ceil(lifetime / II)`` registers;
+    values get disjoint register ranges per cell (the rotation handles
+    iteration renaming).  ``mode="unified"``: linear scan over the
+    II-folded interference: values whose folded hold slots overlap get
+    different registers.
+    """
+    if mapping.kind == "spatial":
+        return RegisterAllocation(mode, {})
+    ii = mapping.ii or max(1, mapping.schedule_length)
+    lives = _lifetimes(mapping)
+    registers: dict[int, dict[int, list[int]]] = {}
+
+    if mode == "rotating":
+        for cell, vals in lives.items():
+            nxt = 0
+            cell_regs: dict[int, list[int]] = {}
+            for value, (lo, hi) in sorted(vals.items()):
+                need = math.ceil((hi - lo + 1) / ii)
+                cell_regs[value] = list(range(nxt, nxt + need))
+                nxt += need
+            registers[cell] = cell_regs
+        return RegisterAllocation(mode, registers)
+
+    if mode == "unified":
+        for cell, vals in lives.items():
+            # Folded slot sets per value.
+            slots = {
+                value: {
+                    t % ii for t in range(lo, hi + 1)
+                }
+                for value, (lo, hi) in vals.items()
+            }
+            cell_regs = {}
+            assigned: list[tuple[set[int], int]] = []
+            for value in sorted(
+                slots, key=lambda v: -len(slots[v])
+            ):
+                reg = 0
+                while any(
+                    r == reg and s & slots[value] for s, r in assigned
+                ):
+                    reg += 1
+                assigned.append((slots[value], reg))
+                cell_regs[value] = [reg]
+            registers[cell] = cell_regs
+        return RegisterAllocation(mode, registers)
+
+    raise ValueError(f"unknown allocation mode {mode!r}")

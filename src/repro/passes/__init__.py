@@ -1,0 +1,34 @@
+"""Middle-end optimisation passes.
+
+Fig. 3's "middle-end: transformations, optimisations" stage.  Each
+pass takes a DFG and returns a new (or the same) DFG; all are
+semantics-preserving, which the test suite checks by interpreting
+before/after on random inputs.
+
+* :func:`constant_fold` — evaluate ops whose operands are constants;
+* :func:`algebraic_simplify` — identities (x+0, x*1, x*0, x<<0, …);
+* :func:`common_subexpression_elimination` — merge structurally equal
+  nodes;
+* :func:`dead_code_elimination` — drop nodes no OUTPUT/STORE needs;
+* :func:`unroll` — loop unrolling by a factor (carried edges rewired
+  across copies; the classic ILP-raising transform of Fig. 4's
+  timeline);
+* :func:`standard_pipeline` — fold → simplify → CSE → DCE, iterated to
+  a fixed point.
+"""
+
+from repro.passes.constfold import constant_fold
+from repro.passes.algebraic import algebraic_simplify
+from repro.passes.cse import common_subexpression_elimination
+from repro.passes.dce import dead_code_elimination
+from repro.passes.unroll import unroll
+from repro.passes.manager import standard_pipeline
+
+__all__ = [
+    "algebraic_simplify",
+    "common_subexpression_elimination",
+    "constant_fold",
+    "dead_code_elimination",
+    "standard_pipeline",
+    "unroll",
+]

@@ -1,0 +1,102 @@
+"""Algebraic simplification (strength-reduction identities)."""
+
+from __future__ import annotations
+
+from repro.ir.dfg import DFG, Op
+
+__all__ = ["algebraic_simplify"]
+
+
+def _const_operand(g: DFG, nid: int, port: int) -> int | None:
+    e = g.operand(nid, port)
+    if e is None or e.dist != 0:
+        return None
+    src = g.node(e.src)
+    return src.value if src.op is Op.CONST else None
+
+
+def _passthrough(g: DFG, nid: int, port: int) -> int | None:
+    """Operand source usable as a replacement (dist-0 edges only)."""
+    e = g.operand(nid, port)
+    if e is None or e.dist != 0:
+        return None
+    return e.src
+
+
+def algebraic_simplify(dfg: DFG) -> DFG:
+    """Apply identity rewrites until none fires.
+
+    Rules: ``x+0 -> x``, ``x-0 -> x``, ``x*1 -> x``, ``x*0 -> 0``,
+    ``x/1 -> x``, ``x<<0 / x>>0 -> x``, ``x&0 -> 0``, ``x|0 -> x``,
+    ``x^0 -> x``, ``x-x -> 0``, ``x^x -> 0`` (the last two only for
+    dist-0 same-source operands).
+    """
+    g = dfg.copy()
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(g.node_ids()):
+            if nid not in g:
+                continue
+            node = g.node(nid)
+            if node.pred is not None:
+                continue
+            repl: int | None = None
+            const_repl: int | None = None
+            c0 = _const_operand(g, nid, 0)
+            c1 = _const_operand(g, nid, 1)
+            e0 = g.operand(nid, 0)
+            e1 = g.operand(nid, 1)
+
+            if node.op is Op.ADD:
+                if c1 == 0:
+                    repl = _passthrough(g, nid, 0)
+                elif c0 == 0:
+                    repl = _passthrough(g, nid, 1)
+            elif node.op is Op.SUB:
+                if c1 == 0:
+                    repl = _passthrough(g, nid, 0)
+                elif (
+                    e0 is not None
+                    and e1 is not None
+                    and e0.src == e1.src
+                    and e0.dist == e1.dist == 0
+                ):
+                    const_repl = 0
+            elif node.op is Op.MUL:
+                if c1 == 1:
+                    repl = _passthrough(g, nid, 0)
+                elif c0 == 1:
+                    repl = _passthrough(g, nid, 1)
+                elif c1 == 0 or c0 == 0:
+                    const_repl = 0
+            elif node.op is Op.DIV:
+                if c1 == 1:
+                    repl = _passthrough(g, nid, 0)
+            elif node.op in (Op.SHL, Op.SHR):
+                if c1 == 0:
+                    repl = _passthrough(g, nid, 0)
+            elif node.op is Op.AND:
+                if c1 == 0 or c0 == 0:
+                    const_repl = 0
+            elif node.op in (Op.OR, Op.XOR):
+                if c1 == 0:
+                    repl = _passthrough(g, nid, 0)
+                elif c0 == 0:
+                    repl = _passthrough(g, nid, 1)
+                if (
+                    node.op is Op.XOR
+                    and e0 is not None
+                    and e1 is not None
+                    and e0.src == e1.src
+                    and e0.dist == e1.dist == 0
+                ):
+                    const_repl = 0
+
+            if const_repl is not None:
+                repl = g.const(const_repl)
+            if repl is not None:
+                g.rewire(nid, repl)
+                g.remove_node(nid)
+                changed = True
+    return g

@@ -1,0 +1,62 @@
+"""Constant folding."""
+
+from __future__ import annotations
+
+from repro.ir.dfg import DFG, Op
+from repro.ir.interp import _apply
+
+__all__ = ["constant_fold"]
+
+_FOLDABLE = {
+    op
+    for op in Op
+    if not op.is_pseudo
+    and not op.is_memory
+    and op not in (Op.PHI, Op.ROUTE)
+}
+
+
+def constant_fold(dfg: DFG) -> DFG:
+    """Replace ops whose dist-0 operands are all CONST with a CONST.
+
+    ``ROUTE`` of a constant is folded too.  Ops with loop-carried
+    operands are left alone (their value varies across iterations
+    during warm-up), as are predicated ops (their result depends on
+    the predicate).
+    """
+    g = dfg.copy()
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(g.node_ids()):
+            node = g.node(nid)
+            if node.pred is not None:
+                continue
+            if node.op is Op.ROUTE:
+                e = g.operand(nid, 0)
+                if e.dist == 0 and g.node(e.src).op is Op.CONST:
+                    val = g.node(e.src).value
+                else:
+                    continue
+            elif node.op in _FOLDABLE:
+                srcs = []
+                ok = True
+                for p in range(node.op.arity):
+                    e = g.operand(nid, p)
+                    if e.dist != 0 or g.node(e.src).op is not Op.CONST:
+                        ok = False
+                        break
+                    srcs.append(g.node(e.src).value)
+                if not ok:
+                    continue
+                try:
+                    val = _apply(node.op, srcs)
+                except ZeroDivisionError:
+                    continue  # preserve the runtime fault
+            else:
+                continue
+            c = g.const(val)
+            g.rewire(nid, c)
+            g.remove_node(nid)
+            changed = True
+    return g

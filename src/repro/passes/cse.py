@@ -1,0 +1,62 @@
+"""Common subexpression elimination."""
+
+from __future__ import annotations
+
+from repro.ir.dfg import DFG, Op
+
+__all__ = ["common_subexpression_elimination"]
+
+
+def _key(g: DFG, nid: int):
+    """Structural identity of a node, or None if not CSE-able.
+
+    Memory ops are never merged (two loads may see different stores
+    between them); predicated ops only merge with identical predicates
+    (conservatively skipped here).  Commutative ops sort operands.
+    """
+    node = g.node(nid)
+    if node.op.is_pseudo or node.op.is_memory or node.pred is not None:
+        return None
+    if node.op is Op.PHI:
+        return None
+
+    def src_key(src: int):
+        s = g.node(src)
+        if s.op is Op.CONST:
+            return ("const", s.value)
+        if s.op is Op.INPUT:
+            return ("input", s.name)
+        return src
+
+    ins = tuple(
+        (e.port, src_key(e.src), e.dist)
+        for e in sorted(g.in_edges(nid), key=lambda e: e.port)
+    )
+    if node.op.commutative:
+        ins = tuple(
+            sorted(((src, dist) for _, src, dist in ins), key=repr)
+        )
+    return (node.op, ins)
+
+
+def common_subexpression_elimination(dfg: DFG) -> DFG:
+    """Merge structurally identical nodes, iterating to a fixed point."""
+    g = dfg.copy()
+    changed = True
+    while changed:
+        changed = False
+        seen: dict = {}
+        for nid in g.topo_order():
+            if nid not in g:
+                continue
+            key = _key(g, nid)
+            if key is None:
+                continue
+            if key in seen:
+                keep = seen[key]
+                g.rewire(nid, keep)
+                g.remove_node(nid)
+                changed = True
+            else:
+                seen[key] = nid
+    return g

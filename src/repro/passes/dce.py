@@ -1,0 +1,35 @@
+"""Dead code elimination."""
+
+from __future__ import annotations
+
+from repro.ir.dfg import DFG, Op
+
+__all__ = ["dead_code_elimination"]
+
+
+def dead_code_elimination(dfg: DFG) -> DFG:
+    """Remove nodes that no OUTPUT or STORE transitively needs.
+
+    STOREs are side effects and therefore roots; INPUT nodes are kept
+    even when dead so the kernel's live-in signature is stable (a
+    mapper ignores them anyway — they are pseudo ops).
+    """
+    g = dfg.copy()
+    live: set[int] = set()
+    stack = [
+        n.nid
+        for n in g.nodes()
+        if n.op in (Op.OUTPUT, Op.STORE)
+    ]
+    while stack:
+        nid = stack.pop()
+        if nid in live:
+            continue
+        live.add(nid)
+        for e in g.in_edges(nid):
+            if e.src not in live:
+                stack.append(e.src)
+    for nid in list(g.node_ids()):
+        if nid not in live and g.node(nid).op is not Op.INPUT:
+            g.remove_node(nid)
+    return g

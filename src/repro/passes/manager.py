@@ -1,0 +1,46 @@
+"""Pass pipeline management."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.dfg import DFG
+from repro.passes.algebraic import algebraic_simplify
+from repro.passes.constfold import constant_fold
+from repro.passes.cse import common_subexpression_elimination
+from repro.passes.dce import dead_code_elimination
+
+__all__ = ["run_pipeline", "standard_pipeline"]
+
+Pass = Callable[[DFG], DFG]
+
+_STANDARD: list[Pass] = [
+    constant_fold,
+    algebraic_simplify,
+    common_subexpression_elimination,
+    dead_code_elimination,
+]
+
+
+def run_pipeline(
+    dfg: DFG, passes: list[Pass], *, max_rounds: int = 8
+) -> DFG:
+    """Run ``passes`` in order, repeating until the DFG stops changing.
+
+    Convergence is detected on the pretty-printed form (ids are stable
+    across non-mutating passes because every pass copies).
+    """
+    cur = dfg
+    for _ in range(max_rounds):
+        before = cur.pretty()
+        for p in passes:
+            cur = p(cur)
+        if cur.pretty() == before:
+            break
+    cur.check()
+    return cur
+
+
+def standard_pipeline(dfg: DFG) -> DFG:
+    """Fold -> simplify -> CSE -> DCE, to a fixed point."""
+    return run_pipeline(dfg, _STANDARD)

@@ -1,0 +1,28 @@
+"""Execution: cycle-accurate simulation and configuration generation.
+
+"Whether it be a context or an instruction, the importance from the
+compilation point of view is to know what to produce as the format
+defines the contract between the hardware and the software to reach a
+valid execution" (§II-B).  This package closes that loop:
+
+* :mod:`repro.sim.configgen` — turns a mapping into per-cell context
+  words (opcode, operand mux selects, immediate, write-enables), the
+  Fig. 2(c) artifact;
+* :mod:`repro.sim.machine` — executes a modulo mapping cycle by
+  cycle, overlapping iterations exactly as the schedule says, checks
+  memory-ordering hazards the sequential interpreter cannot see, and
+  is cross-checked against :class:`repro.ir.interp.DFGInterpreter`;
+* :mod:`repro.sim.archcompare` — the Fig. 1 trade-off models (CPU /
+  VLIW / CGRA / FPGA-like / ASIC-like) sharing one kernel suite.
+"""
+
+from repro.sim.configgen import ContextWord, generate_contexts, render_contexts
+from repro.sim.machine import SimResult, simulate_mapping
+
+__all__ = [
+    "ContextWord",
+    "SimResult",
+    "generate_contexts",
+    "render_contexts",
+    "simulate_mapping",
+]

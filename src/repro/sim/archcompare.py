@@ -1,0 +1,156 @@
+"""The Fig. 1 trade-off, quantified.
+
+Fig. 1 (after Liu et al. [3]) places architecture classes on a
+flexibility / performance / energy-efficiency triangle.  This module
+executes the *same kernel suite* under five architecture models so the
+triangle's shape can be regenerated from numbers rather than redrawn:
+
+* **CPU** — one op per cycle, sequential issue (a single-issue scalar
+  core);
+* **VLIW** — ``width`` ops per cycle, but operands move only through a
+  shared register file (no spatial forwarding; the §II-C contrast:
+  "VLIW processors share data through a register file only");
+* **CGRA** — a modulo mapping on the reference 4x4 array (this
+  package's subject);
+* **FPGA-like** — fully spatial pipeline: II = 1 whenever a spatial
+  mapping exists, plus a large reconfiguration cost;
+* **ASIC-like** — idealised dataflow: II = 1 always, no flexibility.
+
+Energy proxy: active units per iteration x a per-class cost weight
+(control/decode overhead), normalised so the shapes — not absolute
+joules — carry the comparison.  Flexibility: 1 - (retarget cost /
+worst case), with CPU=1 by construction and ASIC=0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch import presets
+from repro.core.exceptions import MapFailure
+from repro.core.registry import create
+from repro.ir import kernels
+from repro.ir.dfg import DFG
+
+__all__ = ["ArchPoint", "compare_architectures", "DEFAULT_SUITE"]
+
+DEFAULT_SUITE = [
+    "dot_product",
+    "vector_add",
+    "fir4",
+    "sobel_x",
+    "sad",
+    "if_select",
+]
+
+#: Per-active-unit energy weight: instruction fetch/decode overhead for
+#: processors, near-zero control for hardwired datapaths.
+ENERGY_WEIGHT = {
+    "CPU": 3.0,
+    "VLIW": 2.0,
+    "CGRA": 1.0,
+    "FPGA": 0.8,
+    "ASIC": 0.4,
+}
+
+#: Retargeting cost (normalised): how hard is running a *new* kernel.
+FLEXIBILITY = {
+    "CPU": 1.0,
+    "VLIW": 0.9,
+    "CGRA": 0.6,
+    "FPGA": 0.3,
+    "ASIC": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class ArchPoint:
+    """One architecture's aggregate over the kernel suite."""
+
+    name: str
+    performance: float        #: mean iterations per cycle
+    energy_per_iter: float    #: mean weighted active units per iter
+    flexibility: float
+
+    @property
+    def efficiency(self) -> float:
+        """Performance per energy — the survey's energy-efficiency axis."""
+        return self.performance / self.energy_per_iter
+
+
+def _cpu_cycles_per_iter(dfg: DFG) -> float:
+    return float(dfg.op_count())
+
+
+def _vliw_cycles_per_iter(dfg: DFG, width: int = 4) -> float:
+    """List schedule with `width` slots, latency-constrained."""
+    from repro.mappers.schedule import asap
+
+    t = asap(dfg, ii=10**6)  # plain dependence levels
+    levels: dict[int, int] = {}
+    for node in dfg.nodes():
+        if node.op.is_pseudo:
+            continue
+        levels[t[node.nid]] = levels.get(t[node.nid], 0) + 1
+    cycles = sum(math.ceil(n / width) for n in levels.values())
+    return float(max(cycles, 1))
+
+
+def compare_architectures(
+    suite: list[str] | None = None,
+    *,
+    cgra_mapper: str = "list_sched",
+    vliw_width: int = 4,
+) -> list[ArchPoint]:
+    """Run the suite under every model; returns one point per class."""
+    names = suite or DEFAULT_SUITE
+    cgra = presets.simple_cgra(4, 4)
+    perf: dict[str, list[float]] = {k: [] for k in ENERGY_WEIGHT}
+    energy: dict[str, list[float]] = {k: [] for k in ENERGY_WEIGHT}
+
+    for kname in names:
+        dfg = kernels.kernel(kname)
+        ops = dfg.op_count()
+
+        cpu_c = _cpu_cycles_per_iter(dfg)
+        perf["CPU"].append(1.0 / cpu_c)
+        energy["CPU"].append(ops * ENERGY_WEIGHT["CPU"])
+
+        vliw_c = _vliw_cycles_per_iter(dfg, vliw_width)
+        perf["VLIW"].append(1.0 / vliw_c)
+        energy["VLIW"].append(ops * ENERGY_WEIGHT["VLIW"])
+
+        try:
+            m = create(cgra_mapper).map(dfg, cgra)
+            active = ops + m.route_step_count()
+            perf["CGRA"].append(1.0 / m.ii)
+            energy["CGRA"].append(active * ENERGY_WEIGHT["CGRA"])
+        except MapFailure:
+            perf["CGRA"].append(1.0 / ops)  # fall back to host
+            energy["CGRA"].append(ops * ENERGY_WEIGHT["CPU"])
+
+        # FPGA-like: spatial pipeline when it fits.
+        try:
+            sm = create("graph_drawing").map(dfg, cgra)
+            active = ops + sm.route_step_count()
+            perf["FPGA"].append(1.0)
+            energy["FPGA"].append(active * ENERGY_WEIGHT["FPGA"])
+        except MapFailure:
+            perf["FPGA"].append(1.0 / ops)
+            energy["FPGA"].append(ops * ENERGY_WEIGHT["CPU"])
+
+        perf["ASIC"].append(1.0)
+        energy["ASIC"].append(ops * ENERGY_WEIGHT["ASIC"])
+
+    out = []
+    for name in ("CPU", "VLIW", "CGRA", "FPGA", "ASIC"):
+        out.append(
+            ArchPoint(
+                name=name,
+                performance=sum(perf[name]) / len(perf[name]),
+                energy_per_iter=sum(energy[name]) / len(energy[name]),
+                flexibility=FLEXIBILITY[name],
+            )
+        )
+    return out

@@ -1,0 +1,245 @@
+"""A finite-domain constraint satisfaction solver.
+
+Backs the CP mapper (Table I "CSP -> CP", Raffin et al.).  Variables
+have explicit finite domains; constraints are predicates over variable
+scopes.  The solver runs:
+
+* **AC-3** arc consistency as a preprocessing step (binary
+  constraints),
+* backtracking search with **MRV** (minimum remaining values) variable
+  ordering, **least-constraining-value** ordering, and **forward
+  checking** over constraints whose scope is fully/almost assigned.
+
+``AllDifferent`` gets a dedicated pruning rule (a value assigned to one
+variable leaves the domains of its peers).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+__all__ = ["CSP", "CSPUnsat", "CSPTimeout"]
+
+Value = Hashable
+
+
+class CSPUnsat(Exception):
+    """The constraint problem has no solution."""
+
+
+class CSPTimeout(Exception):
+    """Search exceeded its budget before finding a solution."""
+
+
+@dataclass
+class _Constraint:
+    scope: tuple[str, ...]
+    pred: Callable[..., bool]
+    name: str = ""
+
+
+class CSP:
+    """A finite-domain CSP.
+
+    Example::
+
+        csp = CSP()
+        csp.add_var("x", range(4))
+        csp.add_var("y", range(4))
+        csp.add_constraint(("x", "y"), lambda x, y: x < y)
+        sol = csp.solve()
+    """
+
+    def __init__(self, name: str = "csp") -> None:
+        self.name = name
+        self.domains: dict[str, list[Value]] = {}
+        self.constraints: list[_Constraint] = []
+        self._alldiff_groups: list[list[str]] = []
+        self.stats_nodes = 0
+
+    # ------------------------------------------------------------------
+    def add_var(self, name: str, domain: Iterable[Value]) -> None:
+        if name in self.domains:
+            raise ValueError(f"duplicate variable {name!r}")
+        dom = list(domain)
+        if not dom:
+            raise CSPUnsat(f"variable {name!r} has an empty domain")
+        self.domains[name] = dom
+
+    def add_constraint(
+        self,
+        scope: Sequence[str],
+        pred: Callable[..., bool],
+        name: str = "",
+    ) -> None:
+        """``pred(*values)`` must hold for the variables in ``scope``."""
+        for v in scope:
+            if v not in self.domains:
+                raise KeyError(f"unknown variable {v!r}")
+        self.constraints.append(_Constraint(tuple(scope), pred, name))
+
+    def add_all_different(self, scope: Sequence[str]) -> None:
+        """All variables in ``scope`` take pairwise distinct values."""
+        for v in scope:
+            if v not in self.domains:
+                raise KeyError(f"unknown variable {v!r}")
+        self._alldiff_groups.append(list(scope))
+
+    # ------------------------------------------------------------------
+    def _ac3(self, domains: dict[str, list[Value]]) -> bool:
+        """Arc consistency over binary constraints; False if wiped out."""
+        binary = [c for c in self.constraints if len(c.scope) == 2]
+        if not binary:
+            return True
+        arcs: list[tuple[str, str, _Constraint]] = []
+        for c in binary:
+            x, y = c.scope
+            arcs.append((x, y, c))
+            arcs.append((y, x, c))
+        queue = list(arcs)
+        neighbours: dict[str, list[tuple[str, str, _Constraint]]] = {}
+        for arc in arcs:
+            neighbours.setdefault(arc[1], []).append(arc)
+
+        def consistent(c: _Constraint, x: str, vx: Value, y: str, vy: Value):
+            if c.scope == (x, y):
+                return c.pred(vx, vy)
+            return c.pred(vy, vx)
+
+        while queue:
+            x, y, c = queue.pop()
+            revised = False
+            keep = []
+            for vx in domains[x]:
+                if any(consistent(c, x, vx, y, vy) for vy in domains[y]):
+                    keep.append(vx)
+                else:
+                    revised = True
+            if revised:
+                domains[x] = keep
+                if not keep:
+                    return False
+                queue.extend(
+                    a for a in neighbours.get(x, []) if a[0] != y
+                )
+        return True
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        *,
+        node_limit: int = 1_000_000,
+        time_limit: float | None = None,
+        use_ac3: bool = True,
+    ) -> dict[str, Value]:
+        """Find one solution; raises :class:`CSPUnsat` / :class:`CSPTimeout`."""
+        domains = {v: list(d) for v, d in self.domains.items()}
+        if use_ac3 and not self._ac3(domains):
+            raise CSPUnsat(f"{self.name}: AC-3 wiped out a domain")
+
+        self.stats_nodes = 0
+        t0 = time.perf_counter()
+        assignment: dict[str, Value] = {}
+
+        by_var: dict[str, list[_Constraint]] = {v: [] for v in domains}
+        for c in self.constraints:
+            for v in c.scope:
+                by_var[v].append(c)
+        diff_peers: dict[str, list[str]] = {v: [] for v in domains}
+        for group in self._alldiff_groups:
+            for v in group:
+                diff_peers[v].extend(u for u in group if u != v)
+
+        def check(var: str, val: Value) -> bool:
+            """Constraints on ``var`` whose scope is now fully assigned."""
+            for c in by_var[var]:
+                vals = []
+                ok = True
+                for u in c.scope:
+                    if u == var:
+                        vals.append(val)
+                    elif u in assignment:
+                        vals.append(assignment[u])
+                    else:
+                        ok = False
+                        break
+                if ok and not c.pred(*vals):
+                    return False
+            for peer in diff_peers[var]:
+                if assignment.get(peer) == val:
+                    return False
+            return True
+
+        def forward(var: str, val: Value) -> dict[str, list[Value]] | None:
+            """Prune future domains; None on wipe-out."""
+            pruned: dict[str, list[Value]] = {}
+            # AllDifferent pruning.
+            for peer in diff_peers[var]:
+                if peer in assignment:
+                    continue
+                if val in domains[peer]:
+                    pruned.setdefault(peer, []).append(val)
+            # Binary-constraint forward checking.
+            for c in by_var[var]:
+                if len(c.scope) != 2:
+                    continue
+                other = c.scope[0] if c.scope[1] == var else c.scope[1]
+                if other in assignment or other == var:
+                    continue
+                for vo in domains[other]:
+                    if vo in pruned.get(other, []):
+                        continue
+                    args = (
+                        (val, vo) if c.scope[0] == var else (vo, val)
+                    )
+                    if not c.pred(*args):
+                        pruned.setdefault(other, []).append(vo)
+            for u, removed in pruned.items():
+                if len(removed) == len(domains[u]):
+                    return None
+            for u, removed in pruned.items():
+                dom = domains[u]
+                for r in removed:
+                    dom.remove(r)
+            return pruned
+
+        def undo(pruned: dict[str, list[Value]]) -> None:
+            for u, removed in pruned.items():
+                domains[u].extend(removed)
+
+        def select_var() -> str | None:
+            best = None
+            best_size = None
+            for v, dom in domains.items():
+                if v in assignment:
+                    continue
+                if best_size is None or len(dom) < best_size:
+                    best, best_size = v, len(dom)
+            return best
+
+        def backtrack() -> bool:
+            self.stats_nodes += 1
+            if self.stats_nodes > node_limit:
+                raise CSPTimeout(f"{self.name}: node limit")
+            if time_limit is not None and time.perf_counter() - t0 > time_limit:
+                raise CSPTimeout(f"{self.name}: time limit")
+            var = select_var()
+            if var is None:
+                return True
+            for val in list(domains[var]):
+                if not check(var, val):
+                    continue
+                assignment[var] = val
+                pruned = forward(var, val)
+                if pruned is not None:
+                    if backtrack():
+                        return True
+                    undo(pruned)
+                del assignment[var]
+            return False
+
+        if backtrack():
+            return dict(assignment)
+        raise CSPUnsat(f"{self.name}: exhausted search space")

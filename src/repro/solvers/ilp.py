@@ -1,0 +1,256 @@
+"""A small integer linear programming solver.
+
+Branch and bound over LP relaxations solved by
+:func:`scipy.optimize.linprog` (HiGHS).  Designed for the mapping
+formulations in :mod:`repro.mappers` — dense 0/1 models with a few
+thousand variables at most — not as a general-purpose MILP engine.
+
+Model form (minimisation)::
+
+    minimise     c @ x
+    subject to   A_ub @ x <= b_ub
+                 A_eq @ x == b_eq
+                 lb <= x <= ub,   x[i] integer for i in integers
+
+Search strategy: best-first on the relaxation bound with most-
+fractional branching; an initial depth-first dive finds an incumbent
+early so the bound can prune.  Node and time limits make the solver
+safe to embed in the II-search loops of the exact mappers.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = ["ILP", "ILPResult", "ILPStatus"]
+
+_INT_TOL = 1e-6
+
+
+class ILPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NODE_LIMIT = "node_limit"   #: best incumbent returned, not proven
+    TIME_LIMIT = "time_limit"   #: best incumbent returned, not proven
+
+
+@dataclass
+class ILPResult:
+    status: ILPStatus
+    x: np.ndarray | None = None
+    objective: float | None = None
+    nodes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """A feasible (possibly unproven-optimal) solution exists."""
+        return self.x is not None
+
+
+class ILP:
+    """Incrementally built 0/1 / bounded-integer linear program.
+
+    Example::
+
+        ilp = ILP()
+        x = [ilp.add_var(f"x{i}", lb=0, ub=1) for i in range(3)]
+        ilp.add_constraint({x[0]: 1, x[1]: 1, x[2]: 1}, "==", 1)
+        ilp.set_objective({x[0]: 3.0, x[1]: 1.0, x[2]: 2.0})
+        res = ilp.solve()
+    """
+
+    def __init__(self, name: str = "ilp") -> None:
+        self.name = name
+        self._names: list[str] = []
+        self._lb: list[float] = []
+        self._ub: list[float] = []
+        self._integer: list[bool] = []
+        self._obj: dict[int, float] = {}
+        # Constraints as (coeffs dict, sense, rhs).
+        self._cons: list[tuple[dict[int, float], str, float]] = []
+
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str | None = None,
+        *,
+        lb: float = 0.0,
+        ub: float = 1.0,
+        integer: bool = True,
+    ) -> int:
+        """Add a variable; returns its index."""
+        idx = len(self._names)
+        self._names.append(name or f"v{idx}")
+        self._lb.append(lb)
+        self._ub.append(ub)
+        self._integer.append(integer)
+        return idx
+
+    @property
+    def n_vars(self) -> int:
+        return len(self._names)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self._cons)
+
+    def add_constraint(
+        self, coeffs: dict[int, float], sense: str, rhs: float
+    ) -> None:
+        """Add ``sum(coeffs[i] * x[i]) <sense> rhs``; sense in <=, >=, ==."""
+        if sense not in ("<=", ">=", "=="):
+            raise ValueError(f"bad sense {sense!r}")
+        if not coeffs:
+            raise ValueError("empty constraint")
+        self._cons.append((dict(coeffs), sense, rhs))
+
+    def set_objective(self, coeffs: dict[int, float]) -> None:
+        """Minimisation objective (empty = pure feasibility problem)."""
+        self._obj = dict(coeffs)
+
+    # ------------------------------------------------------------------
+    def _matrices(self):
+        n = self.n_vars
+        c = np.zeros(n)
+        for i, v in self._obj.items():
+            c[i] = v
+        rows_ub, rhs_ub, rows_eq, rhs_eq = [], [], [], []
+        for coeffs, sense, rhs in self._cons:
+            row = np.zeros(n)
+            for i, v in coeffs.items():
+                row[i] = v
+            if sense == "<=":
+                rows_ub.append(row)
+                rhs_ub.append(rhs)
+            elif sense == ">=":
+                rows_ub.append(-row)
+                rhs_ub.append(-rhs)
+            else:
+                rows_eq.append(row)
+                rhs_eq.append(rhs)
+        A_ub = np.array(rows_ub) if rows_ub else None
+        b_ub = np.array(rhs_ub) if rhs_ub else None
+        A_eq = np.array(rows_eq) if rows_eq else None
+        b_eq = np.array(rhs_eq) if rhs_eq else None
+        return c, A_ub, b_ub, A_eq, b_eq
+
+    def solve(
+        self,
+        *,
+        node_limit: int = 200_000,
+        time_limit: float | None = None,
+    ) -> ILPResult:
+        """Run branch and bound; returns an :class:`ILPResult`."""
+        c, A_ub, b_ub, A_eq, b_eq = self._matrices()
+        lb = np.array(self._lb, dtype=float)
+        ub = np.array(self._ub, dtype=float)
+        int_mask = np.array(self._integer, dtype=bool)
+        t0 = time.perf_counter()
+
+        def relax(lo: np.ndarray, hi: np.ndarray):
+            res = linprog(
+                c,
+                A_ub=A_ub,
+                b_ub=b_ub,
+                A_eq=A_eq,
+                b_eq=b_eq,
+                bounds=np.column_stack([lo, hi]),
+                method="highs",
+            )
+            return res
+
+        root = relax(lb, ub)
+        if root.status == 2:  # infeasible
+            return ILPResult(ILPStatus.INFEASIBLE, nodes=1)
+        if root.status == 3:  # unbounded
+            return ILPResult(ILPStatus.UNBOUNDED, nodes=1)
+
+        best_x: np.ndarray | None = None
+        best_obj = np.inf
+        nodes = 0
+        # Heap entries: (bound, tiebreak, lo, hi, x_relax)
+        counter = 0
+        heap: list = [(root.fun, counter, lb, ub, root.x)]
+
+        def fractional_var(x: np.ndarray) -> int | None:
+            frac = np.abs(x - np.round(x))
+            frac[~int_mask] = 0.0
+            j = int(np.argmax(frac))
+            return j if frac[j] > _INT_TOL else None
+
+        while heap:
+            nodes += 1
+            if nodes > node_limit:
+                return ILPResult(
+                    ILPStatus.NODE_LIMIT, best_x, _obj_or_none(best_obj),
+                    nodes,
+                )
+            if time_limit is not None and time.perf_counter() - t0 > time_limit:
+                return ILPResult(
+                    ILPStatus.TIME_LIMIT, best_x, _obj_or_none(best_obj),
+                    nodes,
+                )
+            bound, _, lo, hi, x = heapq.heappop(heap)
+            if bound >= best_obj - 1e-9:
+                continue  # pruned
+            j = fractional_var(x)
+            if j is None:
+                # Integral solution.
+                xi = np.where(int_mask, np.round(x), x)
+                obj = float(c @ xi)
+                if obj < best_obj - 1e-9:
+                    best_obj = obj
+                    best_x = xi
+                continue
+            # Branch on floor/ceil of x[j].
+            for lo2, hi2 in _branches(lo, hi, j, x[j]):
+                res = relax(lo2, hi2)
+                if res.status == 0 and res.fun < best_obj - 1e-9:
+                    counter += 1
+                    heapq.heappush(
+                        heap, (res.fun, counter, lo2, hi2, res.x)
+                    )
+
+        if best_x is None:
+            return ILPResult(ILPStatus.INFEASIBLE, nodes=nodes)
+        return ILPResult(ILPStatus.OPTIMAL, best_x, best_obj, nodes)
+
+    # ------------------------------------------------------------------
+    def value(self, result: ILPResult, idx: int) -> float:
+        """Variable value in a result (0.0 if result has no solution)."""
+        if result.x is None:
+            return 0.0
+        return float(result.x[idx])
+
+    def __repr__(self) -> str:
+        return (
+            f"ILP({self.name!r}, vars={self.n_vars},"
+            f" cons={self.n_constraints})"
+        )
+
+
+def _branches(lo, hi, j, xj):
+    """Floor and ceil child bounds for branching variable ``j``."""
+    import math
+
+    lo_a, hi_a = lo.copy(), hi.copy()
+    hi_a[j] = math.floor(xj)
+    lo_b, hi_b = lo.copy(), hi.copy()
+    lo_b[j] = math.ceil(xj)
+    out = []
+    if lo_a[j] <= hi_a[j]:
+        out.append((lo_a, hi_a))
+    if lo_b[j] <= hi_b[j]:
+        out.append((lo_b, hi_b))
+    return out
+
+
+def _obj_or_none(obj: float):
+    return None if obj == np.inf else obj

@@ -1,0 +1,220 @@
+"""A DPLL SAT solver with watched literals.
+
+Backs the SAT-based mapper (Table I, "CSP -> SAT", Miyasaka et al.).
+Plain iterative DPLL: two-watched-literal unit propagation,
+activity-bumped branching (a light VSIDS), and chronological
+backtracking.  Small and predictable; the mapping encodings it serves
+are a few thousand variables.
+
+Literals are non-zero integers in DIMACS convention: ``+v`` is the
+positive literal of variable ``v`` (1-based), ``-v`` its negation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+__all__ = ["CNF", "SatSolver", "SatResult"]
+
+
+@dataclass
+class SatResult:
+    sat: bool
+    assignment: dict[int, bool] | None = None  #: var -> value when sat
+    conflicts: int = 0
+    decisions: int = 0
+
+
+class CNF:
+    """A CNF formula builder with the standard mapping-encoding helpers."""
+
+    def __init__(self) -> None:
+        self.n_vars = 0
+        self.clauses: list[list[int]] = []
+        self._names: dict[str, int] = {}
+
+    def new_var(self, name: str | None = None) -> int:
+        """Allocate a fresh variable (returns its 1-based index)."""
+        self.n_vars += 1
+        if name is not None:
+            if name in self._names:
+                raise ValueError(f"duplicate variable name {name!r}")
+            self._names[name] = self.n_vars
+        return self.n_vars
+
+    def var(self, name: str) -> int:
+        return self._names[name]
+
+    def add(self, *lits: int) -> None:
+        """Add one clause (a disjunction of literals)."""
+        if not lits:
+            raise ValueError("empty clause makes the formula trivially unsat")
+        for l in lits:
+            if l == 0 or abs(l) > self.n_vars:
+                raise ValueError(f"literal {l} out of range")
+        self.clauses.append(list(lits))
+
+    def at_most_one(self, lits: list[int]) -> None:
+        """Pairwise AMO encoding (fine for the small groups we emit)."""
+        for a, b in combinations(lits, 2):
+            self.add(-a, -b)
+
+    def exactly_one(self, lits: list[int]) -> None:
+        self.add(*lits)
+        self.at_most_one(lits)
+
+    def implies(self, a: int, b: int) -> None:
+        """a -> b."""
+        self.add(-a, b)
+
+    def implies_all(self, a: int, bs: list[int]) -> None:
+        for b in bs:
+            self.implies(a, b)
+
+    def implies_any(self, a: int, bs: list[int]) -> None:
+        """a -> (b1 | b2 | ...)."""
+        self.add(-a, *bs)
+
+
+class SatSolver:
+    """Iterative DPLL over a :class:`CNF`."""
+
+    def __init__(self, cnf: CNF) -> None:
+        self.cnf = cnf
+        self.n = cnf.n_vars
+
+    def solve(self, *, conflict_limit: int | None = None) -> SatResult:
+        n = self.n
+        clauses = [list(c) for c in self.cnf.clauses]
+        # assignment[v] in {None, True, False}; trail for backtracking.
+        assign: list[bool | None] = [None] * (n + 1)
+        level_of: list[int] = [0] * (n + 1)
+        trail: list[int] = []  # literals in assignment order
+        trail_lim: list[int] = []  # trail length at each decision level
+        activity = [0.0] * (n + 1)
+
+        # Two-watched-literal scheme.
+        watches: dict[int, list[int]] = {}  # literal -> clause indices
+        for ci, cl in enumerate(clauses):
+            if len(cl) == 1:
+                continue
+            for lit in cl[:2]:
+                watches.setdefault(lit, []).append(ci)
+
+        def value(lit: int) -> bool | None:
+            v = assign[abs(lit)]
+            if v is None:
+                return None
+            return v if lit > 0 else not v
+
+        def enqueue(lit: int, level: int) -> bool:
+            v = abs(lit)
+            val = lit > 0
+            if assign[v] is not None:
+                return assign[v] == val
+            assign[v] = val
+            level_of[v] = level
+            trail.append(lit)
+            return True
+
+        conflicts = 0
+        decisions = 0
+
+        def propagate(level: int) -> bool:
+            """Unit propagation; False on conflict."""
+            head = 0 if not trail else len(trail) - 1
+            # Process newly enqueued literals.
+            queue_start = len(trail_lim) and trail_lim[-1] or 0
+            i = self._prop_head
+            while i < len(trail):
+                lit = trail[i]
+                i += 1
+                neg = -lit
+                wl = watches.get(neg, [])
+                j = 0
+                while j < len(wl):
+                    ci = wl[j]
+                    cl = clauses[ci]
+                    # Ensure neg is cl[1] (watch the other as cl[0]).
+                    if cl[0] == neg:
+                        cl[0], cl[1] = cl[1], cl[0]
+                    if value(cl[0]) is True:
+                        j += 1
+                        continue
+                    # Find a new literal to watch.
+                    moved = False
+                    for k in range(2, len(cl)):
+                        if value(cl[k]) is not False:
+                            cl[1], cl[k] = cl[k], cl[1]
+                            watches.setdefault(cl[1], []).append(ci)
+                            wl[j] = wl[-1]
+                            wl.pop()
+                            moved = True
+                            break
+                    if moved:
+                        continue
+                    # Clause is unit or conflicting on cl[0].
+                    if value(cl[0]) is False:
+                        self._prop_head = len(trail)
+                        for l in cl:
+                            activity[abs(l)] += 1.0
+                        return False
+                    enqueue(cl[0], level)
+                    j += 1
+            self._prop_head = len(trail)
+            return True
+
+        # Assert unit clauses at level 0.
+        self._prop_head = 0
+        for cl in clauses:
+            if len(cl) == 1:
+                if not enqueue(cl[0], 0):
+                    return SatResult(False, conflicts=0)
+        if not propagate(0):
+            return SatResult(False, conflicts=1)
+
+        level = 0
+        while True:
+            # Pick an unassigned variable with max activity.
+            pick = 0
+            best = -1.0
+            for v in range(1, n + 1):
+                if assign[v] is None and activity[v] >= best:
+                    best = activity[v]
+                    pick = v
+            if pick == 0:
+                model = {v: bool(assign[v]) for v in range(1, n + 1)}
+                return SatResult(True, model, conflicts, decisions)
+
+            decisions += 1
+            level += 1
+            trail_lim.append(len(trail))
+            enqueue(pick, level)  # try True first
+
+            while not propagate(level):
+                conflicts += 1
+                if conflict_limit is not None and conflicts > conflict_limit:
+                    return SatResult(False, None, conflicts, decisions)
+                # Backtrack to the most recent level whose decision
+                # literal still has its flip untried.  We encode "flip
+                # tried" by the sign of the stored decision literal.
+                while True:
+                    if level == 0:
+                        return SatResult(False, None, conflicts, decisions)
+                    # Undo to the start of this level.
+                    limit = trail_lim[-1]
+                    decision_lit = trail[limit]
+                    for l in trail[limit:]:
+                        assign[abs(l)] = None
+                    del trail[limit:]
+                    trail_lim.pop()
+                    level -= 1
+                    self._prop_head = len(trail)
+                    if decision_lit > 0:
+                        # Flip to False at the parent level.
+                        level += 1
+                        trail_lim.append(len(trail))
+                        enqueue(-decision_lit, level)
+                        break
+                    # Both polarities failed: keep unwinding.

@@ -1,0 +1,36 @@
+"""The survey's own dataset.
+
+The paper's primary artifacts are a classification (Table I) and a
+timeline (Fig. 4) over the literature it cites.  This package holds
+that citation list as structured data
+(:mod:`repro.survey.bibliography`), regenerates the classification
+(:mod:`repro.survey.taxonomy` — both the literature table and the
+*executable* table drawn from the mapper registry), and regenerates
+the publications-per-year timeline with its era annotations
+(:mod:`repro.survey.timeline`).
+"""
+
+from repro.survey.bibliography import BIBLIOGRAPHY, Work, by_year, works_with
+from repro.survey.taxonomy import (
+    executable_table1,
+    literature_table1,
+    render_table1,
+)
+from repro.survey.timeline import (
+    ERA_MARKERS,
+    publications_per_year,
+    render_timeline,
+)
+
+__all__ = [
+    "BIBLIOGRAPHY",
+    "ERA_MARKERS",
+    "Work",
+    "by_year",
+    "executable_table1",
+    "literature_table1",
+    "publications_per_year",
+    "render_table1",
+    "render_timeline",
+    "works_with",
+]

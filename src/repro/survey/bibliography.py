@@ -1,0 +1,192 @@
+"""Structured bibliography of the surveyed mapping literature.
+
+One :class:`Work` per mapping-focused citation of the paper, with the
+metadata the survey's artifacts are built from:
+
+* ``table1`` — the cells of Table I the citation appears in, as
+  ``(row, column)`` pairs with rows in {``spatial``, ``temporal``,
+  ``binding``, ``scheduling``} and columns in {``heuristic``,
+  ``population``, ``local_search``, ``ilp_bb``, ``csp``};
+* ``features`` — the Fig. 4 era tags (``modulo_scheduling``,
+  ``full_predication``, ``partial_predication``, ``dual_issue``,
+  ``direct_mapping``, ``loop_unrolling``, ``memory_aware``,
+  ``polyhedral``, ``hardware_loops``).
+
+Citation keys are the survey's own reference numbers, so every entry
+can be checked against the paper's Table I and reference list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Work", "BIBLIOGRAPHY", "by_year", "works_with"]
+
+ROWS = ("spatial", "temporal", "binding", "scheduling")
+COLUMNS = ("heuristic", "population", "local_search", "ilp_bb", "csp")
+
+
+@dataclass(frozen=True)
+class Work:
+    key: int                 #: citation number in the survey
+    name: str                #: short handle (system or first author)
+    year: int
+    technique: str           #: one-line description of the method
+    table1: tuple[tuple[str, str], ...] = ()
+    features: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        for row, col in self.table1:
+            if row not in ROWS or col not in COLUMNS:
+                raise ValueError(
+                    f"[{self.key}] bad Table I cell ({row}, {col})"
+                )
+
+
+def _w(key, name, year, technique, table1=(), features=()):
+    return Work(
+        key, name, year, technique,
+        tuple(table1), frozenset(features),
+    )
+
+
+#: The mapping-focused works the survey cites, with its classification.
+BIBLIOGRAPHY: tuple[Work, ...] = (
+    _w(12, "Bondalapati-loops", 1998, "loop mapping heuristic",
+       [("temporal", "heuristic")],
+       ["modulo_scheduling", "loop_unrolling"]),
+    _w(13, "Bondalapati-DCS", 2001, "data context switching for nested loops",
+       features=["loop_unrolling"]),
+    _w(14, "DRAA", 2003, "template-based binding for generic ALU arrays",
+       [("binding", "heuristic")]),
+    _w(15, "Guo-ILP-sync", 2021, "ILP with data-arrival synchronisers",
+       [("binding", "ilp_bb"), ("scheduling", "ilp_bb")]),
+    _w(16, "UltraFast", 2021, "ultra-fast greedy scheduling for run-time use",
+       [("temporal", "heuristic")]),
+    _w(17, "Miyasaka-SAT", 2021, "SAT encoding of DFG-on-CGRA",
+       [("temporal", "csp")]),
+    _w(19, "GenMap", 2020, "genetic algorithm spatial mapping",
+       [("spatial", "population")]),
+    _w(20, "DeSutter-regalloc", 2008,
+       "P&R-based register allocation on DRESC",
+       features=["modulo_scheduling"]),
+    _w(22, "DRESC", 2002, "modulo scheduling + simulated annealing",
+       [("temporal", "local_search")], ["modulo_scheduling"]),
+    _w(23, "Yoon-graph-drawing", 2009, "graph-drawing spatial mapper + ILP",
+       [("spatial", "heuristic"), ("spatial", "ilp_bb")]),
+    _w(24, "Das-scalable", 2016,
+       "stochastically pruned partial solutions",
+       [("binding", "heuristic"), ("scheduling", "heuristic")]),
+    _w(25, "URECA", 2018, "unified register file allocation"),
+    _w(26, "HiMap", 2021, "hierarchical mapping of repetitive loop patterns",
+       [("temporal", "heuristic")], ["modulo_scheduling"]),
+    _w(27, "graph-minor", 2014, "DFG as graph minor of the space-time graph",
+       [("temporal", "heuristic")]),
+    _w(28, "EPIMap", 2012, "epimorphic graph extension",
+       [("binding", "heuristic"), ("scheduling", "heuristic")],
+       ["modulo_scheduling"]),
+    _w(29, "DeSutter-rotating", 2008,
+       "rotating register files via placement and routing",
+       features=["modulo_scheduling"]),
+    _w(30, "Hatanaka-SA", 2007, "SA modulo scheduling for an array template",
+       [("spatial", "heuristic"), ("binding", "local_search")],
+       ["modulo_scheduling"]),
+    _w(31, "ChordMap", 2021, "streaming application mapping",
+       [("spatial", "heuristic")]),
+    _w(32, "DSAGEN", 2020, "spatial accelerator synthesis, SA mapping",
+       [("spatial", "local_search")]),
+    _w(33, "SNAFU", 2021, "energy-minimal CGRA generation, SA mapping",
+       [("spatial", "local_search")]),
+    _w(34, "Chin-ILP", 2018, "architecture-agnostic ILP mapping",
+       [("spatial", "ilp_bb")]),
+    _w(35, "Nowatzki-constraint", 2013,
+       "general constraint-centric spatial scheduling",
+       [("spatial", "ilp_bb")]),
+    _w(36, "Zhao-robust", 2020, "robust modulo scheduling",
+       [("temporal", "heuristic"), ("scheduling", "heuristic")],
+       ["modulo_scheduling"]),
+    _w(37, "EMS", 2008, "edge-centric modulo scheduling",
+       [("temporal", "heuristic")], ["modulo_scheduling"]),
+    _w(38, "RAMP", 2018, "resource-aware remapping via max clique",
+       [("temporal", "heuristic")], ["modulo_scheduling"]),
+    _w(39, "Gu-stress", 2018, "stress-aware multi-map reconfiguration",
+       [("temporal", "heuristic")]),
+    _w(40, "Traversal", 2021, "fast adaptive graph-based P&R",
+       [("temporal", "heuristic")]),
+    _w(41, "Brenner-ILP", 2006,
+       "optimal simultaneous scheduling, binding and routing",
+       [("temporal", "ilp_bb")]),
+    _w(42, "DNestMap", 2018, "branch-and-bound for deeply nested loops",
+       [("temporal", "ilp_bb")]),
+    _w(43, "Raffin-CP", 2010, "constraint programming mapping",
+       [("temporal", "csp")]),
+    _w(44, "Donovick-SMT", 2019, "SMT with restricted routing networks",
+       [("temporal", "csp")]),
+    _w(45, "Yin-affine", 2015, "joint affine transform + loop pipelining",
+       [("binding", "heuristic")], ["polyhedral", "modulo_scheduling"]),
+    _w(46, "REGIMap", 2013, "register-aware mapping via clique",
+       [("binding", "heuristic"), ("scheduling", "heuristic")],
+       ["modulo_scheduling"]),
+    _w(47, "Peyret-backward", 2014,
+       "backward simultaneous scheduling/binding",
+       [("binding", "heuristic")]),
+    _w(48, "Lee-QEA", 2011, "quantum-inspired evolutionary mapping",
+       [("binding", "population"), ("binding", "ilp_bb"),
+        ("scheduling", "heuristic")]),
+    _w(49, "SPR", 2009, "architecture-adaptive SA + PathFinder",
+       [("binding", "local_search")]),
+    _w(50, "rotated-parallel", 2014, "rotated parallel mapping",
+       [("binding", "local_search"), ("scheduling", "heuristic")],
+       ["memory_aware"]),
+    _w(51, "Bansal-PEconfig", 2003, "PE configuration analysis",
+       [("scheduling", "heuristic")]),
+    _w(52, "CRIMSON", 2020, "randomised iterative modulo scheduling",
+       [("scheduling", "heuristic")], ["modulo_scheduling"]),
+    _w(53, "Mu-routability", 2021, "routability-enhanced scheduling",
+       [("scheduling", "ilp_bb")]),
+    _w(54, "Das-IPA", 2019, "energy-efficient array + compilation flow",
+       features=["direct_mapping"]),
+    _w(55, "dynamic-II", 2021, "dual-issue pipeline for irregular branches",
+       features=["dual_issue"]),
+    _w(56, "Anido-guarded", 2002, "guarded instructions / pseudo branches",
+       features=["full_predication"]),
+    _w(57, "Chang-Choi", 2008, "control-intensive kernel mapping",
+       features=["partial_predication"]),
+    _w(58, "branch-aware", 2014, "dual-issue single execution",
+       features=["dual_issue"]),
+    _w(59, "4D-CGRA", 2019, "branch dimension in spatio-temporal mapping",
+       features=["dual_issue", "modulo_scheduling"]),
+    _w(60, "Das-CDFG", 2017, "direct CDFG mapping",
+       features=["direct_mapping"]),
+    _w(61, "Mei-modulo", 2003, "loop-level parallelism via modulo scheduling",
+       features=["modulo_scheduling"]),
+    _w(62, "LASER", 2018, "HW/SW accelerated complicated loops",
+       features=["hardware_loops"]),
+    _w(63, "Sunny-hwloop", 2021, "hardware-based loop optimisation",
+       features=["hardware_loops"]),
+    _w(64, "Vadivel-loop", 2017, "loop overhead reduction",
+       features=["hardware_loops"]),
+    _w(65, "Li-partitioning", 2021, "memory partitioning + subtask generation",
+       features=["memory_aware"]),
+    _w(66, "Kim-memopt", 2011, "memory access optimisation in compilation",
+       features=["memory_aware"]),
+    _w(67, "Zhao-placement", 2018, "multi-bank data placement",
+       features=["memory_aware"]),
+    _w(68, "Yin-conflict-free", 2017, "conflict-free multi-bank loop mapping",
+       features=["memory_aware"]),
+    _w(74, "RL-mapping", 2019, "deep reinforcement learning mapping",
+       features=["modulo_scheduling"]),
+)
+
+
+def by_year() -> dict[int, list[Work]]:
+    """Works grouped by publication year (ascending)."""
+    out: dict[int, list[Work]] = {}
+    for w in BIBLIOGRAPHY:
+        out.setdefault(w.year, []).append(w)
+    return dict(sorted(out.items()))
+
+
+def works_with(feature: str) -> list[Work]:
+    """Works tagged with a Fig. 4 era feature."""
+    return [w for w in BIBLIOGRAPHY if feature in w.features]

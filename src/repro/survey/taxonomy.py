@@ -1,0 +1,118 @@
+"""Table I, regenerated two ways.
+
+* :func:`literature_table1` — from the structured bibliography: which
+  citations sit in which (row, column) cell, matching the survey's
+  printed table;
+* :func:`executable_table1` — from the live mapper registry: which
+  *implementations in this package* sit in each cell.  The paper's
+  classification and the code classify through the same axes, so the
+  tables can be compared cell by cell (the Table I benchmark does).
+"""
+
+from __future__ import annotations
+
+from repro.survey.bibliography import BIBLIOGRAPHY, COLUMNS, ROWS
+
+__all__ = [
+    "COLUMN_TITLES",
+    "ROW_TITLES",
+    "executable_table1",
+    "literature_table1",
+    "render_table1",
+]
+
+ROW_TITLES = {
+    "spatial": "Spatial mapping",
+    "temporal": "Temporal mapping",
+    "binding": "Binding",
+    "scheduling": "Scheduling",
+}
+
+COLUMN_TITLES = {
+    "heuristic": "Heuristics",
+    "population": "Meta (population)",
+    "local_search": "Meta (local search)",
+    "ilp_bb": "ILP / B&B",
+    "csp": "CSP (CP/SAT/SMT)",
+}
+
+Table = dict[str, dict[str, list[str]]]
+
+
+def _empty() -> Table:
+    return {row: {col: [] for col in COLUMNS} for row in ROWS}
+
+
+def literature_table1() -> Table:
+    """The survey's Table I cells, as citation labels."""
+    table = _empty()
+    for work in BIBLIOGRAPHY:
+        for row, col in work.table1:
+            table[row][col].append(f"[{work.key}]")
+    for row in table.values():
+        for cell in row.values():
+            cell.sort(key=lambda s: int(s.strip("[]")))
+    return table
+
+
+def _registry_cell(meta: dict) -> tuple[str, str]:
+    """(row, column) of one registered mapper."""
+    solves = meta["solves"]
+    kinds = meta["kinds"]
+    if "spatial" in kinds:
+        row = "spatial"
+    elif solves == "binding":
+        row = "binding"
+    elif solves == "scheduling":
+        row = "scheduling"
+    else:
+        row = "temporal"
+    family = meta["family"]
+    sub = meta["subfamily"]
+    if family == "heuristic":
+        col = "heuristic"
+    elif family == "metaheuristic":
+        col = "population" if sub in ("GA", "QEA") else "local_search"
+    else:  # exact
+        col = "csp" if sub in ("SAT", "CP", "SMT") else "ilp_bb"
+    return row, col
+
+
+def executable_table1() -> Table:
+    """Table I over this package's registered mappers."""
+    from repro.core.registry import catalog
+
+    table = _empty()
+    for name, meta in catalog().items():
+        row, col = _registry_cell(meta)
+        table[row][col].append(name)
+    for row in table.values():
+        for cell in row.values():
+            cell.sort()
+    return table
+
+
+def render_table1(table: Table, *, title: str = "Table I") -> str:
+    """ASCII rendering with the survey's row/column headings."""
+    col_keys = list(COLUMNS)
+    headers = ["" ] + [COLUMN_TITLES[c] for c in col_keys]
+    rows = []
+    for row_key in ROWS:
+        cells = [ROW_TITLES[row_key]]
+        for c in col_keys:
+            cells.append(", ".join(table[row_key][c]) or "-")
+        rows.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells):
+        return " | ".join(
+            c.ljust(w) for c, w in zip(cells, widths)
+        ).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, fmt(headers), sep]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Cell model tests."""
+
+from repro.arch.cell import ALL_OPS, ALU_OPS, CellKind, make_cell
+from repro.ir.dfg import Op
+
+
+def test_alu_cell_supports_alu_not_memory():
+    c = make_cell(0, 0, 0, CellKind.ALU)
+    assert c.supports(Op.ADD)
+    assert c.supports(Op.MUL)
+    assert not c.supports(Op.LOAD)
+    assert not c.supports(Op.STORE)
+
+
+def test_mem_cell_supports_memory_only():
+    c = make_cell(0, 0, 0, CellKind.MEM)
+    assert c.supports(Op.LOAD)
+    assert not c.supports(Op.ADD)
+    assert c.has_memory_port
+
+
+def test_alu_mem_cell_supports_everything():
+    c = make_cell(0, 0, 0, CellKind.ALU_MEM)
+    assert all(c.supports(op) for op in ALL_OPS)
+
+
+def test_route_cell_supports_only_route_and_pseudo():
+    c = make_cell(0, 0, 0, CellKind.ROUTE)
+    assert c.supports(Op.ROUTE)
+    assert c.supports(Op.CONST)
+    assert not c.supports(Op.ADD)
+    assert not c.is_compute
+
+
+def test_pseudo_ops_supported_everywhere():
+    for kind in CellKind:
+        c = make_cell(0, 0, 0, kind)
+        assert c.supports(Op.CONST)
+        assert c.supports(Op.INPUT)
+        assert c.supports(Op.OUTPUT)
+
+
+def test_constant_field_range():
+    c = make_cell(0, 0, 0, CellKind.ALU, const_width=8)
+    assert c.can_hold_constant(127)
+    assert c.can_hold_constant(-128)
+    assert not c.can_hold_constant(128)
+    zero_width = make_cell(1, 0, 0, CellKind.ALU, const_width=0)
+    assert not zero_width.can_hold_constant(0)
+
+
+def test_describe_mentions_kind_and_coords():
+    c = make_cell(5, 1, 1, CellKind.ALU_MEM)
+    d = c.describe()
+    assert "cell5" in d and "(1,1)" in d and "mem" in d

@@ -1,0 +1,93 @@
+"""TEC and MRRG space-time graph tests."""
+
+import pytest
+
+from repro.arch import presets
+from repro.arch.mrrg import MRRG
+from repro.arch.tec import HOLD, ROUTE, Step, TEC
+
+
+@pytest.fixture
+def cgra():
+    return presets.simple_cgra(2, 2)
+
+
+def test_tec_node_count(cgra):
+    tec = TEC(cgra, horizon=5)
+    assert tec.n_nodes() == 4 * 5
+    assert len(list(tec.nodes())) == 20
+
+
+def test_tec_slot_is_identity(cgra):
+    tec = TEC(cgra, horizon=4)
+    assert tec.wrap is None
+    assert tec.slot(3) == 3
+
+
+def test_tec_bad_horizon(cgra):
+    with pytest.raises(ValueError):
+        TEC(cgra, horizon=0)
+
+
+def test_readable_from_includes_self_and_neighbors(cgra):
+    tec = TEC(cgra)
+    # Cell 0 of a 2x2 mesh links to 1 (right) and 2 (down).
+    assert tec.readable_from(0) == [0, 1, 2]
+    assert set(tec.emitters_into(0)) == {0, 1, 2}
+
+
+def test_successors_are_one_cycle_later(cgra):
+    tec = TEC(cgra, horizon=10)
+    steps = list(tec.successors(0, 3))
+    assert all(s.time == 4 for s in steps)
+    kinds = {(s.cell, s.kind) for s in steps}
+    assert (0, ROUTE) in kinds
+    assert (1, ROUTE) in kinds
+    assert (0, HOLD) in kinds
+    assert (3, ROUTE) not in kinds  # diagonal not linked on a mesh
+
+
+def test_successors_stop_at_horizon(cgra):
+    tec = TEC(cgra, horizon=4)
+    assert list(tec.successors(0, 3)) == []
+
+
+def test_can_consume_semantics(cgra):
+    tec = TEC(cgra)
+    emit = Step(0, 2, ROUTE)
+    assert tec.can_consume(emit, 0)
+    assert tec.can_consume(emit, 1)
+    assert not tec.can_consume(emit, 3)
+    hold = Step(0, 2, HOLD)
+    assert tec.can_consume(hold, 0)
+    assert not tec.can_consume(hold, 1)
+
+
+def test_mrrg_slot_wraps(cgra):
+    m = MRRG(cgra, ii=3)
+    assert m.wrap == 3
+    assert m.slot(0) == 0
+    assert m.slot(3) == 0
+    assert m.slot(7) == 1
+    assert m.n_slots() == 12
+
+
+def test_mrrg_bounds(cgra):
+    with pytest.raises(ValueError, match="II"):
+        MRRG(cgra, ii=0)
+    with pytest.raises(ValueError, match="context"):
+        MRRG(cgra, ii=cgra.n_contexts + 1)
+
+
+def test_mrrg_default_horizon_scales_with_ii(cgra):
+    m = MRRG(cgra, ii=2)
+    assert m.horizon == 16
+    m2 = MRRG(cgra, ii=2, horizon=6)
+    assert m2.horizon == 6
+
+
+def test_mrrg_successors_like_tec(cgra):
+    m = MRRG(cgra, ii=2, horizon=8)
+    steps = list(m.successors(3, 0))
+    cells = {s.cell for s in steps}
+    assert cells == {3, 1, 2}

@@ -1,0 +1,65 @@
+"""Topology generator tests, including symmetry properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.topology import TOPOLOGIES, topology_links
+
+
+def test_unknown_topology_raises():
+    with pytest.raises(KeyError, match="unknown topology"):
+        topology_links("hypercube", 2, 2)
+
+
+def test_bad_dimensions_raise():
+    with pytest.raises(ValueError):
+        topology_links("mesh", 0, 4)
+
+
+def test_mesh_link_count():
+    # 4x4 mesh: 2 * (3*4 + 4*3) = 48 directed links.
+    assert len(topology_links("mesh", 4, 4)) == 48
+
+
+def test_torus_adds_wraparound():
+    links = topology_links("torus", 4, 4)
+    assert (3, 0) in links          # row wrap: (3,0) -> (0,0)
+    assert (12, 0) in links         # column wrap
+    assert len(links) == 64         # every cell has degree 4
+
+
+def test_diagonal_includes_corners():
+    links = topology_links("diagonal", 3, 3)
+    assert (0, 4) in links  # (0,0) -> (1,1)
+    assert (4, 0) in links
+
+
+def test_one_hop_has_express_lanes():
+    links = topology_links("one_hop", 4, 1)
+    assert (0, 2) in links
+    assert (0, 1) in links
+    assert (0, 3) not in links
+
+
+def test_ring_is_a_cycle():
+    links = topology_links("ring", 2, 2)
+    assert (3, 0) in links and (0, 3) in links
+    assert len(links) == 8
+
+
+def test_crossbar_is_complete():
+    links = topology_links("crossbar", 2, 2)
+    assert len(links) == 12  # 4*3 ordered pairs
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+@given(w=st.integers(1, 5), h=st.integers(1, 5))
+@settings(max_examples=15, deadline=None)
+def test_all_topologies_symmetric_and_in_range(name, w, h):
+    links = topology_links(name, w, h)
+    n = w * h
+    for src, dst in links:
+        assert 0 <= src < n and 0 <= dst < n
+        assert src != dst
+        assert (dst, src) in links  # all generators emit symmetric links

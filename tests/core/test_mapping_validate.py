@@ -1,0 +1,361 @@
+"""Validator tests: hand-built mappings, valid and broken in every way.
+
+These tests pin the execution model: an op emits at the end of its
+cycle; neighbours read it next cycle; route/hold steps cost one cycle
+each and occupy FU/bypass/RF resources folded modulo II.
+"""
+
+import pytest
+
+from repro.arch import presets
+from repro.arch.tec import HOLD, ROUTE, Step
+from repro.core.exceptions import ValidationError
+from repro.core.mapping import Mapping
+from repro.ir.dfg import DFG, Op
+from repro.ir.kernels import dot_product
+
+
+@pytest.fixture
+def cgra():
+    return presets.simple_cgra(2, 2)  # cells 0,1 / 2,3 mesh
+
+
+def two_op_dfg():
+    """x -> NEG -> ABS -> out."""
+    g = DFG("two")
+    x = g.input("x")
+    a = g.add(Op.NEG, x)
+    b = g.add(Op.ABS, a)
+    g.output(b, "y")
+    return g, a, b
+
+
+def test_minimal_valid_modulo_mapping(cgra):
+    g, a, b = two_op_dfg()
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 1},
+        schedule={a: 0, b: 1},
+        ii=2,
+    )
+    assert m.validate() == []
+    assert m.is_valid
+    assert m.schedule_length == 2
+
+
+def test_same_cell_chain_valid(cgra):
+    g, a, b = two_op_dfg()
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 0},
+        schedule={a: 0, b: 1},
+        ii=2,
+    )
+    assert m.is_valid
+
+
+def test_unbound_node_reported(cgra):
+    g, a, b = two_op_dfg()
+    m = Mapping(g, cgra, kind="modulo", binding={a: 0},
+                schedule={a: 0, b: 1}, ii=2)
+    v = m.validate(raise_on_error=False)
+    assert any("not bound" in s for s in v)
+    with pytest.raises(ValidationError):
+        m.validate()
+
+
+def test_unsupported_cell_reported():
+    cgra = presets.heterogeneous(4, 4)  # cell 0 is MEM-only
+    g, a, b = two_op_dfg()
+    m = Mapping(g, cgra, kind="modulo", binding={a: 0, b: 1},
+                schedule={a: 0, b: 1}, ii=2)
+    v = m.validate(raise_on_error=False)
+    assert any("cannot execute" in s for s in v)
+
+
+def test_consumer_before_producer_rejected(cgra):
+    g, a, b = two_op_dfg()
+    m = Mapping(g, cgra, kind="modulo", binding={a: 0, b: 1},
+                schedule={a: 1, b: 0}, ii=4)
+    v = m.validate(raise_on_error=False)
+    assert any("before the value exists" in s for s in v)
+
+
+def test_non_adjacent_consumer_needs_route(cgra):
+    g, a, b = two_op_dfg()
+    # Cells 0 and 3 are diagonal: not linked on a mesh.
+    m = Mapping(g, cgra, kind="modulo", binding={a: 0, b: 3},
+                schedule={a: 0, b: 1}, ii=4)
+    v = m.validate(raise_on_error=False)
+    assert any("not adjacent" in s for s in v)
+
+
+def test_route_step_fixes_non_adjacency(cgra):
+    g, a, b = two_op_dfg()
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 3},
+        schedule={a: 0, b: 2},
+        routes={e: [Step(1, 1, ROUTE)]},
+        ii=4,
+    )
+    assert m.validate() == []
+    assert m.route_step_count() == 1
+
+
+def test_route_path_length_must_cover_gap(cgra):
+    g, a, b = two_op_dfg()
+    m = Mapping(g, cgra, kind="modulo", binding={a: 0, b: 1},
+                schedule={a: 0, b: 3}, ii=8)
+    v = m.validate(raise_on_error=False)
+    assert any("path must cover" in s for s in v)
+
+
+def test_hold_steps_bridge_time_gap(cgra):
+    g, a, b = two_op_dfg()
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 0},
+        schedule={a: 0, b: 3},
+        routes={e: [Step(0, 1, HOLD), Step(0, 2, HOLD)]},
+        ii=8,
+    )
+    assert m.validate() == []
+
+
+def test_hold_readable_only_locally(cgra):
+    g, a, b = two_op_dfg()
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 1},
+        schedule={a: 0, b: 3},
+        routes={e: [Step(0, 1, HOLD), Step(0, 2, HOLD)]},
+        ii=8,
+    )
+    v = m.validate(raise_on_error=False)
+    assert any("not readable" in s for s in v)
+
+
+def test_hold_must_stay_on_same_cell(cgra):
+    g, a, b = two_op_dfg()
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 1},
+        schedule={a: 0, b: 2},
+        routes={e: [Step(1, 1, HOLD)]},
+        ii=8,
+    )
+    v = m.validate(raise_on_error=False)
+    assert any("HOLD must stay" in s for s in v)
+
+
+def test_fu_conflict_same_slot(cgra):
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.NEG, x)
+    b = g.add(Op.ABS, x)
+    m = Mapping(g, cgra, kind="modulo", binding={a: 0, b: 0},
+                schedule={a: 0, b: 2}, ii=2)  # 2 mod 2 == 0: clash
+    v = m.validate(raise_on_error=False)
+    assert any("FU conflict" in s for s in v)
+
+
+def test_route_conflicts_with_op_when_fu_shared(cgra):
+    assert cgra.route_shares_fu
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.NEG, x)    # producer
+    b = g.add(Op.ABS, a)    # far consumer, needs route via cell 1
+    c = g.add(Op.NOT, x)    # op occupying the route cell at route time
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 3, c: 1},
+        schedule={a: 0, b: 2, c: 1},
+        routes={e: [Step(1, 1, ROUTE)]},
+        ii=4,
+    )
+    v = m.validate(raise_on_error=False)
+    assert any("cannot route" in s for s in v)
+
+
+def test_bypass_fabric_allows_route_next_to_op():
+    cgra = presets.hycube_like(4, 4)  # route_shares_fu=False
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.NEG, x)
+    b = g.add(Op.ABS, a)
+    c = g.add(Op.NOT, x)
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 8, c: 4},
+        schedule={a: 0, b: 2, c: 1},
+        routes={e: [Step(4, 1, ROUTE)]},
+        ii=4,
+    )
+    assert m.validate() == []
+
+
+def test_modulo_fold_route_vs_op():
+    """Route at t=4 with II=4 clashes with an op at t=0 on that cell."""
+    cgra = presets.simple_cgra(4, 1)  # a 4-cell row
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.NEG, x)
+    b = g.add(Op.ABS, a)
+    blocker = g.add(Op.NOT, x)
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 2, blocker: 1},
+        schedule={a: 3, b: 5, blocker: 0},
+        routes={e: [Step(1, 4, ROUTE)]},  # slot 0 on cell 1 = blocker
+        ii=4,
+    )
+    v = m.validate(raise_on_error=False)
+    assert any("cannot route" in s for s in v)
+
+
+def test_rf_capacity_enforced():
+    cgra = presets.simple_cgra(2, 2, rf_size=1)
+    g = DFG()
+    x = g.input("x")
+    p1 = g.add(Op.NEG, x)
+    p2 = g.add(Op.NOT, x)
+    c1 = g.add(Op.ABS, p1)
+    c2 = g.add(Op.ABS, p2)
+    e1 = g.operand(c1, 0)
+    e2 = g.operand(c2, 0)
+    # Both values held in cell 0's single-entry RF at cycle 2.
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={p1: 0, p2: 0, c1: 0, c2: 0},
+        schedule={p1: 0, p2: 1, c1: 3, c2: 4},
+        routes={
+            e1: [Step(0, 1, HOLD), Step(0, 2, HOLD)],
+            e2: [Step(0, 2, HOLD), Step(0, 3, HOLD)],
+        },
+        ii=8,
+    )
+    v = m.validate(raise_on_error=False)
+    assert any("RF" in s and "full" in s for s in v)
+
+
+def test_link_contention_two_values():
+    cgra = presets.simple_cgra(3, 1)
+    g = DFG()
+    x = g.input("x")
+    p1 = g.add(Op.NEG, x)   # on cell 0
+    p2 = g.add(Op.NOT, x)   # on cell 2... both values cross 1->? no:
+    c1 = g.add(Op.ABS, p1)
+    c2 = g.add(Op.ABS, p2)
+    e1 = g.operand(c1, 0)
+    e2 = g.operand(c2, 0)
+    # Both producers on cell 0 (different cycles), both consumers on
+    # cell 1 at the same cycle mod II -> same link, same slot.
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={p1: 0, p2: 0, c1: 1, c2: 1},
+        schedule={p1: 0, p2: 2, c1: 1, c2: 3},
+        ii=2,  # consumers at cycles 1 and 3: slot 1 both
+    )
+    v = m.validate(raise_on_error=False)
+    assert any("busy" in s for s in v)
+
+
+def test_fanout_shares_resources_for_free(cgra):
+    g = DFG()
+    x = g.input("x")
+    p = g.add(Op.NEG, x)
+    c1 = g.add(Op.ABS, p)
+    c2 = g.add(Op.NOT, p)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={p: 0, c1: 3, c2: 1},
+        schedule={p: 0, c1: 2, c2: 2},
+        routes={
+            g.operand(c1, 0): [Step(1, 1, ROUTE)],
+            g.operand(c2, 0): [Step(1, 1, ROUTE)],
+        },
+        ii=4,
+    )
+    # Both consumers share the 0->1 link at cycle 1 and the route slot
+    # on cell 1 at cycle 1 — same value, so the fan-out is free.
+    assert m.validate() == []
+
+
+def test_dot_product_ii1_like_fig3(cgra):
+    """The survey's Fig. 3: dot product modulo-scheduled at II=1."""
+    g = dot_product()
+    mul = next(n.nid for n in g.nodes() if n.op is Op.MUL)
+    add = next(n.nid for n in g.nodes() if n.op is Op.ADD)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={mul: 0, add: 1},
+        schedule={mul: 0, add: 1},
+        ii=1,
+    )
+    # add reads mul (neighbour, +1 cycle) and itself (self, dist=1:
+    # consumer instance at t=1+1*1=2 reads emission at t=1). Valid.
+    assert m.validate() == []
+    assert m.ii == 1
+
+
+def test_ii_exceeding_contexts_rejected():
+    cgra = presets.simple_cgra(2, 2, n_contexts=4)
+    g, a, b = two_op_dfg()
+    m = Mapping(g, cgra, kind="modulo", binding={a: 0, b: 1},
+                schedule={a: 0, b: 1}, ii=5)
+    v = m.validate(raise_on_error=False)
+    assert any("context" in s for s in v)
+
+
+def test_missing_ii_rejected(cgra):
+    g, a, b = two_op_dfg()
+    m = Mapping(g, cgra, kind="modulo", binding={a: 0, b: 1},
+                schedule={a: 0, b: 1}, ii=None)
+    v = m.validate(raise_on_error=False)
+    assert any("ii" in s for s in v)
+
+
+def test_constant_immediate_width_checked():
+    cgra_narrow = presets.simple_cgra(2, 2)
+    # Shrink the immediate field by rebuilding cells via const_width.
+    from repro.arch.cell import CellKind, make_cell
+    from repro.arch.cgra import CGRA
+    from repro.arch.topology import topology_links
+
+    cells = [
+        make_cell(i, i % 2, i // 2, CellKind.ALU, const_width=4)
+        for i in range(4)
+    ]
+    cgra = CGRA("narrow", 2, 2, cells, topology_links("mesh", 2, 2))
+    g = DFG()
+    x = g.input("x")
+    big = g.const(1000)
+    s = g.add(Op.ADD, x, big)
+    g.output(s, "y")
+    m = Mapping(g, cgra, kind="modulo", binding={s: 0},
+                schedule={s: 0}, ii=1)
+    v = m.validate(raise_on_error=False)
+    assert any("immediate" in s for s in v)
+
+
+def test_unknown_kind_rejected(cgra):
+    g, a, b = two_op_dfg()
+    m = Mapping(g, cgra, kind="quantum", binding={a: 0, b: 1})
+    v = m.validate(raise_on_error=False)
+    assert any("unknown mapping kind" in s for s in v)
+
+
+def test_describe_mentions_nodes(cgra):
+    g, a, b = two_op_dfg()
+    m = Mapping(g, cgra, kind="modulo", binding={a: 0, b: 1},
+                schedule={a: 0, b: 1}, ii=2)
+    text = m.describe()
+    assert f"n{a}" in text and "II=2" in text

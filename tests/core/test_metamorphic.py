@@ -1,0 +1,97 @@
+"""Metamorphic properties of the mapping model.
+
+Valid mappings stay valid under symmetries of the model: shifting a
+modulo schedule in time, and translating a binding by a graph
+automorphism of a torus fabric.  These pin the validator's semantics
+independently of any mapper.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import map_dfg
+from repro.arch import presets
+from repro.arch.tec import Step
+from repro.core.mapping import Mapping
+from repro.ir import kernels, randdfg
+from repro.ir.dfg import Op
+
+
+def _shift(mapping: Mapping, dt: int) -> Mapping:
+    return Mapping(
+        mapping.dfg,
+        mapping.cgra,
+        kind="modulo",
+        binding=dict(mapping.binding),
+        schedule={n: t + dt for n, t in mapping.schedule.items()},
+        routes={
+            e: [Step(s.cell, s.time + dt, s.kind) for s in steps]
+            for e, steps in mapping.routes.items()
+        },
+        ii=mapping.ii,
+        coexec=set(mapping.coexec),
+    )
+
+
+@given(dt=st.integers(0, 7), seed=st.integers(0, 60))
+@settings(max_examples=20, deadline=None)
+def test_time_shift_preserves_validity(dt, seed):
+    dfg = randdfg.layered(8, seed=seed)
+    cgra = presets.simple_cgra(4, 4)
+    m = map_dfg(dfg, cgra, mapper="list_sched")
+    assert _shift(m, dt).validate() == []
+
+
+def _translate(mapping: Mapping, dx: int, dy: int) -> Mapping:
+    """Translate every cell on a torus (a fabric automorphism)."""
+    cgra = mapping.cgra
+
+    def move(cid: int) -> int:
+        x, y = cgra.coords(cid)
+        return ((y + dy) % cgra.height) * cgra.width + (
+            (x + dx) % cgra.width
+        )
+
+    return Mapping(
+        mapping.dfg,
+        cgra,
+        kind="modulo",
+        binding={n: move(c) for n, c in mapping.binding.items()},
+        schedule=dict(mapping.schedule),
+        routes={
+            e: [Step(move(s.cell), s.time, s.kind) for s in steps]
+            for e, steps in mapping.routes.items()
+        },
+        ii=mapping.ii,
+    )
+
+
+@given(
+    dx=st.integers(0, 3),
+    dy=st.integers(0, 3),
+    seed=st.integers(0, 60),
+)
+@settings(max_examples=20, deadline=None)
+def test_torus_translation_preserves_validity(dx, dy, seed):
+    dfg = randdfg.layered(7, seed=seed)
+    cgra = presets.simple_cgra(4, 4, topology="torus")
+    m = map_dfg(dfg, cgra, mapper="list_sched")
+    assert _translate(m, dx, dy).validate() == []
+
+
+def test_mesh_wrap_breaks_on_wider_array():
+    dfg = kernels.dot_product()
+    cgra = presets.simple_cgra(3, 1)  # row: 0-1-2, no wrap link 2->0
+    mul = next(n.nid for n in dfg.nodes() if n.op is Op.MUL)
+    add = next(n.nid for n in dfg.nodes() if n.op is Op.ADD)
+    m = Mapping(
+        dfg, cgra, kind="modulo",
+        binding={mul: 1, add: 2},
+        schedule={mul: 0, add: 1},
+        ii=1,
+    )
+    assert m.validate() == []
+    shifted = _translate(m, 1, 0)  # mul -> 2, add -> 0: needs 2->0
+    v = shifted.validate(raise_on_error=False)
+    assert any("not adjacent" in s for s in v)

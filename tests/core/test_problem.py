@@ -1,0 +1,95 @@
+"""MappingProblem / MII bound tests."""
+
+import pytest
+
+from repro.arch import presets
+from repro.core.problem import MappingProblem
+from repro.ir import kernels
+from repro.ir.dfg import DFG, Op
+
+
+def test_res_mii_counts_slots():
+    g = kernels.conv3x3()  # 17 compute ops
+    cgra = presets.simple_cgra(2, 2)
+    prob = MappingProblem(g, cgra)
+    assert prob.n_ops == 17
+    assert prob.res_mii == 5  # ceil(17 / 4)
+
+
+def test_res_mii_at_least_one():
+    g = kernels.vector_add()
+    cgra = presets.simple_cgra(4, 4)
+    assert MappingProblem(g, cgra).res_mii == 1
+
+
+def test_res_mii_memory_bound():
+    g = kernels.stencil1d_mem()  # 3 loads + 1 store
+    cgra = presets.simple_cgra(4, 4, mem_cells="left")
+    prob = MappingProblem(g, cgra)
+    assert prob.res_mii >= 1
+    # 4 memory ops over 4 memory cells: memory bound is 1; compute
+    # bound is ceil(9/16)=1.
+    assert prob.res_mii == 1
+    # 3x3 with left-column memory: 3 memory cells for 4 memory ops
+    # gives mem bound ceil(4/3)=2, above the compute bound ceil(9/9)=1.
+    narrow = presets.simple_cgra(3, 3, mem_cells="left")
+    assert MappingProblem(g, narrow).res_mii == 2
+
+
+def test_memory_ops_without_memory_cells():
+    g = kernels.dot_product_mem()
+    cgra = presets.simple_cgra(2, 2, mem_cells="none")
+    with pytest.raises(ValueError, match="no memory cells"):
+        MappingProblem(g, cgra).res_mii
+
+
+def test_rec_mii_accumulator_is_one():
+    g = kernels.dot_product()
+    cgra = presets.simple_cgra(4, 4)
+    prob = MappingProblem(g, cgra)
+    assert prob.rec_mii == 1
+    assert prob.mii == 1
+
+
+def test_rec_mii_longer_cycle():
+    # a -> b -> a with total distance 1 and two unit latencies: RecMII 2.
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.ADD, x, x)
+    b = g.add(Op.NEG, a)
+    e = g.operand(a, 1)
+    g.remove_edge(e)
+    g.connect(b, a, port=1, dist=1)
+    cgra = presets.simple_cgra(4, 4)
+    assert MappingProblem(g, cgra).rec_mii == 2
+
+
+def test_rec_mii_distance_two_halves_bound():
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.ADD, x, x)
+    b = g.add(Op.NEG, a)
+    e = g.operand(a, 1)
+    g.remove_edge(e)
+    g.connect(b, a, port=1, dist=2)
+    cgra = presets.simple_cgra(4, 4)
+    assert MappingProblem(g, cgra).rec_mii == 1  # ceil(2/2)
+
+
+def test_mii_is_max_of_bounds():
+    g = kernels.iir_biquad()
+    cgra = presets.simple_cgra(2, 1)
+    prob = MappingProblem(g, cgra)
+    assert prob.mii == max(prob.res_mii, prob.rec_mii)
+
+
+def test_fits_spatially():
+    cgra = presets.simple_cgra(2, 2)
+    assert MappingProblem(kernels.vector_add(), cgra).fits_spatially()
+    assert not MappingProblem(kernels.conv3x3(), cgra).fits_spatially()
+
+
+def test_describe_contains_bounds():
+    prob = MappingProblem(kernels.dot_product(), presets.simple_cgra(4, 4))
+    text = prob.describe()
+    assert "MII=1" in text and "ResMII" in text

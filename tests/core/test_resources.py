@@ -1,0 +1,110 @@
+"""Occupancy resource-accounting tests."""
+
+import pytest
+
+from repro.arch import presets
+from repro.core.resources import Occupancy
+
+
+@pytest.fixture
+def cgra():
+    return presets.simple_cgra(2, 2, rf_size=2)
+
+
+def test_fu_exclusive(cgra):
+    occ = Occupancy(cgra, ii=2)
+    assert occ.can_place_op(0, 0)
+    occ.place_op(7, 0, 0)
+    assert not occ.can_place_op(0, 0)
+    assert not occ.can_place_op(0, 2)  # folds to slot 0
+    assert occ.can_place_op(0, 1)
+    assert occ.op_at(0, 2) == 7
+
+
+def test_release_op(cgra):
+    occ = Occupancy(cgra, ii=2)
+    occ.place_op(7, 0, 0)
+    occ.release_op(0, 0)
+    assert occ.can_place_op(0, 0)
+
+
+def test_route_shares_fu(cgra):
+    occ = Occupancy(cgra, ii=2)
+    occ.place_op(7, 0, 0)
+    assert not occ.can_route(9, 0, 0)
+    assert occ.can_route(9, 0, 1)
+    occ.add_route(9, 0, 1)
+    # A second distinct value cannot route there; the same value can.
+    assert not occ.can_route(8, 0, 1)
+    assert occ.can_route(9, 0, 1)
+    # And an op cannot take that slot anymore.
+    assert not occ.can_place_op(0, 1)
+
+
+def test_bypass_capacity():
+    cgra = presets.hycube_like(2, 2)
+    occ = Occupancy(cgra, ii=1)
+    occ.place_op(7, 0, 0)
+    # Bypass routing coexists with the op.
+    for v in range(cgra.bypass_capacity):
+        assert occ.can_route(100 + v, 0, 0)
+        occ.add_route(100 + v, 0, 0)
+    assert not occ.can_route(999, 0, 0)
+
+
+def test_rf_capacity(cgra):
+    occ = Occupancy(cgra, ii=1)
+    assert occ.can_hold(1, 0, 0)
+    occ.add_hold(1, 0, 0)
+    occ.add_hold(2, 0, 0)
+    assert not occ.can_hold(3, 0, 0)
+    assert occ.can_hold(1, 0, 0)  # dedup by value
+    occ.release_hold(2, 0, 0)
+    assert occ.can_hold(3, 0, 0)
+
+
+def test_link_single_value(cgra):
+    occ = Occupancy(cgra, ii=2)
+    assert occ.can_use_link(1, 0, 1, 0)
+    occ.add_link(1, 0, 1, 0)
+    assert occ.can_use_link(1, 0, 1, 2)  # same value, folded slot
+    assert not occ.can_use_link(2, 0, 1, 0)
+    assert occ.can_use_link(2, 0, 1, 1)
+    occ.release_link(1, 0, 1, 0)
+    assert occ.can_use_link(2, 0, 1, 0)
+
+
+def test_no_fold_when_ii_none(cgra):
+    occ = Occupancy(cgra, ii=None)
+    occ.place_op(7, 0, 0)
+    assert occ.can_place_op(0, 5)
+
+
+def test_copy_is_independent(cgra):
+    occ = Occupancy(cgra, ii=2)
+    occ.place_op(7, 0, 0)
+    occ.add_hold(1, 1, 0)
+    clone = occ.copy()
+    clone.release_op(0, 0)
+    clone.add_hold(2, 1, 0)
+    assert occ.op_at(0, 0) == 7
+    assert set(occ.rf[(1, 0)]) == {1}
+
+
+def test_release_is_refcounted(cgra):
+    """Fan-out: two edges share a slot; releasing one keeps the other."""
+    occ = Occupancy(cgra, ii=1)
+    occ.add_route(5, 0, 0)
+    occ.add_route(5, 0, 0)
+    occ.release_route(5, 0, 0)
+    assert not occ.can_route(6, 0, 0)  # still occupied by value 5
+    occ.release_route(5, 0, 0)
+    assert occ.can_route(6, 0, 0)
+
+
+def test_pressure_monotone(cgra):
+    occ = Occupancy(cgra, ii=1)
+    p0 = occ.pressure()
+    occ.place_op(1, 0, 0)
+    occ.add_route(2, 1, 0)
+    assert occ.pressure() > p0

@@ -1,0 +1,90 @@
+"""Mapping JSON round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.api import map_dfg
+from repro.arch import presets
+from repro.core.serialize import (
+    fingerprint,
+    mapping_from_json,
+    mapping_to_json,
+)
+from repro.ir import kernels
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dfg = kernels.sobel_x()
+    cgra = presets.simple_cgra(4, 4)
+    mapping = map_dfg(dfg, cgra, mapper="edge_centric")
+    return dfg, cgra, mapping
+
+
+def test_roundtrip_preserves_everything(setup):
+    dfg, cgra, mapping = setup
+    text = mapping_to_json(mapping)
+    loaded = mapping_from_json(text, dfg, cgra)
+    assert loaded.binding == mapping.binding
+    assert loaded.schedule == mapping.schedule
+    assert loaded.routes == mapping.routes
+    assert loaded.ii == mapping.ii
+    assert loaded.mapper == mapping.mapper
+    assert loaded.validate() == []
+
+
+def test_json_is_plain_and_versioned(setup):
+    _, _, mapping = setup
+    doc = json.loads(mapping_to_json(mapping))
+    assert doc["format"] == 1
+    assert doc["kind"] == "modulo"
+    assert isinstance(doc["binding"], dict)
+
+
+def test_fingerprint_rejects_wrong_substrate(setup):
+    dfg, cgra, mapping = setup
+    text = mapping_to_json(mapping)
+    other = presets.simple_cgra(4, 4, topology="torus")
+    with pytest.raises(ValueError, match="fingerprint"):
+        mapping_from_json(text, dfg, other)
+    # Opt-out works, but validation may then fail honestly.
+    loaded = mapping_from_json(text, dfg, other, verify=False)
+    assert loaded.cgra is other
+
+
+def test_fingerprint_stable(setup):
+    dfg, cgra, _ = setup
+    assert fingerprint(dfg, cgra) == fingerprint(dfg, cgra)
+    assert fingerprint(dfg, cgra) != fingerprint(
+        dfg, presets.simple_cgra(2, 2)
+    )
+
+
+def test_unknown_format_rejected(setup):
+    dfg, cgra, mapping = setup
+    doc = json.loads(mapping_to_json(mapping))
+    doc["format"] = 99
+    with pytest.raises(ValueError, match="format"):
+        mapping_from_json(json.dumps(doc), dfg, cgra)
+
+
+def test_spatial_mapping_roundtrip():
+    dfg = kernels.if_select()
+    cgra = presets.simple_cgra(4, 4)
+    mapping = map_dfg(dfg, cgra, mapper="graph_drawing")
+    loaded = mapping_from_json(mapping_to_json(mapping), dfg, cgra)
+    assert loaded.kind == "spatial"
+    assert loaded.validate() == []
+
+
+def test_dual_issue_pairs_roundtrip():
+    from repro.controlflow.dual_issue import dual_issue, map_dual_issue
+    from tests.controlflow.test_predication import make_ite_cdfg
+
+    dfg, pairs = dual_issue(make_ite_cdfg())
+    cgra = presets.simple_cgra(4, 4)
+    mapping = map_dual_issue(dfg, pairs, cgra)
+    loaded = mapping_from_json(mapping_to_json(mapping), dfg, cgra)
+    assert loaded.coexec == mapping.coexec
+    assert loaded.validate() == []

@@ -1,0 +1,142 @@
+"""Spatial-mapping validation tests."""
+
+import pytest
+
+from repro.arch import presets
+from repro.arch.tec import HOLD, ROUTE, Step
+from repro.core.mapping import Mapping
+from repro.ir.dfg import DFG, Op
+
+
+@pytest.fixture
+def cgra():
+    return presets.simple_cgra(3, 3)
+
+
+def chain3():
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.NEG, x)
+    b = g.add(Op.ABS, a)
+    c = g.add(Op.NOT, b)
+    g.output(c, "y")
+    return g, a, b, c
+
+
+def test_valid_spatial_chain(cgra):
+    g, a, b, c = chain3()
+    m = Mapping(g, cgra, kind="spatial", binding={a: 0, b: 1, c: 2})
+    assert m.validate() == []
+
+
+def test_cells_exclusive(cgra):
+    g, a, b, c = chain3()
+    m = Mapping(g, cgra, kind="spatial", binding={a: 0, b: 0, c: 1})
+    v = m.validate(raise_on_error=False)
+    assert any("exclusive" in s for s in v)
+
+
+def test_non_adjacent_needs_route_cells(cgra):
+    g, a, b, c = chain3()
+    # 0 and 2 are two hops apart on a 3x3 mesh row.
+    m = Mapping(g, cgra, kind="spatial", binding={a: 0, b: 2, c: 5})
+    v = m.validate(raise_on_error=False)
+    assert any("not reachable" in s for s in v)
+
+
+def test_route_cell_bridges_gap(cgra):
+    g, a, b, c = chain3()
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="spatial",
+        binding={a: 0, b: 2, c: 5},
+        routes={e: [Step(1, 0, ROUTE)]},
+    )
+    assert m.validate() == []
+
+
+def test_route_cell_cannot_host_op(cgra):
+    g, a, b, c = chain3()
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="spatial",
+        binding={a: 0, b: 2, c: 1},  # c sits on the route cell
+        routes={e: [Step(1, 0, ROUTE)]},
+    )
+    v = m.validate(raise_on_error=False)
+    assert any("hosts op" in s for s in v)
+
+
+def test_route_cell_single_value(cgra):
+    g = DFG()
+    x = g.input("x")
+    p1 = g.add(Op.NEG, x)
+    p2 = g.add(Op.NOT, x)
+    c1 = g.add(Op.ABS, p1)
+    c2 = g.add(Op.ABS, p2)
+    e1 = g.operand(c1, 0)
+    e2 = g.operand(c2, 0)
+    m = Mapping(
+        g, cgra, kind="spatial",
+        binding={p1: 0, p2: 2, c1: 6, c2: 8},
+        routes={e1: [Step(3, 0, ROUTE)], e2: [Step(5, 0, ROUTE)]},
+    )
+    assert m.validate() == []
+    # Now force both through cell 4.
+    m2 = Mapping(
+        g, cgra, kind="spatial",
+        binding={p1: 1, p2: 3, c1: 7, c2: 5},
+        routes={e1: [Step(4, 0, ROUTE)], e2: [Step(4, 0, ROUTE)]},
+    )
+    v = m2.validate(raise_on_error=False)
+    assert any("two values" in s for s in v)
+
+
+def test_hold_steps_invalid_in_spatial(cgra):
+    g, a, b, c = chain3()
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="spatial",
+        binding={a: 0, b: 2, c: 5},
+        routes={e: [Step(1, 0, HOLD)]},
+    )
+    v = m.validate(raise_on_error=False)
+    assert any("ROUTE steps only" in s for s in v)
+
+
+def test_route_adjacency_checked(cgra):
+    g, a, b, c = chain3()
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="spatial",
+        binding={a: 0, b: 2, c: 5},
+        routes={e: [Step(8, 0, ROUTE)]},  # 0 -> 8 not a link
+    )
+    v = m.validate(raise_on_error=False)
+    assert any("no link" in s for s in v)
+
+
+def test_self_recurrence_same_cell_ok(cgra):
+    from repro.ir.kernels import accumulate
+
+    g = accumulate()
+    add = next(n.nid for n in g.nodes() if n.op is Op.ADD)
+    m = Mapping(g, cgra, kind="spatial", binding={add: 4})
+    assert m.validate() == []
+
+
+def test_fanout_same_route_cell_shared(cgra):
+    g = DFG()
+    x = g.input("x")
+    p = g.add(Op.NEG, x)
+    c1 = g.add(Op.ABS, p)
+    c2 = g.add(Op.NOT, p)
+    e1 = g.operand(c1, 0)
+    e2 = g.operand(c2, 0)
+    m = Mapping(
+        g, cgra, kind="spatial",
+        binding={p: 0, c1: 2, c2: 4},
+        routes={e1: [Step(1, 0, ROUTE)], e2: [Step(1, 0, ROUTE)]},
+    )
+    # Same value through cell 1 twice: allowed (fan-out).
+    assert m.validate() == []

@@ -1,0 +1,88 @@
+"""Design-space exploration tests."""
+
+import pytest
+
+from repro.arch import presets
+from repro.dse.explorer import (
+    DesignPoint,
+    architecture_cost,
+    default_space,
+    evaluate_point,
+    explore,
+    pareto_front,
+)
+
+
+def test_cost_monotone_in_size():
+    small = architecture_cost(presets.simple_cgra(2, 2))
+    big = architecture_cost(presets.simple_cgra(4, 4))
+    assert big > small
+
+
+def test_cost_counts_features():
+    lean = architecture_cost(
+        presets.simple_cgra(4, 4, rf_size=2, mem_cells="left")
+    )
+    rich = architecture_cost(
+        presets.simple_cgra(4, 4, rf_size=8, mem_cells="all")
+    )
+    assert rich > lean
+
+
+def test_bypass_fabric_costs_more():
+    shared = architecture_cost(presets.simple_cgra(4, 4))
+    bypass = architecture_cost(presets.hycube_like(4, 4))
+    assert bypass > shared
+
+
+def test_default_space_size():
+    assert len(default_space()) == 24
+
+
+def test_evaluate_point_fields():
+    p = evaluate_point(
+        {"size": 4, "topology": "mesh", "rf_size": 4,
+         "mem_cells": "all"},
+        ["dot_product", "vector_add"],
+    )
+    assert isinstance(p, DesignPoint)
+    assert p.success_rate == 1.0
+    assert 0 < p.performance <= 1.0
+    assert "4x4/mesh" in p.label()
+
+
+def test_explore_small_space():
+    space = [
+        {"size": 4, "topology": "mesh", "rf_size": 4, "mem_cells": "all"},
+        {"size": 4, "topology": "crossbar", "rf_size": 4,
+         "mem_cells": "all"},
+    ]
+    pts = explore(space, ["dot_product", "if_select"])
+    assert len(pts) == 2
+    # Crossbar costs more (links) but can only help performance.
+    mesh = next(p for p in pts if p.topology == "mesh")
+    xbar = next(p for p in pts if p.topology == "crossbar")
+    assert xbar.cost > mesh.cost
+    assert xbar.performance >= mesh.performance
+
+
+def test_pareto_front_dominance():
+    pts = [
+        DesignPoint(4, "mesh", 4, "all", 0.5, 100.0, 1.0),
+        DesignPoint(4, "mesh", 8, "all", 0.5, 150.0, 1.0),  # dominated
+        DesignPoint(6, "mesh", 4, "all", 0.8, 200.0, 1.0),
+        DesignPoint(6, "one_hop", 4, "all", 0.7, 300.0, 1.0),  # dominated
+    ]
+    front = pareto_front(pts)
+    assert [(p.cost, p.performance) for p in front] == [
+        (100.0, 0.5), (200.0, 0.8),
+    ]
+
+
+def test_pareto_front_never_empty():
+    pts = explore(
+        [{"size": 4, "topology": "mesh", "rf_size": 4,
+          "mem_cells": "all"}],
+        ["vector_add"],
+    )
+    assert pareto_front(pts) == pts

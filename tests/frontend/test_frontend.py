@@ -1,0 +1,216 @@
+"""Front-end tests: lexing, parsing, lowering, end-to-end semantics."""
+
+import pytest
+
+from repro.frontend import compile_to_cdfg, compile_to_dfg, parse, tokenize
+from repro.frontend.lexer import LexError
+from repro.frontend.lower import LowerError
+from repro.frontend.parser import ParseError
+from repro.ir.dfg import Op
+from repro.ir.interp import DFGInterpreter, evaluate
+
+DOT = """
+kernel dot {
+    sum = sum + a * b;
+    out sum;
+}
+"""
+
+
+def test_tokenize_basics():
+    toks = tokenize("x = a + 42; # comment\ny = x << 2;")
+    kinds = [t.kind for t in toks]
+    assert "num" in kinds and "id" in kinds and "<<" in kinds
+    assert kinds[-1] == "eof"
+
+
+def test_tokenize_rejects_junk():
+    with pytest.raises(LexError, match="unexpected character"):
+        tokenize("x = $;")
+
+
+def test_parse_precedence():
+    k = parse("kernel p { y = a + b * c; out y; }")
+    assign = k.body[0]
+    assert assign.value.op == "+"
+    assert assign.value.rhs.op == "*"
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("kernel p { y = ; }")
+    with pytest.raises(ParseError):
+        parse("kernel p { out a + b; }")  # needs 'as'
+    with pytest.raises(ParseError):
+        parse("kernel p { y = min(a); out y; }")  # arity
+
+
+def test_dot_product_source_compiles_and_runs():
+    dfg = compile_to_dfg(DOT)
+    dfg.check()
+    a = [1, 2, 3, 4]
+    b = [5, 6, 7, 8]
+    out = evaluate(dfg, 4, {"a": a, "b": b})
+    assert out["sum"][-1] == sum(x * y for x, y in zip(a, b))
+
+
+def test_carried_read_has_distance_one():
+    dfg = compile_to_dfg(DOT)
+    assert any(e.dist == 1 for e in dfg.edges())
+
+
+def test_delayed_reference():
+    src = """
+    kernel fir2 {
+        y = 2 * x + 3 * x@1;
+        out y;
+    }
+    """
+    dfg = compile_to_dfg(src)
+    xs = [1, 0, 2, 0]
+    out = evaluate(dfg, 4, {"x": xs})
+    ref = [2 * xs[i] + 3 * (xs[i - 1] if i else 0) for i in range(4)]
+    assert out["y"] == ref
+
+
+def test_arrays_load_store():
+    src = """
+    kernel copy2 {
+        B[i] = A[i] * 2;
+        out i;
+    }
+    """
+    dfg = compile_to_dfg(src)
+    interp = DFGInterpreter(dfg, memory={"A": [3, 4], "B": [0, 0]})
+    interp.run(2, {"i": [0, 1]})
+    assert interp.memory["B"] == [6, 8]
+
+
+def test_if_else_becomes_diamond():
+    src = """
+    kernel clamp {
+        c = x > hi;
+        if (c) { y = hi; } else { y = x; }
+        out y;
+    }
+    """
+    cdfg = compile_to_cdfg(src)
+    assert cdfg.is_diamond()
+    dfg = compile_to_dfg(src)
+    out = evaluate(dfg, 3, {"x": [5, 99, 7], "hi": [10, 10, 10]})
+    assert out["y"] == [5, 10, 7]
+
+
+def test_logical_operators():
+    src = """
+    kernel band {
+        ok = (x > lo) && (x < hi);
+        out ok;
+    }
+    """
+    dfg = compile_to_dfg(src)
+    out = evaluate(dfg, 3, {"x": [5, 0, 20], "lo": 1, "hi": 10})
+    assert out["ok"] == [1, 0, 0]
+
+
+def test_builtins():
+    src = """
+    kernel m {
+        y = max(abs(a - b), min(a, b));
+        out y;
+    }
+    """
+    dfg = compile_to_dfg(src)
+    out = evaluate(dfg, 2, {"a": [3, -1], "b": [7, 5]})
+    assert out["y"] == [max(4, 3), max(6, -1)]
+
+
+def test_select_builtin():
+    dfg = compile_to_dfg(
+        "kernel s { y = select(c, a, b); out y; }"
+    )
+    out = evaluate(dfg, 2, {"c": [1, 0], "a": 10, "b": 20})
+    assert out["y"] == [10, 20]
+
+
+def test_unary_operators():
+    dfg = compile_to_dfg("kernel u { y = -x + !z + ~w; out y; }")
+    out = evaluate(dfg, 1, {"x": [3], "z": [0], "w": [0]})
+    assert out["y"] == [-3 + 1 + ~0]
+
+
+def test_two_ifs_rejected():
+    src = """
+    kernel bad {
+        if (a) { x = 1; } else { x = 2; }
+        if (b) { y = 1; } else { y = 2; }
+        out x; out y;
+    }
+    """
+    with pytest.raises(LowerError, match="one top-level if"):
+        compile_to_cdfg(src)
+
+
+def test_nested_if_rejected():
+    src = """
+    kernel bad {
+        if (a) { if (b) { x = 1; } else { x = 2; } } else { x = 3; }
+        out x;
+    }
+    """
+    with pytest.raises(LowerError, match="nested"):
+        compile_to_cdfg(src)
+
+
+def test_out_before_if_rejected():
+    src = """
+    kernel bad {
+        out a;
+        if (a) { x = 1; } else { x = 2; }
+        out x;
+    }
+    """
+    with pytest.raises(LowerError, match="follow the if"):
+        compile_to_cdfg(src)
+
+
+def test_recurrence_across_if_rejected():
+    src = """
+    kernel bad {
+        if (c) { x = x + 1; } else { x = x - 1; }
+        out x;
+    }
+    """
+    with pytest.raises(LowerError):
+        compile_to_cdfg(src)
+
+
+def test_if_kernel_with_entry_values_flow_to_join():
+    src = """
+    kernel f {
+        t = a * 2;
+        if (t > b) { y = t - b; } else { y = b - t; }
+        z = y + t;
+        out z;
+    }
+    """
+    dfg = compile_to_dfg(src)
+    A, B = [3, 1], [2, 9]
+    out = evaluate(dfg, 2, {"a": A, "b": B})
+    ref = []
+    for a, b in zip(A, B):
+        t = a * 2
+        y = t - b if t > b else b - t
+        ref.append(y + t)
+    assert out["z"] == ref
+
+
+def test_full_flow_source_to_mapping():
+    """The complete Fig. 3 journey: source -> mapping."""
+    from repro.api import compile_source
+    from repro.arch import presets
+
+    m = compile_source(DOT, presets.simple_cgra(4, 4),
+                       mapper="list_sched")
+    assert m.validate() == []
+    assert m.ii == 1  # the dot product pipelines at II=1

@@ -1,0 +1,116 @@
+"""Unit tests for the CFG/CDFG structure."""
+
+import pytest
+
+from repro.ir.cdfg import CFG, CFGError
+from repro.ir.dfg import DFG, Op
+
+
+def _block_with_output(cfg, name, value=1):
+    bid = cfg.add_block()
+    body = cfg.block(bid).body
+    c = body.const(value)
+    body.output(c, name)
+    return bid
+
+
+def make_diamond():
+    """entry branch -> then/else jumps -> exit join."""
+    cfg = CFG("diamond")
+    entry = cfg.add_block(label="entry")
+    body = cfg.block(entry).body
+    a = body.input("a")
+    b = body.input("b")
+    c = body.add(Op.GT, a, b)
+    body.output(c, "cond")
+    then = _block_with_output(cfg, "t", 1)
+    els = _block_with_output(cfg, "f", 2)
+    join = cfg.add_block(label="join")
+    cfg.set_branch(entry, "cond", then, els)
+    cfg.set_jump(then, join)
+    cfg.set_jump(els, join)
+    cfg.set_exit(join)
+    return cfg, entry, then, els, join
+
+
+def test_diamond_is_valid_and_detected():
+    cfg, *_ = make_diamond()
+    cfg.check()
+    assert cfg.is_diamond()
+
+
+def test_entry_is_first_block():
+    cfg = CFG()
+    b0 = cfg.add_block()
+    cfg.add_block()
+    assert cfg.entry == b0
+
+
+def test_branch_requires_condition_defined_in_body():
+    cfg = CFG()
+    e = cfg.add_block()
+    t = cfg.add_block()
+    f = cfg.add_block()
+    cfg.set_branch(e, "missing", t, f)
+    cfg.set_exit(t)
+    cfg.set_exit(f)
+    with pytest.raises(CFGError, match="condition"):
+        cfg.check()
+
+
+def test_unreachable_block_rejected():
+    cfg = CFG()
+    e = cfg.add_block()
+    cfg.set_exit(e)
+    cfg.add_block()  # orphan
+    with pytest.raises(CFGError, match="unreachable"):
+        cfg.check()
+
+
+def test_reset_terminator_clears_old_edges():
+    cfg = CFG()
+    a = cfg.add_block()
+    b = cfg.add_block()
+    c = cfg.add_block()
+    cfg.set_jump(a, b)
+    cfg.set_jump(a, c)  # re-target
+    cfg.set_exit(b)
+    cfg.set_exit(c)
+    assert cfg.successors(a) == [(c, None)]
+    assert cfg.predecessors(b) == []
+
+
+def test_successor_edge_labels():
+    cfg, entry, then, els, join = make_diamond()
+    succ = dict(cfg.successors(entry))
+    assert succ[then] is True
+    assert succ[els] is False
+    assert cfg.successors(then) == [(join, None)]
+
+
+def test_reverse_postorder_starts_at_entry():
+    cfg, entry, then, els, join = make_diamond()
+    rpo = cfg.reverse_postorder()
+    assert rpo[0] == entry
+    assert rpo[-1] == join
+    assert set(rpo) == {entry, then, els, join}
+
+
+def test_defined_and_used_names():
+    cfg, entry, *_ = make_diamond()
+    blk = cfg.block(entry)
+    assert blk.defined_names() == {"cond"}
+    assert blk.used_names() == {"a", "b"}
+
+
+def test_non_diamond_shapes_rejected():
+    cfg = CFG()
+    a = cfg.add_block()
+    cfg.set_exit(a)
+    assert not cfg.is_diamond()
+
+
+def test_pretty_lists_blocks():
+    cfg, *_ = make_diamond()
+    text = cfg.pretty()
+    assert "bb0" in text and "entry" in text

@@ -1,0 +1,204 @@
+"""Unit tests for the DFG data structure."""
+
+import pytest
+
+from repro.ir.dfg import DFG, DFGError, Op
+
+
+def test_add_and_connect_builds_expected_structure():
+    g = DFG("t")
+    a = g.input("a")
+    b = g.input("b")
+    s = g.add(Op.ADD, a, b)
+    assert len(g) == 3
+    assert g.num_edges() == 2
+    assert g.preds(s) == [a, b]
+    assert g.succs(a) == [s]
+    assert g.node(s).op is Op.ADD
+
+
+def test_ports_are_ordered_by_operand_position():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    s = g.add(Op.SUB, a, b)
+    assert g.operand(s, 0).src == a
+    assert g.operand(s, 1).src == b
+
+
+def test_const_carries_value():
+    g = DFG()
+    c = g.const(42)
+    assert g.node(c).value == 42
+    assert g.node(c).op is Op.CONST
+
+
+def test_check_rejects_missing_operand():
+    g = DFG()
+    a = g.input("a")
+    s = g.add(Op.ADD, a)  # only port 0 fed
+    with pytest.raises(DFGError, match="operand ports"):
+        g.check()
+
+
+def test_check_rejects_extra_operand():
+    g = DFG()
+    a = g.input("a")
+    n = g.add(Op.NEG, a)
+    g.connect(a, n, port=1)
+    with pytest.raises(DFGError):
+        g.check()
+
+
+def test_check_rejects_const_without_value():
+    g = DFG()
+    g.add(Op.CONST)
+    with pytest.raises(DFGError, match="CONST"):
+        g.check()
+
+
+def test_check_rejects_dist0_cycle():
+    g = DFG()
+    a = g.input("a")
+    x = g.add(Op.ADD, a, a)
+    y = g.add(Op.NEG, x)
+    e = g.operand(x, 1)
+    g.remove_edge(e)
+    g.connect(y, x, port=1, dist=0)
+    with pytest.raises(DFGError, match="cycle"):
+        g.check()
+
+
+def test_carried_cycle_is_allowed():
+    g = DFG()
+    a = g.input("a")
+    s = g.add(Op.ADD, a, a)
+    e = g.operand(s, 1)
+    g.remove_edge(e)
+    g.connect(s, s, port=1, dist=1)
+    g.check()  # must not raise
+    assert g.topo_order()  # dist=0 subgraph is acyclic
+
+
+def test_negative_distance_rejected():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    with pytest.raises(DFGError, match="negative"):
+        g.connect(a, b, dist=-1)
+
+
+def test_connect_unknown_node_rejected():
+    g = DFG()
+    a = g.input("a")
+    with pytest.raises(DFGError):
+        g.connect(a, 99)
+    with pytest.raises(DFGError):
+        g.connect(99, a)
+
+
+def test_remove_node_cleans_incident_edges():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    s = g.add(Op.ADD, a, b)
+    g.remove_node(s)
+    assert len(g) == 2
+    assert g.succs(a) == []
+    assert g.num_edges() == 0
+
+
+def test_rewire_redirects_consumers():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    n = g.add(Op.NEG, a)
+    g.rewire(a, b)
+    assert g.operand(n, 0).src == b
+    assert g.succs(a) == []
+
+
+def test_topo_order_is_deterministic_and_respects_edges():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    s = g.add(Op.ADD, a, b)
+    m = g.add(Op.MUL, s, b)
+    order = g.topo_order()
+    assert order.index(a) < order.index(s) < order.index(m)
+    assert order == g.topo_order()
+
+
+def test_critical_path_counts_latencies():
+    g = DFG()
+    a = g.input("a")
+    x = g.add(Op.ADD, a, a)
+    y = g.add(Op.MUL, x, a)
+    z = g.add(Op.SUB, y, a)
+    g.output(z, "z")
+    # INPUT latency 0, three unit-latency ops in series.
+    assert g.critical_path() == 3
+
+
+def test_op_count_excludes_pseudo_nodes():
+    g = DFG()
+    a = g.input("a")
+    c = g.const(1)
+    s = g.add(Op.ADD, a, c)
+    g.output(s, "y")
+    assert g.op_count() == 1
+    assert g.op_count(include_pseudo=True) == 4
+
+
+def test_copy_is_deep():
+    g = DFG("orig")
+    a = g.input("a")
+    s = g.add(Op.NEG, a)
+    h = g.copy()
+    h.remove_node(s)
+    assert s in g
+    assert s not in h
+    assert g.num_edges() == 1
+
+
+def test_to_networkx_roundtrip_attributes():
+    g = DFG()
+    a = g.input("a")
+    c = g.const(7)
+    s = g.add(Op.ADD, a, c)
+    nxg = g.to_networkx()
+    assert nxg.nodes[s]["op"] is Op.ADD
+    assert nxg.nodes[c]["value"] == 7
+    assert nxg.number_of_edges() == 2
+
+
+def test_recurrence_cycles_found():
+    g = DFG()
+    a = g.input("a")
+    s = g.add(Op.ADD, a, a)
+    e = g.operand(s, 1)
+    g.remove_edge(e)
+    g.connect(s, s, port=1, dist=1)
+    cycles = g.recurrence_cycles()
+    assert [s] in cycles
+
+
+def test_pretty_mentions_every_node():
+    g = DFG("p")
+    a = g.input("a")
+    s = g.add(Op.NEG, a)
+    text = g.pretty()
+    assert f"n{a}" in text and f"n{s}" in text
+
+
+def test_commutativity_flags():
+    assert Op.ADD.commutative and Op.MUL.commutative
+    assert not Op.SUB.commutative and not Op.SHL.commutative
+
+
+def test_memory_ops_listing():
+    g = DFG()
+    i = g.input("i")
+    ld = g.add(Op.LOAD, i, array="A")
+    st = g.add(Op.STORE, i, ld, array="B")
+    assert set(g.memory_ops()) == {ld, st}

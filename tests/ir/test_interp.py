@@ -1,0 +1,198 @@
+"""Tests for the reference DFG interpreter."""
+
+import pytest
+
+from repro.ir.dfg import DFG, Op
+from repro.ir.interp import DFGInterpreter, evaluate
+
+
+def test_vector_add_semantics():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    g.output(g.add(Op.ADD, a, b), "c")
+    out = evaluate(g, 3, {"a": [1, 2, 3], "b": [10, 20, 30]})
+    assert out["c"] == [11, 22, 33]
+
+
+def test_scalar_inputs_broadcast():
+    g = DFG()
+    a = g.input("a")
+    g.output(g.add(Op.MUL, a, a), "y")
+    out = evaluate(g, 4, {"a": 3})
+    assert out["y"] == [9, 9, 9, 9]
+
+
+def test_missing_input_raises():
+    g = DFG()
+    g.input("a")
+    with pytest.raises(ValueError, match="missing input"):
+        evaluate(g, 1, {})
+
+
+def test_short_input_series_raises():
+    g = DFG()
+    a = g.input("a")
+    g.output(a, "y")
+    with pytest.raises(ValueError, match="provides 2"):
+        evaluate(g, 3, {"a": [1, 2]})
+
+
+def test_accumulator_self_edge():
+    g = DFG()
+    a = g.input("a")
+    s = g.add(Op.ADD, a, a)
+    e = g.operand(s, 1)
+    g.remove_edge(e)
+    g.connect(s, s, port=1, dist=1)
+    g.output(s, "sum")
+    out = evaluate(g, 4, {"a": [1, 2, 3, 4]})
+    assert out["sum"] == [1, 3, 6, 10]
+
+
+def test_carried_edge_initial_value_override():
+    g = DFG()
+    a = g.input("a")
+    s = g.add(Op.ADD, a, a)
+    e = g.operand(s, 1)
+    g.remove_edge(e)
+    g.connect(s, s, port=1, dist=1)
+    g.output(s, "sum")
+    out = DFGInterpreter(g, init={s: 100}).run(2, {"a": [1, 1]})
+    assert out["sum"] == [101, 102]
+
+
+def test_distance_two_delay_line():
+    g = DFG()
+    x = g.input("x")
+    d = g.add(Op.ROUTE, x)
+    e = g.operand(d, 0)
+    g.remove_edge(e)
+    g.connect(x, d, port=0, dist=2)
+    g.output(d, "y")
+    out = evaluate(g, 5, {"x": [1, 2, 3, 4, 5]})
+    assert out["y"] == [0, 0, 1, 2, 3]  # default init is 0
+
+
+def test_phi_selects_initial_then_carried():
+    g = DFG()
+    one = g.const(1)
+    ten = g.const(10)
+    phi = g.add(Op.PHI, ten, ten)
+    inc = g.add(Op.ADD, phi, one)
+    e = g.operand(phi, 1)
+    g.remove_edge(e)
+    g.connect(inc, phi, port=1, dist=1)
+    g.output(phi, "i")
+    out = evaluate(g, 4, {})
+    assert out["i"] == [10, 11, 12, 13]
+
+
+def test_select_semantics():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    c = g.add(Op.GT, a, b)
+    y = g.add(Op.SELECT, c, a, b)
+    g.output(y, "max")
+    out = evaluate(g, 3, {"a": [5, 1, 7], "b": [3, 9, 7]})
+    assert out["max"] == [5, 9, 7]
+
+
+def test_division_truncates_toward_zero():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    g.output(g.add(Op.DIV, a, b), "q")
+    out = evaluate(g, 2, {"a": [-7, 7], "b": [2, 2]})
+    assert out["q"] == [-3, 3]  # C semantics, not Python floor
+
+
+def test_division_by_zero_raises():
+    g = DFG()
+    a = g.input("a")
+    z = g.const(0)
+    g.output(g.add(Op.DIV, a, z), "q")
+    with pytest.raises(ZeroDivisionError):
+        evaluate(g, 1, {"a": 1})
+
+
+def test_load_store_roundtrip():
+    g = DFG()
+    i = g.input("i")
+    v = g.add(Op.LOAD, i, array="A")
+    two = g.const(2)
+    d = g.add(Op.MUL, v, two)
+    g.add(Op.STORE, i, d, array="B")
+    interp = DFGInterpreter(g, memory={"A": [1, 2, 3], "B": [0, 0, 0]})
+    interp.run(3, {"i": [0, 1, 2]})
+    assert interp.memory["B"] == [2, 4, 6]
+
+
+def test_load_out_of_bounds():
+    g = DFG()
+    i = g.input("i")
+    g.add(Op.LOAD, i, array="A")
+    interp = DFGInterpreter(g, memory={"A": [1]})
+    with pytest.raises(IndexError):
+        interp.run(1, {"i": [5]})
+
+
+def test_missing_array_raises():
+    g = DFG()
+    i = g.input("i")
+    g.add(Op.LOAD, i, array="A")
+    with pytest.raises(KeyError, match="'A'"):
+        DFGInterpreter(g).run(1, {"i": [0]})
+
+
+def test_value_inspection_after_run():
+    g = DFG()
+    a = g.input("a")
+    n = g.add(Op.NEG, a)
+    g.output(n, "y")
+    it = DFGInterpreter(g)
+    it.run(2, {"a": [3, 4]})
+    assert it.value(n, 0) == -3
+    assert it.value(n, 1) == -4
+
+
+@pytest.mark.parametrize(
+    "op,a,b,expect",
+    [
+        (Op.SUB, 5, 3, 2),
+        (Op.MOD, 7, 3, 1),
+        (Op.MOD, -7, 3, -1),  # C-style remainder
+        (Op.MIN, 4, 9, 4),
+        (Op.MAX, 4, 9, 9),
+        (Op.AND, 0b1100, 0b1010, 0b1000),
+        (Op.OR, 0b1100, 0b1010, 0b1110),
+        (Op.XOR, 0b1100, 0b1010, 0b0110),
+        (Op.SHL, 3, 2, 12),
+        (Op.SHR, 12, 2, 3),
+        (Op.EQ, 4, 4, 1),
+        (Op.NE, 4, 4, 0),
+        (Op.LT, 3, 4, 1),
+        (Op.LE, 4, 4, 1),
+        (Op.GT, 3, 4, 0),
+        (Op.GE, 4, 4, 1),
+    ],
+)
+def test_binary_op_semantics(op, a, b, expect):
+    g = DFG()
+    x = g.input("x")
+    y = g.input("y")
+    g.output(g.add(op, x, y), "r")
+    out = evaluate(g, 1, {"x": [a], "y": [b]})
+    assert out["r"] == [expect]
+
+
+@pytest.mark.parametrize(
+    "op,a,expect",
+    [(Op.NEG, 5, -5), (Op.ABS, -5, 5), (Op.NOT, 0, -1), (Op.ROUTE, 9, 9)],
+)
+def test_unary_op_semantics(op, a, expect):
+    g = DFG()
+    x = g.input("x")
+    g.output(g.add(op, x), "r")
+    assert evaluate(g, 1, {"x": [a]})["r"] == [expect]

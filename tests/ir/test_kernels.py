@@ -1,0 +1,196 @@
+"""Kernel library: every kernel is well-formed and computes the maths."""
+
+import pytest
+
+from repro.ir import kernels
+from repro.ir.dfg import Op
+from repro.ir.interp import DFGInterpreter, evaluate
+
+
+def test_registry_contains_the_classics():
+    names = kernels.kernel_names()
+    for expected in ("dot_product", "vector_add", "fir4", "conv3x3",
+                     "sobel_x", "iir_biquad", "if_select"):
+        assert expected in names
+
+
+@pytest.mark.parametrize("name", kernels.kernel_names())
+def test_every_kernel_is_structurally_valid(name):
+    g = kernels.kernel(name)
+    g.check()
+    assert g.op_count() >= 1
+    # Every kernel exposes at least one result.
+    assert any(n.op is Op.OUTPUT for n in g.nodes())
+
+
+def test_unknown_kernel_raises():
+    with pytest.raises(KeyError, match="unknown kernel"):
+        kernels.kernel("nope")
+
+
+def test_dot_product_matches_reference():
+    g = kernels.dot_product()
+    a = [1, 2, 3, 4]
+    b = [5, 6, 7, 8]
+    out = evaluate(g, 4, {"a": a, "b": b})
+    assert out["sum"][-1] == sum(x * y for x, y in zip(a, b))
+
+
+def test_vector_add_matches_reference():
+    out = evaluate(kernels.vector_add(), 3, {"a": [1, 2, 3], "b": [9, 8, 7]})
+    assert out["c"] == [10, 10, 10]
+
+
+def test_accumulate_running_sum():
+    out = evaluate(kernels.accumulate(), 5, {"a": [1] * 5})
+    assert out["sum"] == [1, 2, 3, 4, 5]
+
+
+def test_fir_is_a_transversal_filter():
+    g = kernels.fir(3)  # h = [1, 2, 3]
+    x = [1, 0, 0, 2, 0]
+    out = evaluate(g, 5, {"x": x})
+
+    def ref(i):
+        h = [1, 2, 3]
+        return sum(h[k] * (x[i - k] if i - k >= 0 else 0) for k in range(3))
+
+    assert out["y"] == [ref(i) for i in range(5)]
+
+
+def test_conv3x3_weighted_sum():
+    g = kernels.conv3x3()
+    pix = {f"p{i}": [1] for i in range(9)}
+    out = evaluate(g, 1, pix)
+    weights = [(i * 7) % 11 + 1 for i in range(9)]
+    assert out["acc"] == [sum(weights)]
+
+
+def test_sobel_x_gradient():
+    g = kernels.sobel_x()
+    # Vertical edge: left column 0, right column 10.
+    vals = {f"p{i}": [0, 0, 10, 0, 0, 10, 0, 0, 10][i] for i in range(9)}
+    out = evaluate(g, 1, vals)
+    assert out["gx"] == [40]  # (10 + 20 + 10) - 0
+
+
+def test_sad_accumulates_absolute_differences():
+    g = kernels.sad()
+    ins = {}
+    for i in range(4):
+        ins[f"a{i}"] = [i + 1, 5]
+        ins[f"b{i}"] = [0, 5]
+    out = evaluate(g, 2, ins)
+    assert out["sad"] == [1 + 2 + 3 + 4, 1 + 2 + 3 + 4]  # second adds 0
+
+
+def test_iir_biquad_recurrence():
+    g = kernels.iir_biquad()
+    x = [1, 0, 0, 0]
+    out = evaluate(g, 4, {"x": x})
+    # y[i] = 3x[i] + 2x[i-1] - y[i-1] - y[i-2]
+    y = []
+    for i in range(4):
+        xm1 = x[i - 1] if i >= 1 else 0
+        ym1 = y[i - 1] if i >= 1 else 0
+        ym2 = y[i - 2] if i >= 2 else 0
+        y.append(3 * x[i] + 2 * xm1 - ym1 - ym2)
+    assert out["y"] == y
+
+
+def test_if_select_takes_both_arms():
+    out = evaluate(kernels.if_select(), 2, {"a": [7, 2], "b": [3, 9]})
+    assert out["y"] == [4, 7]
+
+
+def test_horner_evaluates_polynomial():
+    out = evaluate(kernels.horner(), 1, {"x": [2]})
+    # coefficients c4..c0 = 5,4,3,2,1
+    x = 2
+    assert out["y"] == [(((5 * x + 4) * x + 3) * x + 2) * x + 1]
+
+
+def test_butterfly_matches_complex_arithmetic():
+    g = kernels.butterfly()
+    ins = {"ar": [1], "ai": [2], "br": [3], "bi": [4]}
+    out = evaluate(g, 1, ins)
+    # t = (3 + 4j) * (3 + 1j) = 5 + 15j
+    assert (out["xr"][0], out["xi"][0]) == (1 + 5, 2 + 15)
+    assert (out["yr"][0], out["yi"][0]) == (1 - 5, 2 - 15)
+
+
+def test_chain_has_no_ilp():
+    g = kernels.chain(6)
+    assert g.critical_path() >= 6
+
+
+def test_dot_product_mem_equivalent_to_streaming():
+    g = kernels.dot_product_mem()
+    A = [1, 2, 3]
+    B = [4, 5, 6]
+    interp = DFGInterpreter(g, memory={"A": A, "B": B})
+    out = interp.run(3, {"i": [0, 1, 2]})
+    assert out["sum"][-1] == 32
+
+
+def test_stencil_writes_averages():
+    g = kernels.stencil1d_mem()
+    A = [0, 3, 6, 9, 12]
+    interp = DFGInterpreter(g, memory={"A": A, "B": [0] * 5})
+    interp.run(3, {"i": [1, 2, 3]})
+    assert interp.memory["B"][1:4] == [3, 6, 9]
+
+
+def test_vector_add_mem_stores_sum():
+    g = kernels.vector_add_mem()
+    interp = DFGInterpreter(
+        g, memory={"A": [1, 2], "B": [10, 20], "C": [0, 0]}
+    )
+    interp.run(2, {"i": [0, 1]})
+    assert interp.memory["C"] == [11, 22]
+
+
+def test_relu_semantics():
+    out = evaluate(kernels.relu(), 3, {"x": [-5, 0, 7]})
+    assert out["y"] == [0, 0, 7]
+
+
+def test_leaky_relu_semantics():
+    out = evaluate(kernels.leaky_relu(), 2, {"x": [16, -16]})
+    assert out["y"] == [16, -2]
+
+
+def test_mac4_accumulates():
+    ins = {f"x{k}": [1, 1] for k in range(4)}
+    out = evaluate(kernels.mac4(), 2, ins)
+    # weights 1..4 sum to 10 per iteration.
+    assert out["acc"] == [10, 20]
+
+
+def test_maxpool4():
+    out = evaluate(
+        kernels.maxpool4(), 1, {"a": [3], "b": [9], "c": [1], "d": [5]}
+    )
+    assert out["y"] == [9]
+
+
+def test_sigmoid_pw_segments():
+    out = evaluate(kernels.sigmoid_pw(), 3, {"x": [-9, 0, 9]})
+    assert out["y"] == [0, 8, 16]
+
+
+def test_batch_norm_lite():
+    out = evaluate(kernels.batch_norm_lite(), 1, {"x": [23]})
+    # ((23-7)*5)>>4 + 3 = 80>>4 + 3 = 5 + 3
+    assert out["y"] == [8]
+
+
+def test_ai_kernels_map_cleanly():
+    from repro.api import map_dfg
+    from repro.arch import presets
+
+    cgra = presets.simple_cgra(4, 4)
+    for name in ("relu", "leaky_relu", "mac4", "maxpool4",
+                 "sigmoid_pw", "batch_norm_lite"):
+        m = map_dfg(kernels.kernel(name), cgra, mapper="list_sched")
+        assert m.validate() == [], name

@@ -1,0 +1,74 @@
+"""Property-based tests for the random DFG generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import randdfg
+from repro.ir.dfg import Op
+from repro.ir.interp import evaluate
+
+
+@given(
+    n_ops=st.integers(1, 40),
+    width=st.integers(1, 6),
+    seed=st.integers(0, 999),
+)
+@settings(max_examples=50, deadline=None)
+def test_layered_is_valid_and_sized(n_ops, width, seed):
+    g = randdfg.layered(n_ops, width=width, seed=seed)
+    g.check()
+    compute = sum(
+        1 for n in g.nodes()
+        if not n.op.is_pseudo and n.op is not Op.XOR
+    )
+    # XOR merge nodes may be added to join sinks; compute nodes >= n_ops
+    # minus nothing: at least the requested ops exist in total.
+    assert g.op_count() >= n_ops
+
+
+@given(seed=st.integers(0, 999))
+@settings(max_examples=30, deadline=None)
+def test_layered_deterministic(seed):
+    a = randdfg.layered(15, seed=seed)
+    b = randdfg.layered(15, seed=seed)
+    assert a.pretty() == b.pretty()
+
+
+@given(seed=st.integers(0, 999))
+@settings(max_examples=30, deadline=None)
+def test_layered_is_executable(seed):
+    g = randdfg.layered(12, seed=seed)
+    ins = {
+        n.name: [1, 2, 3] for n in g.nodes() if n.op is Op.INPUT
+    }
+    out = evaluate(g, 3, ins)
+    assert all(len(v) == 3 for v in out.values())
+
+
+@given(depth=st.integers(0, 4), seed=st.integers(0, 200))
+@settings(max_examples=40, deadline=None)
+def test_series_parallel_valid(depth, seed):
+    g = randdfg.series_parallel(depth, seed=seed)
+    g.check()
+    out = evaluate(g, 2, {"x": [1, 2]})
+    assert len(out["y"]) == 2
+
+
+@given(seed=st.integers(0, 300), count=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_with_recurrences_stays_valid(seed, count):
+    base = randdfg.layered(10, seed=seed)
+    g = randdfg.with_recurrences(base, count=count, seed=seed)
+    g.check()
+    carried = [e for e in g.edges() if e.dist > 0]
+    assert len(carried) >= 1
+    # Still executable.
+    ins = {n.name: 1 for n in g.nodes() if n.op is Op.INPUT}
+    evaluate(g, 3, ins)
+
+
+def test_with_recurrences_preserves_original():
+    base = randdfg.layered(10, seed=1)
+    before = base.pretty()
+    randdfg.with_recurrences(base, count=2, seed=1)
+    assert base.pretty() == before

@@ -1,0 +1,134 @@
+"""Cross-cutting tests: every registered mapper produces valid mappings.
+
+This is the executable core of Table I — each (mapper, kernel) cell
+must yield a mapping that passes the validator, or raise MapFailure.
+"""
+
+import pytest
+
+from repro.api import available_mappers, map_dfg
+from repro.arch import presets
+from repro.core.exceptions import MapFailure
+from repro.core.problem import MappingProblem
+from repro.core.registry import catalog, create, names
+from repro.ir import kernels
+
+SPATIAL = [n for n, m in catalog().items() if "spatial" in m["kinds"]]
+TEMPORAL = [n for n, m in catalog().items() if "temporal" in m["kinds"]]
+
+# Kernels every temporal mapper must handle on a 4x4 mesh.
+EASY_KERNELS = ["vector_add", "dot_product", "if_select", "horner"]
+# Heavier kernels for the fast heuristics only.
+HARD_KERNELS = ["sobel_x", "sad", "iir_biquad", "diamonds3"]
+FAST_TEMPORAL = [
+    "list_sched", "ultrafast", "edge_centric", "crimson", "ramp",
+    "epimap", "regimap", "himap",
+]
+
+
+@pytest.fixture(scope="module")
+def cgra():
+    return presets.simple_cgra(4, 4)
+
+
+def test_registry_count_matches_design():
+    assert len(names()) == 22
+
+
+def test_every_family_represented():
+    cat = catalog()
+    fams = {m["family"] for m in cat.values()}
+    assert fams == {"heuristic", "metaheuristic", "exact"}
+    subs = {m["subfamily"] for m in cat.values()}
+    for expected in ("SA", "GA", "QEA", "ILP", "SAT", "CP", "B&B"):
+        assert any(expected in s for s in subs), expected
+
+
+def test_exact_flag_consistent():
+    cat = catalog()
+    for name in ("ilp", "ilp_spatial", "sat", "csp", "bnb", "smt"):
+        assert cat[name]["exact"], name
+    for name in ("list_sched", "dresc", "genmap"):
+        assert not cat[name]["exact"], name
+
+
+@pytest.mark.parametrize("mapper", sorted(TEMPORAL))
+@pytest.mark.parametrize("kernel", EASY_KERNELS)
+def test_temporal_mappers_easy_kernels(cgra, mapper, kernel):
+    dfg = kernels.kernel(kernel)
+    m = map_dfg(dfg, cgra, mapper=mapper)
+    assert m.validate() == []
+    assert m.kind == "modulo"
+    assert m.ii >= MappingProblem(dfg, cgra).mii
+    assert m.mapper == mapper
+    assert m.map_time > 0
+
+
+@pytest.mark.parametrize("mapper", FAST_TEMPORAL)
+@pytest.mark.parametrize("kernel", HARD_KERNELS)
+def test_fast_heuristics_hard_kernels(cgra, mapper, kernel):
+    dfg = kernels.kernel(kernel)
+    m = map_dfg(dfg, cgra, mapper=mapper)
+    assert m.validate() == []
+
+
+@pytest.mark.parametrize("mapper", sorted(SPATIAL))
+@pytest.mark.parametrize("kernel", ["vector_add", "dot_product", "if_select"])
+def test_spatial_mappers(cgra, mapper, kernel):
+    dfg = kernels.kernel(kernel)
+    m = map_dfg(dfg, cgra, mapper=mapper)
+    assert m.validate() == []
+    assert m.kind == "spatial"
+    # One cell per op in spatial mapping.
+    assert len(set(m.binding.values())) == len(m.binding)
+
+
+@pytest.mark.parametrize("mapper", sorted(TEMPORAL))
+def test_requested_ii_is_respected(cgra, mapper):
+    dfg = kernels.dot_product()
+    m = map_dfg(dfg, cgra, mapper=mapper, ii=2)
+    assert m.ii == 2
+
+
+def test_mapper_failure_is_reported():
+    # 9 independent multiplies cannot fit spatially on 2x2.
+    dfg = kernels.conv3x3()
+    cgra = presets.simple_cgra(2, 2)
+    with pytest.raises(MapFailure) as ei:
+        map_dfg(dfg, cgra, mapper="sa_spatial")
+    assert ei.value.mapper == "sa_spatial"
+
+
+def test_temporal_mapper_fails_below_recmii(cgra):
+    # iir_biquad has RecMII 3: II=1 must be infeasible for any mapper.
+    dfg = kernels.iir_biquad()
+    with pytest.raises(MapFailure):
+        map_dfg(dfg, cgra, mapper="list_sched", ii=1)
+    with pytest.raises(MapFailure):
+        map_dfg(dfg, cgra, mapper="csp", ii=1)
+
+
+def test_available_mappers_metadata():
+    cat = available_mappers()
+    assert "dresc" in cat
+    assert cat["dresc"]["subfamily"] == "SA"
+    assert cat["dresc"]["modeled_after"] == "[22]"
+
+
+def test_heterogeneous_binding_constraints():
+    """Memory-capable cells only in column 0: loads must land there."""
+    dfg = kernels.dot_product_mem()
+    cgra = presets.simple_cgra(4, 4, mem_cells="left")
+    m = map_dfg(dfg, cgra, mapper="list_sched")
+    assert m.validate() == []
+    from repro.ir.dfg import Op
+
+    for node in dfg.nodes():
+        if node.op is Op.LOAD:
+            assert cgra.coords(m.binding[node.nid])[0] == 0
+
+
+def test_unknown_mapper_raises():
+    with pytest.raises(KeyError, match="unknown mapper"):
+        map_dfg(kernels.vector_add(), presets.simple_cgra(2, 2),
+                mapper="magic")

@@ -1,0 +1,83 @@
+"""Route-node insertion (regraph) tests."""
+
+from repro.ir import kernels
+from repro.ir.dfg import DFG, Op
+from repro.ir.interp import evaluate
+from repro.mappers.regraph import split_dist0_edges, split_edge
+
+
+def test_split_edge_preserves_semantics():
+    g = kernels.dot_product()
+    # Split the mul -> add edge.
+    mul = next(n.nid for n in g.nodes() if n.op is Op.MUL)
+    add = next(n.nid for n in g.nodes() if n.op is Op.ADD)
+    e = next(e for e in g.out_edges(mul) if e.dst == add)
+    h = g.copy()
+    split_edge(h, next(
+        e2 for e2 in h.out_edges(mul) if e2.dst == add and e2.port == e.port
+    ))
+    h.check()
+    a, b = [1, 2, 3], [4, 5, 6]
+    assert (
+        evaluate(g, 3, {"a": a, "b": b})["sum"]
+        == evaluate(h, 3, {"a": a, "b": b})["sum"]
+    )
+
+
+def test_split_carried_edge_moves_distance():
+    g = DFG()
+    x = g.input("x")
+    d = g.add(Op.ROUTE, x)
+    e0 = g.operand(d, 0)
+    g.remove_edge(e0)
+    g.connect(x, d, port=0, dist=2)
+    y = g.add(Op.NEG, d)
+    g.output(y, "y")
+    e = next(e for e in g.out_edges(x))
+    # x is pseudo, but split_edge works on any edge mechanically.
+    split_edge(g, e)
+    g.check()
+    out = evaluate(g, 5, {"x": [1, 2, 3, 4, 5]})
+    assert out["y"] == [0, 0, -1, -2, -3]
+
+
+def test_split_all_adds_one_route_per_edge():
+    g = kernels.sobel_x()
+    n_edges = sum(
+        1
+        for e in g.edges()
+        if e.dist == 0
+        and not g.node(e.src).op.is_pseudo
+        and not g.node(e.dst).op.is_pseudo
+    )
+    h = split_dist0_edges(g, rounds=1)
+    assert h.op_count() == g.op_count() + n_edges
+
+
+def test_split_preserves_original():
+    g = kernels.sobel_x()
+    before = g.pretty()
+    split_dist0_edges(g, rounds=2)
+    assert g.pretty() == before
+
+
+def test_split_leaves_carried_edges_alone():
+    g = kernels.accumulate()
+    h = split_dist0_edges(g, rounds=1)
+    carried = [e for e in h.edges() if e.dist > 0]
+    assert len(carried) == 1
+    # RecMII unchanged: the self-loop is intact.
+    from repro.arch import presets
+    from repro.core.problem import MappingProblem
+
+    cgra = presets.simple_cgra(2, 2)
+    assert MappingProblem(h, cgra).rec_mii == 1
+
+
+def test_split_rounds_compose():
+    g = kernels.if_select()  # has real op-to-op edges
+    h1 = split_dist0_edges(g, rounds=1)
+    h2 = split_dist0_edges(g, rounds=2)
+    assert h2.op_count() > h1.op_count() > g.op_count()
+    out = evaluate(h2, 2, {"a": [7, 2], "b": [3, 9]})
+    assert out["y"] == [4, 7]

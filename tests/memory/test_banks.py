@@ -1,0 +1,48 @@
+"""Multi-bank memory model tests."""
+
+import pytest
+
+from repro.memory.banks import BankedMemory, conflict_schedule
+
+
+def test_block_placement_bank_of():
+    mem = BankedMemory(4, {"A": 0, "B": 2})
+    assert mem.bank_of("A", 17) == 0
+    assert mem.bank_of("B", 0) == 2
+
+
+def test_cyclic_interleave_by_address():
+    mem = BankedMemory(4)
+    assert mem.bank_of("A", 0) == 0
+    assert mem.bank_of("A", 5) == 1
+    assert mem.bank_of("A", 7) == 3
+
+
+def test_conflicts_count_serialisation():
+    mem = BankedMemory(2, {"A": 0, "B": 0, "C": 1})
+    # A and B collide; C proceeds in parallel.
+    assert mem.conflicts([("A", 0), ("B", 0), ("C", 0)]) == 1
+    # Three on the same bank: two stalls.
+    assert mem.conflicts([("A", 0), ("B", 0), ("A", 1)]) == 2
+    assert mem.conflicts([("A", 0)]) == 0
+    assert mem.conflicts([]) == 0
+
+
+def test_no_conflicts_across_banks():
+    mem = BankedMemory(2, {"A": 0, "B": 1})
+    assert mem.conflicts([("A", 0), ("B", 0)]) == 0
+
+
+def test_conflict_schedule_totals():
+    mem = BankedMemory(2, {"A": 0, "B": 0})
+    trace = [[("A", 0), ("B", 0)], [("A", 1)], []]
+    stalls, total = conflict_schedule(mem, trace)
+    assert stalls == 1
+    assert total == 4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BankedMemory(0)
+    with pytest.raises(ValueError):
+        BankedMemory(2, {"A": 5})

@@ -1,0 +1,147 @@
+"""Bank-assignment and register-allocation tests."""
+
+import pytest
+
+from repro.api import map_dfg
+from repro.arch import presets
+from repro.ir import kernels
+from repro.memory.banks import BankedMemory
+from repro.memory.data_placement import (
+    access_conflict_graph,
+    greedy_bank_assignment,
+    optimal_bank_assignment,
+    slot_accesses,
+    stall_cycles,
+)
+from repro.memory.regalloc import (
+    allocate_registers,
+    register_pressure,
+)
+
+
+@pytest.fixture(scope="module")
+def mem_mapping():
+    cgra = presets.simple_cgra(4, 4)
+    return map_dfg(kernels.dot_product_mem(), cgra, mapper="list_sched",
+                   ii=1)
+
+
+def test_slot_accesses_sees_both_loads(mem_mapping):
+    acc = slot_accesses(mem_mapping)
+    arrays = [a for arrs in acc.values() for a in arrs]
+    assert sorted(arrays) == ["A", "B"]
+
+
+def test_conflict_graph_when_coscheduled(mem_mapping):
+    # At II=1 both loads share the only slot.
+    g = access_conflict_graph(mem_mapping)
+    assert g.get(frozenset(("A", "B"))) == 1
+
+
+def test_single_bank_stalls_two_banks_dont(mem_mapping):
+    one = BankedMemory(1, {"A": 0, "B": 0})
+    two = BankedMemory(2, {"A": 0, "B": 1})
+    assert stall_cycles(mem_mapping, one) == 1
+    assert stall_cycles(mem_mapping, two) == 0
+
+
+def test_greedy_assignment_separates_conflicting_arrays(mem_mapping):
+    mem = greedy_bank_assignment(mem_mapping, 2)
+    assert mem.placement["A"] != mem.placement["B"]
+    assert stall_cycles(mem_mapping, mem) == 0
+
+
+def test_greedy_matches_optimal_here(mem_mapping):
+    greedy = greedy_bank_assignment(mem_mapping, 2)
+    opt = optimal_bank_assignment(mem_mapping, 2)
+    assert stall_cycles(mem_mapping, greedy) == stall_cycles(
+        mem_mapping, opt
+    )
+
+
+def test_optimal_rejects_large_instances(mem_mapping):
+    with pytest.raises(ValueError, match="exhaustive"):
+        optimal_bank_assignment(mem_mapping, 2, max_arrays=1)
+
+
+# ---------------------------------------------------------------------------
+def _mapping_with_holds():
+    """Force RF holds: same-cell producer/consumer with a time gap."""
+    from repro.arch.tec import HOLD, Step
+    from repro.core.mapping import Mapping
+    from repro.ir.dfg import DFG, Op
+
+    cgra = presets.simple_cgra(2, 2)
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.NEG, x)
+    b = g.add(Op.ABS, a)
+    g.output(b, "y")
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 0},
+        schedule={a: 0, b: 4},
+        routes={e: [Step(0, t, HOLD) for t in (1, 2, 3)]},
+        ii=8,
+    )
+    assert m.validate() == []
+    return m, a
+
+
+def test_register_pressure_counts_holds():
+    m, val = _mapping_with_holds()
+    p = register_pressure(m)
+    assert p[(0, 1)] == 1 and p[(0, 2)] == 1 and p[(0, 3)] == 1
+
+
+def test_rotating_allocation_span():
+    m, val = _mapping_with_holds()
+    alloc = allocate_registers(m, mode="rotating")
+    # Lifetime 3 cycles, II=8: one physical register suffices.
+    assert alloc.registers[0][val] == [0]
+    assert alloc.total_registers == 1
+
+
+def test_rotating_allocation_overlapping_iterations():
+    """II=2, hold lifetime 4 -> two iteration copies alive: 2 registers."""
+    from repro.arch.tec import HOLD, Step
+    from repro.core.mapping import Mapping
+    from repro.ir.dfg import DFG, Op
+
+    cgra = presets.simple_cgra(2, 2)
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.NEG, x)
+    b = g.add(Op.ABS, a)
+    g.output(b, "y")
+    e = g.operand(b, 0)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={a: 0, b: 0},
+        schedule={a: 0, b: 5},
+        routes={e: [Step(0, t, HOLD) for t in (1, 2, 3, 4)]},
+        ii=2,
+    )
+    assert m.validate() == []
+    alloc = allocate_registers(m, mode="rotating")
+    assert len(alloc.registers[0][a]) == 2
+
+
+def test_unified_allocation_no_conflicts_single_value():
+    m, val = _mapping_with_holds()
+    alloc = allocate_registers(m, mode="unified")
+    assert alloc.registers[0][val] == [0]
+
+
+def test_unknown_mode_rejected():
+    m, _ = _mapping_with_holds()
+    with pytest.raises(ValueError, match="unknown"):
+        allocate_registers(m, mode="stack")
+
+
+def test_spatial_mapping_allocates_nothing():
+    cgra = presets.simple_cgra(4, 4)
+    m = map_dfg(kernels.if_select(), cgra, mapper="graph_drawing")
+    alloc = allocate_registers(m)
+    assert alloc.total_registers == 0

@@ -1,0 +1,196 @@
+"""Middle-end passes: unit behaviour + semantics preservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import kernels, randdfg
+from repro.ir.dfg import DFG, Op
+from repro.ir.interp import evaluate
+from repro.passes import (
+    algebraic_simplify,
+    common_subexpression_elimination,
+    constant_fold,
+    dead_code_elimination,
+    standard_pipeline,
+    unroll,
+)
+
+
+def test_constant_fold_collapses_tree():
+    g = DFG()
+    a = g.const(3)
+    b = g.const(4)
+    s = g.add(Op.ADD, a, b)
+    m = g.add(Op.MUL, s, g.const(2))
+    g.output(m, "y")
+    out = constant_fold(g)
+    assert out.op_count() == 0
+    assert evaluate(out, 1, {})["y"] == [14]
+
+
+def test_constant_fold_keeps_div_by_zero():
+    g = DFG()
+    a = g.const(1)
+    z = g.const(0)
+    d = g.add(Op.DIV, a, z)
+    g.output(d, "y")
+    out = constant_fold(g)
+    assert any(n.op is Op.DIV for n in out.nodes())
+
+
+def test_constant_fold_skips_carried_edges():
+    g = kernels.accumulate()
+    out = constant_fold(g)
+    assert any(n.op is Op.ADD for n in out.nodes())
+
+
+@pytest.mark.parametrize(
+    "build,expect_ops",
+    [
+        (lambda g, x: g.add(Op.ADD, x, g.const(0)), 0),
+        (lambda g, x: g.add(Op.MUL, x, g.const(1)), 0),
+        (lambda g, x: g.add(Op.MUL, x, g.const(0)), 0),
+        (lambda g, x: g.add(Op.SHL, x, g.const(0)), 0),
+        (lambda g, x: g.add(Op.SUB, x, x), 0),
+        (lambda g, x: g.add(Op.XOR, x, x), 0),
+        (lambda g, x: g.add(Op.OR, x, g.const(0)), 0),
+    ],
+)
+def test_algebraic_identities(build, expect_ops):
+    g = DFG()
+    x = g.input("x")
+    n = build(g, x)
+    g.output(n, "y")
+    out = dead_code_elimination(algebraic_simplify(g))
+    assert out.op_count() == expect_ops
+
+
+def test_algebraic_preserves_semantics():
+    g = DFG()
+    x = g.input("x")
+    y = g.add(Op.ADD, x, g.const(0))
+    z = g.add(Op.MUL, y, g.const(1))
+    g.output(z, "y")
+    out = algebraic_simplify(g)
+    assert evaluate(out, 2, {"x": [5, 7]})["y"] == [5, 7]
+
+
+def test_cse_merges_duplicates():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    s1 = g.add(Op.ADD, a, b)
+    s2 = g.add(Op.ADD, a, b)
+    m = g.add(Op.MUL, s1, s2)
+    g.output(m, "y")
+    out = common_subexpression_elimination(g)
+    assert sum(1 for n in out.nodes() if n.op is Op.ADD) == 1
+    assert evaluate(out, 1, {"a": [2], "b": [3]})["y"] == [25]
+
+
+def test_cse_respects_commutativity():
+    g = DFG()
+    a = g.input("a")
+    b = g.input("b")
+    s1 = g.add(Op.ADD, a, b)
+    s2 = g.add(Op.ADD, b, a)
+    g.output(g.add(Op.SUB, s1, s2), "y")
+    out = common_subexpression_elimination(g)
+    assert sum(1 for n in out.nodes() if n.op is Op.ADD) == 1
+
+
+def test_cse_never_merges_loads():
+    g = DFG()
+    i = g.input("i")
+    l1 = g.add(Op.LOAD, i, array="A")
+    l2 = g.add(Op.LOAD, i, array="A")
+    g.output(g.add(Op.ADD, l1, l2), "y")
+    out = common_subexpression_elimination(g)
+    assert sum(1 for n in out.nodes() if n.op is Op.LOAD) == 2
+
+
+def test_dce_drops_unused_keeps_stores():
+    g = DFG()
+    x = g.input("x")
+    dead = g.add(Op.MUL, x, x)
+    live = g.add(Op.NEG, x)
+    g.add(Op.STORE, x, live, array="A")
+    out = dead_code_elimination(g)
+    assert dead not in out
+    assert any(n.op is Op.STORE for n in out.nodes())
+
+
+def test_standard_pipeline_on_redundant_kernel():
+    g = DFG()
+    x = g.input("x")
+    a = g.add(Op.ADD, x, g.const(0))      # identity
+    b = g.add(Op.MUL, a, g.const(1))      # identity
+    c1 = g.add(Op.ADD, b, g.const(5))
+    c2 = g.add(Op.ADD, b, g.const(5))     # CSE
+    g.add(Op.MUL, x, g.const(0))          # dead
+    g.output(g.add(Op.SUB, c1, c2), "y")  # x - x -> 0
+    out = standard_pipeline(g)
+    assert out.op_count() == 0
+    assert evaluate(out, 1, {"x": [9]})["y"] == [0]
+
+
+@given(seed=st.integers(0, 200), n=st.integers(3, 20))
+@settings(max_examples=30, deadline=None)
+def test_pipeline_preserves_semantics_on_random_dfgs(seed, n):
+    g = randdfg.layered(n, seed=seed)
+    out = standard_pipeline(g)
+    ins = {
+        node.name: [1, 7, 3]
+        for node in g.nodes()
+        if node.op is Op.INPUT
+    }
+    assert evaluate(g, 3, ins) == evaluate(out, 3, ins)
+
+
+# ---------------------------------------------------------------------------
+def test_unroll_factor_one_is_copy():
+    g = kernels.dot_product()
+    assert unroll(g, 1).op_count() == g.op_count()
+
+
+def test_unroll_replicates_body():
+    g = kernels.vector_add()
+    u = unroll(g, 3)
+    assert u.op_count() == 3 * g.op_count()
+    out = evaluate(
+        u, 2,
+        {f"a_{i}": [1, 2] for i in range(3)}
+        | {f"b_{i}": [10, 20] for i in range(3)},
+    )
+    assert out["c_0"] == [11, 22]
+    assert out["c_2"] == [11, 22]
+
+
+def test_unroll_rewires_recurrence():
+    g = kernels.accumulate()
+    u = unroll(g, 2)
+    # Flat stream 1..6 split as evens/odds across the two copies.
+    out = evaluate(u, 3, {"a_0": [1, 3, 5], "a_1": [2, 4, 6]})
+    # copy 1 of unrolled iteration k sees flat prefix sums of 2k+2.
+    assert out["sum_1"] == [3, 10, 21]
+    assert out["sum_0"] == [1, 6, 15]
+
+
+def test_unroll_raises_ilp():
+    """Unrolling the accumulator halves the recurrence pressure."""
+    from repro.arch import presets
+    from repro.core.problem import MappingProblem
+
+    g = kernels.accumulate()
+    u = unroll(g, 2)
+    cgra = presets.simple_cgra(4, 4)
+    # Two adds per unrolled iteration, still RecMII 1 per copy chain...
+    # the unrolled graph processes 2 elements per initiation.
+    assert MappingProblem(u, cgra).rec_mii <= 2
+    u.check()
+
+
+def test_unroll_bad_factor():
+    with pytest.raises(ValueError):
+        unroll(kernels.vector_add(), 0)

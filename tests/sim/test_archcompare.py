@@ -1,0 +1,56 @@
+"""Fig. 1 trade-off model tests: the triangle's shape must hold."""
+
+import pytest
+
+from repro.sim.archcompare import ArchPoint, compare_architectures
+
+
+@pytest.fixture(scope="module")
+def points():
+    return {p.name: p for p in compare_architectures()}
+
+
+def test_all_classes_present(points):
+    assert set(points) == {"CPU", "VLIW", "CGRA", "FPGA", "ASIC"}
+
+
+def test_flexibility_ordering(points):
+    """CPU most flexible ... ASIC least — Fig. 1's horizontal axis."""
+    assert (
+        points["CPU"].flexibility
+        > points["VLIW"].flexibility
+        > points["CGRA"].flexibility
+        > points["FPGA"].flexibility
+        > points["ASIC"].flexibility
+    )
+
+
+def test_performance_ordering(points):
+    """Hardwired dataflow outruns instruction processors."""
+    assert points["ASIC"].performance >= points["FPGA"].performance
+    assert points["FPGA"].performance >= points["CGRA"].performance
+    assert points["CGRA"].performance > points["CPU"].performance
+    assert points["VLIW"].performance > points["CPU"].performance
+
+
+def test_energy_efficiency_ordering(points):
+    """CGRAs sit between processors and hardwired logic (the paper's
+    'ideal trade-off' claim)."""
+    assert points["CGRA"].efficiency > points["VLIW"].efficiency
+    assert points["VLIW"].efficiency > points["CPU"].efficiency
+    assert points["ASIC"].efficiency > points["CGRA"].efficiency
+
+
+def test_cgra_is_the_compromise(points):
+    """CGRA dominates CPU/VLIW on efficiency while staying more
+    flexible than FPGA/ASIC — the reason the survey exists."""
+    cgra = points["CGRA"]
+    assert cgra.efficiency > points["CPU"].efficiency
+    assert cgra.flexibility > points["FPGA"].flexibility
+
+
+def test_custom_suite_runs():
+    pts = compare_architectures(["vector_add", "dot_product"])
+    assert len(pts) == 5
+    assert all(isinstance(p, ArchPoint) for p in pts)
+    assert all(p.performance > 0 for p in pts)

@@ -1,0 +1,138 @@
+"""Simulator tests: machine execution == reference interpretation."""
+
+import pytest
+
+from repro.api import map_dfg
+from repro.arch import presets
+from repro.ir import kernels
+from repro.ir.interp import DFGInterpreter, evaluate
+from repro.sim.machine import simulate_mapping
+
+
+@pytest.fixture(scope="module")
+def cgra():
+    return presets.simple_cgra(4, 4)
+
+
+@pytest.mark.parametrize(
+    "kname,inputs",
+    [
+        ("dot_product", {"a": [1, 2, 3, 4], "b": [5, 6, 7, 8]}),
+        ("vector_add", {"a": [1, 2, 3, 4], "b": [9, 9, 9, 9]}),
+        ("sobel_x", {f"p{i}": [i, 2 * i, 3, 1] for i in range(9)}),
+        ("iir_biquad", {"x": [1, 0, 2, 0]}),
+        ("fir4", {"x": [1, 2, 3, 4]}),
+        ("horner", {"x": [2, 3, 1, 0]}),
+        ("if_select", {"a": [5, 1, 7, 7], "b": [3, 9, 7, 2]}),
+    ],
+)
+@pytest.mark.parametrize("mapper", ["list_sched", "edge_centric"])
+def test_simulation_matches_interpreter(cgra, kname, inputs, mapper):
+    dfg = kernels.kernel(kname)
+    m = map_dfg(dfg, cgra, mapper=mapper)
+    sim = simulate_mapping(m, 4, inputs)
+    ref = evaluate(dfg, 4, inputs)
+    assert sim.outputs == ref
+    assert sim.hazards == []
+
+
+def test_simulation_with_memory(cgra):
+    dfg = kernels.vector_add_mem()
+    m = map_dfg(dfg, cgra, mapper="list_sched")
+    sim = simulate_mapping(
+        m, 3, {"i": [0, 1, 2]},
+        memory={"A": [1, 2, 3], "B": [10, 20, 30], "C": [0, 0, 0]},
+    )
+    assert sim.memory["C"] == [11, 22, 33]
+    assert sim.hazards == []  # A/B read-only, C write-only
+
+
+def test_overlap_throughput_matches_ii(cgra):
+    dfg = kernels.dot_product()
+    m = map_dfg(dfg, cgra, mapper="list_sched", ii=1)
+    n = 50
+    sim = simulate_mapping(m, n, {"a": [1] * n, "b": [1] * n})
+    # cycles ~ n * II + drain: close to n for II=1.
+    assert sim.cycles <= n * m.ii + m.schedule_length
+    assert sim.throughput > 0.8
+
+
+def test_higher_ii_lower_throughput(cgra):
+    dfg = kernels.dot_product()
+    m1 = map_dfg(dfg, cgra, mapper="list_sched", ii=1)
+    m3 = map_dfg(dfg, cgra, mapper="list_sched", ii=3)
+    n = 30
+    s1 = simulate_mapping(m1, n, {"a": [1] * n, "b": [1] * n})
+    s3 = simulate_mapping(m3, n, {"a": [1] * n, "b": [1] * n})
+    assert s1.throughput > s3.throughput
+    assert s1.outputs == s3.outputs  # same values, different speed
+
+
+def test_activity_accounting(cgra):
+    dfg = kernels.sobel_x()
+    m = map_dfg(dfg, cgra, mapper="list_sched")
+    n = 5
+    sim = simulate_mapping(m, n, {f"p{i}": [1] * n for i in range(9)})
+    assert sim.issue_slots == dfg.op_count() * n
+    assert sim.route_events == sum(
+        sum(1 for s in p if s.kind == "route")
+        for p in m.routes.values()
+    ) * n
+
+
+def test_predicated_kernel_simulates(cgra):
+    from repro.controlflow import full_predication
+    from tests.controlflow.test_predication import make_ite_cdfg, ref
+
+    dfg = full_predication(make_ite_cdfg())
+    m = map_dfg(dfg, cgra, mapper="list_sched")
+    A, B = [5, 1, 7], [3, 9, 7]
+    sim = simulate_mapping(m, 3, {"a": A, "b": B})
+    assert sim.outputs["out"] == [ref(a, b) for a, b in zip(A, B)]
+
+
+def test_spatial_mapping_rejected(cgra):
+    m = map_dfg(kernels.if_select(), cgra, mapper="graph_drawing")
+    with pytest.raises(ValueError, match="modulo"):
+        simulate_mapping(m, 1, {"a": [1], "b": [2]})
+
+
+def test_missing_input_rejected(cgra):
+    m = map_dfg(kernels.dot_product(), cgra, mapper="list_sched")
+    with pytest.raises(ValueError, match="missing input"):
+        simulate_mapping(m, 2, {"a": [1, 2]})
+
+
+def test_memory_hazard_detected():
+    """A mapping that reorders cross-iteration store->load pairs is
+    flagged: iteration k's load fires before iteration k-1's store."""
+    from repro.arch.tec import HOLD, Step
+    from repro.core.mapping import Mapping
+    from repro.ir.dfg import DFG, Op
+
+    from repro.arch.tec import ROUTE
+
+    cgra = presets.simple_cgra(2, 2)
+    g = DFG("racy")
+    i = g.input("i")
+    ld = g.add(Op.LOAD, i, array="A")        # reads A[i]
+    st = g.add(Op.STORE, i, ld, array="A")   # writes A[i] back
+    g.output(st, "w")
+    # At II=1 with the store 3 cycles after the load, iteration 1's
+    # load (cycle 1) fires before iteration 0's store (cycle 3).
+    e = next(e for e in g.out_edges(ld) if e.dst == st)
+    m = Mapping(
+        g, cgra, kind="modulo",
+        binding={ld: 0, st: 1},
+        schedule={ld: 0, st: 3},
+        routes={
+            # Value travels 0 -> 2 -> 3, read by cell 1 at cycle 3.
+            e: [Step(2, 1, ROUTE), Step(3, 2, ROUTE)],
+        },
+        ii=1,
+    )
+    assert m.validate() == []
+    sim = simulate_mapping(
+        m, 2, {"i": [0, 1]}, memory={"A": [7, 7, 7]}
+    )
+    assert sim.hazards != []

@@ -1,0 +1,123 @@
+"""ILP solver tests, cross-checked against scipy.optimize.milp."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.ilp import ILP, ILPStatus
+
+
+def test_simple_binary_choice():
+    ilp = ILP()
+    x = [ilp.add_var() for _ in range(3)]
+    ilp.add_constraint({x[0]: 1, x[1]: 1, x[2]: 1}, "==", 1)
+    ilp.set_objective({x[0]: 3.0, x[1]: 1.0, x[2]: 2.0})
+    res = ilp.solve()
+    assert res.status is ILPStatus.OPTIMAL
+    assert res.objective == pytest.approx(1.0)
+    assert res.x[x[1]] == pytest.approx(1.0)
+
+
+def test_knapsack():
+    # values 6,10,12 weights 1,2,3 cap 5 -> take items 1,2 => 22.
+    ilp = ILP()
+    x = [ilp.add_var() for _ in range(3)]
+    ilp.add_constraint({x[0]: 1, x[1]: 2, x[2]: 3}, "<=", 5)
+    ilp.set_objective({x[0]: -6.0, x[1]: -10.0, x[2]: -12.0})
+    res = ilp.solve()
+    assert res.status is ILPStatus.OPTIMAL
+    assert res.objective == pytest.approx(-22.0)
+
+
+def test_assignment_problem_is_lp_integral_anyway():
+    # 3x3 assignment, costs force the anti-diagonal.
+    cost = [[9, 9, 1], [9, 1, 9], [1, 9, 9]]
+    ilp = ILP()
+    x = {(i, j): ilp.add_var() for i in range(3) for j in range(3)}
+    for i in range(3):
+        ilp.add_constraint({x[i, j]: 1 for j in range(3)}, "==", 1)
+    for j in range(3):
+        ilp.add_constraint({x[i, j]: 1 for i in range(3)}, "==", 1)
+    ilp.set_objective({x[i, j]: cost[i][j] for i in range(3) for j in range(3)})
+    res = ilp.solve()
+    assert res.objective == pytest.approx(3.0)
+
+
+def test_infeasible():
+    ilp = ILP()
+    a = ilp.add_var()
+    ilp.add_constraint({a: 1}, ">=", 2)  # binary var can't reach 2
+    res = ilp.solve()
+    assert res.status is ILPStatus.INFEASIBLE
+    assert not res.ok
+
+
+def test_feasibility_problem_no_objective():
+    ilp = ILP()
+    a = ilp.add_var()
+    b = ilp.add_var()
+    ilp.add_constraint({a: 1, b: 1}, "==", 1)
+    res = ilp.solve()
+    assert res.ok
+    assert res.x[a] + res.x[b] == pytest.approx(1.0)
+
+
+def test_general_integer_variables():
+    # max x + y s.t. 2x + 3y <= 12, x,y integer in [0, 5].
+    ilp = ILP()
+    x = ilp.add_var(ub=5)
+    y = ilp.add_var(ub=5)
+    ilp.add_constraint({x: 2, y: 3}, "<=", 12)
+    ilp.set_objective({x: -1.0, y: -1.0})
+    res = ilp.solve()
+    # Best integer points all reach x + y = 5 (e.g. x=5,y=0 or x=3,y=2).
+    assert res.objective == pytest.approx(-5.0)
+    xv, yv = res.x[x], res.x[y]
+    assert xv == round(xv) and yv == round(yv)
+    assert 2 * xv + 3 * yv <= 12 + 1e-6
+
+
+def test_bad_constraint_sense():
+    ilp = ILP()
+    a = ilp.add_var()
+    with pytest.raises(ValueError, match="sense"):
+        ilp.add_constraint({a: 1}, "<", 1)
+    with pytest.raises(ValueError, match="empty"):
+        ilp.add_constraint({}, "<=", 1)
+
+
+def test_node_limit_reported():
+    ilp = ILP()
+    xs = [ilp.add_var() for _ in range(12)]
+    ilp.add_constraint({v: w for v, w in zip(xs, [3, 5, 7, 9, 11, 13, 17, 19, 23, 29, 31, 37])}, "<=", 60)
+    ilp.set_objective({v: -w for v, w in zip(xs, [3.1, 5.2, 7.3, 9.1, 11.5, 13.9, 17.2, 19.8, 23.1, 29.7, 31.3, 37.9])})
+    res = ilp.solve(node_limit=2)
+    assert res.status in (ILPStatus.NODE_LIMIT, ILPStatus.OPTIMAL)
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_random_knapsack_matches_scipy_milp(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    w = rng.integers(1, 10, n)
+    v = rng.integers(1, 20, n).astype(float)
+    cap = int(rng.integers(5, 25))
+
+    ilp = ILP()
+    xs = [ilp.add_var() for _ in range(n)]
+    ilp.add_constraint({xs[i]: float(w[i]) for i in range(n)}, "<=", cap)
+    ilp.set_objective({xs[i]: -v[i] for i in range(n)})
+    ours = ilp.solve()
+
+    from scipy.optimize import LinearConstraint, milp
+
+    ref = milp(
+        c=-v,
+        constraints=[LinearConstraint(w.reshape(1, -1), ub=[cap])],
+        integrality=np.ones(n),
+        bounds=__import__("scipy.optimize", fromlist=["Bounds"]).Bounds(0, 1),
+    )
+    assert ours.status is ILPStatus.OPTIMAL
+    assert ours.objective == pytest.approx(ref.fun, abs=1e-6)

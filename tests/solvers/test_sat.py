@@ -1,0 +1,164 @@
+"""SAT solver tests: unit cases, pigeonhole, random 3-SAT vs brute force."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.sat import CNF, SatSolver
+
+
+def brute_force_sat(n_vars, clauses):
+    for bits in itertools.product([False, True], repeat=n_vars):
+        ok = True
+        for cl in clauses:
+            if not any(
+                bits[abs(l) - 1] == (l > 0) for l in cl
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def check_model(clauses, model):
+    return all(any(model[abs(l)] == (l > 0) for l in cl) for cl in clauses)
+
+
+def test_single_unit_clause():
+    cnf = CNF()
+    a = cnf.new_var("a")
+    cnf.add(a)
+    res = SatSolver(cnf).solve()
+    assert res.sat and res.assignment[a] is True
+
+
+def test_contradictory_units():
+    cnf = CNF()
+    a = cnf.new_var()
+    cnf.add(a)
+    cnf.add(-a)
+    assert not SatSolver(cnf).solve().sat
+
+
+def test_implication_chain_propagates():
+    cnf = CNF()
+    vs = [cnf.new_var() for _ in range(6)]
+    cnf.add(vs[0])
+    for i in range(5):
+        cnf.implies(vs[i], vs[i + 1])
+    res = SatSolver(cnf).solve()
+    assert res.sat
+    assert all(res.assignment[v] for v in vs)
+
+
+def test_simple_unsat_triangle():
+    cnf = CNF()
+    a, b, c = (cnf.new_var() for _ in range(3))
+    cnf.add(a, b)
+    cnf.add(a, -b)
+    cnf.add(-a, c)
+    cnf.add(-a, -c)
+    assert not SatSolver(cnf).solve().sat
+
+
+@pytest.mark.parametrize("holes", [1, 2, 3])
+def test_pigeonhole_unsat(holes):
+    """holes+1 pigeons into `holes` holes is UNSAT."""
+    pigeons = holes + 1
+    cnf = CNF()
+    var = {
+        (p, h): cnf.new_var() for p in range(pigeons) for h in range(holes)
+    }
+    for p in range(pigeons):
+        cnf.add(*[var[p, h] for h in range(holes)])
+    for h in range(holes):
+        cnf.at_most_one([var[p, h] for p in range(pigeons)])
+    assert not SatSolver(cnf).solve().sat
+
+
+def test_pigeonhole_equal_sat():
+    cnf = CNF()
+    n = 3
+    var = {(p, h): cnf.new_var() for p in range(n) for h in range(n)}
+    for p in range(n):
+        cnf.exactly_one([var[p, h] for h in range(n)])
+    for h in range(n):
+        cnf.at_most_one([var[p, h] for p in range(n)])
+    res = SatSolver(cnf).solve()
+    assert res.sat
+    assert check_model(cnf.clauses, res.assignment)
+
+
+def test_exactly_one_helper():
+    cnf = CNF()
+    vs = [cnf.new_var() for _ in range(4)]
+    cnf.exactly_one(vs)
+    res = SatSolver(cnf).solve()
+    assert res.sat
+    assert sum(res.assignment[v] for v in vs) == 1
+
+
+def test_implies_any_helper():
+    cnf = CNF()
+    a, b, c = (cnf.new_var() for _ in range(3))
+    cnf.add(a)
+    cnf.implies_any(a, [b, c])
+    cnf.add(-b)
+    res = SatSolver(cnf).solve()
+    assert res.sat and res.assignment[c]
+
+
+def test_named_variables():
+    cnf = CNF()
+    cnf.new_var("x")
+    assert cnf.var("x") == 1
+    with pytest.raises(ValueError, match="duplicate"):
+        cnf.new_var("x")
+
+
+def test_literal_validation():
+    cnf = CNF()
+    cnf.new_var()
+    with pytest.raises(ValueError):
+        cnf.add(0)
+    with pytest.raises(ValueError):
+        cnf.add(5)
+    with pytest.raises(ValueError, match="empty"):
+        cnf.add()
+
+
+def test_graph_coloring_3cycle_2colors_unsat():
+    cnf = CNF()
+    col = {(v, c): cnf.new_var() for v in range(3) for c in range(2)}
+    for v in range(3):
+        cnf.exactly_one([col[v, c] for c in range(2)])
+    for u, v in [(0, 1), (1, 2), (2, 0)]:
+        for c in range(2):
+            cnf.add(-col[u, c], -col[v, c])
+    assert not SatSolver(cnf).solve().sat
+
+
+@given(seed=st.integers(0, 2000))
+@settings(max_examples=60, deadline=None)
+def test_random_3sat_agrees_with_brute_force(seed):
+    rng = random.Random(seed)
+    n = rng.randint(3, 9)
+    m = rng.randint(3, int(4.5 * n))
+    cnf = CNF()
+    for _ in range(n):
+        cnf.new_var()
+    clauses = []
+    for _ in range(m):
+        vs = rng.sample(range(1, n + 1), min(3, n))
+        cl = [v if rng.random() < 0.5 else -v for v in vs]
+        clauses.append(cl)
+        cnf.add(*cl)
+    res = SatSolver(cnf).solve()
+    expected = brute_force_sat(n, clauses)
+    assert res.sat == expected
+    if res.sat:
+        assert check_model(clauses, res.assignment)

@@ -1,0 +1,118 @@
+"""Survey dataset tests: Table I and Fig. 4 regeneration."""
+
+import pytest
+
+from repro.survey.bibliography import BIBLIOGRAPHY, Work, by_year, works_with
+from repro.survey.taxonomy import (
+    executable_table1,
+    literature_table1,
+    render_table1,
+)
+from repro.survey.timeline import (
+    ERA_MARKERS,
+    era_onsets,
+    publications_per_year,
+    render_timeline,
+)
+
+
+def test_bibliography_keys_unique():
+    keys = [w.key for w in BIBLIOGRAPHY]
+    assert len(keys) == len(set(keys))
+
+
+def test_bibliography_years_in_survey_window():
+    assert all(1998 <= w.year <= 2021 for w in BIBLIOGRAPHY)
+
+
+def test_bad_table_cell_rejected():
+    with pytest.raises(ValueError, match="bad Table I cell"):
+        Work(99, "bad", 2020, "x", (("spatial", "quantum"),))
+
+
+def test_literature_table_matches_paper_cells():
+    """Spot-check cells against the printed Table I."""
+    t = literature_table1()
+    assert t["temporal"]["local_search"] == ["[22]"]          # DRESC SA
+    assert t["spatial"]["population"] == ["[19]"]             # GenMap GA
+    assert "[17]" in t["temporal"]["csp"]                     # SAT
+    assert "[43]" in t["temporal"]["csp"]                     # CP
+    assert "[41]" in t["temporal"]["ilp_bb"]                  # ILP
+    assert "[42]" in t["temporal"]["ilp_bb"]                  # B&B
+    assert set(t["spatial"]["ilp_bb"]) == {"[23]", "[34]", "[35]"}
+    assert "[48]" in t["binding"]["population"]               # QEA
+    assert "[49]" in t["binding"]["local_search"]             # SPR
+    assert set(t["spatial"]["heuristic"]) == {"[23]", "[30]", "[31]"}
+    assert "[12]" in t["temporal"]["heuristic"]
+    assert "[26]" in t["temporal"]["heuristic"]               # HiMap
+    assert "[52]" in t["scheduling"]["heuristic"]             # CRIMSON
+    assert set(t["scheduling"]["ilp_bb"]) == {"[15]", "[53]"}
+
+
+def test_executable_table_covers_every_nonempty_literature_column():
+    """Every technique column of the printed table has at least one
+    living implementation in the registry."""
+    lit = literature_table1()
+    exe = executable_table1()
+    for row in lit:
+        for col in lit[row]:
+            if lit[row][col] and row in ("spatial", "temporal"):
+                assert exe[row][col] or any(
+                    exe[r][col] for r in exe
+                ), f"no implementation for column {col} (row {row})"
+
+
+def test_executable_table_places_known_mappers():
+    exe = executable_table1()
+    assert "dresc" in exe["temporal"]["local_search"]
+    assert "genmap" in exe["spatial"]["population"]
+    assert "sat" in exe["temporal"]["csp"]
+    assert "ilp_spatial" in exe["spatial"]["ilp_bb"]
+    assert "crimson" in exe["scheduling"]["heuristic"]
+    assert "regimap" in exe["binding"]["heuristic"]
+
+
+def test_render_table_is_aligned_ascii():
+    text = render_table1(literature_table1(), title="Table I (lit)")
+    lines = text.splitlines()
+    assert lines[0] == "Table I (lit)"
+    assert "Spatial mapping" in text
+    assert "[22]" in text
+
+
+def test_by_year_sorted_and_grouped():
+    groups = by_year()
+    years = list(groups)
+    assert years == sorted(years)
+    assert any(w.name == "DRESC" for w in groups[2002])
+
+
+def test_works_with_feature():
+    hw = works_with("hardware_loops")
+    assert {w.key for w in hw} == {62, 63, 64}
+
+
+def test_timeline_shape_matches_paper():
+    """Fig. 4's claims: second decade > first decade, 2021 spike."""
+    counts = publications_per_year()
+    first_decade = sum(counts[y] for y in range(2000, 2011))
+    second_decade = sum(counts[y] for y in range(2011, 2022))
+    assert second_decade > first_decade
+    assert counts[2021] == max(counts.values())
+
+
+def test_era_onsets_ordering():
+    onsets = era_onsets()
+    assert onsets["Modulo scheduling"] <= 2002
+    assert onsets["Full predication"] == 2002
+    assert onsets["Partial predication"] == 2008
+    assert onsets["Memory aware"] <= 2011
+    assert onsets["Hardware loops"] >= 2015
+    assert set(onsets) == set(ERA_MARKERS.values())
+
+
+def test_render_timeline_has_all_years():
+    text = render_timeline()
+    for y in (2000, 2010, 2021):
+        assert str(y) in text
+    assert "Modulo scheduling" in text

@@ -1,0 +1,83 @@
+"""Top-level API and bench-harness tests."""
+
+import pytest
+
+from repro import available_mappers, compile_source, map_dfg
+from repro.arch import presets
+from repro.bench import MatrixResult, ascii_table, run_matrix
+from repro.ir import kernels
+
+
+def test_package_exports():
+    import repro
+
+    assert repro.__version__
+    assert callable(repro.map_dfg)
+
+
+def test_available_mappers_shape():
+    cat = available_mappers()
+    assert len(cat) == 22
+    sample = cat["list_sched"]
+    assert set(sample) >= {
+        "family", "subfamily", "kinds", "exact", "solves",
+        "modeled_after", "year",
+    }
+
+
+def test_map_dfg_forwards_options():
+    m = map_dfg(
+        kernels.dot_product(), presets.simple_cgra(4, 4),
+        mapper="crimson", seed=3, restarts=2,
+    )
+    assert m.validate() == []
+
+
+def test_compile_source_rejects_bad_source():
+    with pytest.raises(Exception):
+        compile_source("kernel broken {", presets.simple_cgra(2, 2))
+
+
+def test_run_matrix_records_failures():
+    cgra = presets.simple_cgra(2, 2)
+    results = run_matrix(["sa_spatial"], ["conv3x3"], cgra)
+    assert len(results) == 1
+    r = results[0]
+    assert not r.ok
+    assert "sa_spatial" in r.error
+    assert r.row()["ok"] == "FAIL"
+
+
+def test_run_matrix_success_rows():
+    cgra = presets.simple_cgra(4, 4)
+    results = run_matrix(
+        ["list_sched", "ultrafast"], ["dot_product", "vector_add"], cgra
+    )
+    assert len(results) == 4
+    assert all(r.ok for r in results)
+    assert all(r.time_ms >= 0 for r in results)
+
+
+def test_run_matrix_mapper_opts():
+    cgra = presets.simple_cgra(4, 4)
+    results = run_matrix(
+        ["crimson"], ["dot_product"], cgra,
+        mapper_opts={"crimson": {"restarts": 1, "seed": 9}},
+    )
+    assert results[0].ok
+
+
+def test_ascii_table_alignment():
+    rows = [
+        {"name": "a", "value": 1},
+        {"name": "longer", "value": 23},
+    ]
+    text = ascii_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert len({len(l) for l in lines[1:2]}) == 1
+    assert "longer" in text
+
+
+def test_ascii_table_empty():
+    assert ascii_table([], title="empty") == "empty"

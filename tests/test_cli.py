@@ -1,0 +1,81 @@
+"""CLI tests (direct invocation of repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_mappers(capsys):
+    assert main(["list", "mappers"]) == 0
+    out = capsys.readouterr().out
+    assert "dresc" in out and "exact" in out and "[22]" in out
+
+
+def test_list_kernels(capsys):
+    assert main(["list", "kernels"]) == 0
+    assert "dot_product" in capsys.readouterr().out
+
+
+def test_list_archs(capsys):
+    assert main(["list", "archs"]) == 0
+    out = capsys.readouterr().out
+    assert "simple4x4" in out and "adres4x4" in out
+
+
+def test_map_kernel(capsys):
+    rc = main([
+        "map", "--kernel", "dot_product", "--arch", "simple4x4",
+        "--mapper", "list_sched", "--show-contexts",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "II=1" in out and "configuration" in out
+
+
+def test_map_failure_exit_code(capsys):
+    rc = main([
+        "map", "--kernel", "conv3x3", "--arch", "simple2x2",
+        "--mapper", "sa_spatial",
+    ])
+    assert rc == 1
+    assert "mapping failed" in capsys.readouterr().err
+
+
+def test_map_source_file(tmp_path, capsys):
+    src = tmp_path / "k.cgra"
+    src.write_text("kernel k { y = a + b; out y; }")
+    rc = main([
+        "map", "--source", str(src), "--arch", "simple4x4",
+        "--mapper", "ultrafast",
+    ])
+    assert rc == 0
+    assert "Mapping of" in capsys.readouterr().out
+
+
+def test_compare(capsys):
+    rc = main([
+        "compare", "--kernels", "dot_product,vector_add",
+        "--mappers", "list_sched,ultrafast",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ultrafast" in out and "vector_add" in out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I (literature)" in out
+    assert "Table I (this package)" in out
+    assert "[22]" in out and "dresc" in out
+
+
+def test_timeline(capsys):
+    assert main(["timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "2021" in out and "Modulo scheduling" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import logging
 import time
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.arch.cgra import CGRA
@@ -11,13 +13,31 @@ from repro.core.exceptions import MapFailure
 from repro.core.metrics import metrics_of
 from repro.core.registry import create
 from repro.ir import kernels as kernel_lib
+from repro.obs.tracer import Span, Tracer, tracing
 
 __all__ = ["MatrixResult", "ascii_table", "run_matrix"]
+
+_log = logging.getLogger("repro.bench.harness")
+
+#: width budget of the ``error`` column in :meth:`MatrixResult.row`
+ERROR_COLUMN_WIDTH = 48
+
+
+def _truncate(text: str, width: int = ERROR_COLUMN_WIDTH) -> str:
+    text = " ".join(text.split())  # collapse newlines/runs for the table
+    if len(text) <= width:
+        return text
+    return text[: width - 1] + "…"
 
 
 @dataclass
 class MatrixResult:
-    """Outcome of one (mapper, kernel) cell."""
+    """Outcome of one (mapper, kernel) cell.
+
+    ``time_ms`` is the mapper's own wall-clock (``Mapping.map_time``);
+    ``total_ms`` additionally includes kernel construction, metric
+    extraction, and — on failure — the whole failed attempt.
+    """
 
     mapper: str
     kernel: str
@@ -27,7 +47,9 @@ class MatrixResult:
     utilization: float = 0.0
     route_steps: int = 0
     time_ms: float = 0.0
+    total_ms: float = 0.0
     error: str = ""
+    trace: Span | None = field(default=None, repr=False, compare=False)
 
     def row(self) -> dict[str, Any]:
         return {
@@ -39,6 +61,7 @@ class MatrixResult:
             "util%": round(100 * self.utilization, 1) if self.ok else "-",
             "routes": self.route_steps if self.ok else "-",
             "time_ms": round(self.time_ms, 1),
+            "error": _truncate(self.error),
         }
 
 
@@ -49,18 +72,27 @@ def run_matrix(
     *,
     ii: int | None = None,
     mapper_opts: dict[str, dict] | None = None,
+    trace: bool = False,
 ) -> list[MatrixResult]:
-    """Run every mapper on every kernel; failures become rows, not errors."""
+    """Run every mapper on every kernel; failures become rows, not errors.
+
+    With ``trace=True`` each cell runs under its own tracer and the
+    resulting root span is attached to :attr:`MatrixResult.trace`.
+    """
     out: list[MatrixResult] = []
     opts = mapper_opts or {}
     for mname in mappers:
         for kname in kernels:
             dfg = kernel_lib.kernel(kname)
+            tracer = Tracer() if trace else None
+            ctx = tracing(tracer) if trace else nullcontext()
             t0 = time.perf_counter()
             try:
-                mapping = create(mname, **opts.get(mname, {})).map(
-                    dfg, cgra, ii=ii
-                )
+                with ctx:
+                    mapping = create(mname, **opts.get(mname, {})).map(
+                        dfg, cgra, ii=ii
+                    )
+                total_ms = 1000 * (time.perf_counter() - t0)
                 met = metrics_of(mapping)
                 out.append(
                     MatrixResult(
@@ -71,17 +103,25 @@ def run_matrix(
                         schedule_length=met.schedule_length,
                         utilization=met.utilization,
                         route_steps=met.route_steps,
-                        time_ms=1000 * (time.perf_counter() - t0),
+                        time_ms=1000 * mapping.map_time,
+                        total_ms=total_ms,
+                        trace=mapping.trace,
                     )
                 )
             except MapFailure as ex:
+                total_ms = 1000 * (time.perf_counter() - t0)
+                _log.warning(
+                    "run_matrix: %s on %s failed: %s", mname, kname, ex
+                )
                 out.append(
                     MatrixResult(
                         mapper=mname,
                         kernel=kname,
                         ok=False,
-                        time_ms=1000 * (time.perf_counter() - t0),
+                        time_ms=total_ms,
+                        total_ms=total_ms,
                         error=str(ex),
+                        trace=tracer.root if tracer is not None else None,
                     )
                 )
     return out

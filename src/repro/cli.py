@@ -5,26 +5,125 @@ ready for use tool to democratize the CGRAs" — so the package is also
 a tool::
 
     python -m repro list mappers
-    python -m repro map --kernel dot_product --arch simple4x4 \\
+    python -m repro map dot_product --arch simple4x4 \\
                         --mapper dresc --show-contexts
+    python -m repro map dotprod --arch 4x4 --mapper sa_spatial --profile
     python -m repro compare --kernels dot_product,sobel_x \\
-                            --mappers list_sched,dresc,ilp
+                            --mappers list_sched,dresc,ilp --trace out.jsonl
     python -m repro table1
     python -m repro timeline
     python -m repro dse
 
 Every subcommand prints plain text and exits non-zero on failure, so
-the CLI scripts cleanly.
+the CLI scripts cleanly.  ``--profile`` prints the per-phase
+time/counter breakdown recorded by :mod:`repro.obs`; ``--trace FILE``
+writes the same spans as JSONL.  ``-v``/``--verbose`` turns on DEBUG
+logging for the ``repro.*`` hierarchy (WARNING otherwise).
+
+Kernel, architecture, and mapper names resolve leniently: exact name
+first, then case/underscore-insensitive, then unique prefix (the
+shortest candidate wins when one is a prefix of all others, so
+``dotprod`` means ``dot_product``), then unique substring; a bare
+architecture size like ``4x4`` selects the ``simple`` preset.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+from contextlib import nullcontext
 
 __all__ = ["main"]
 
 
+# ---------------------------------------------------------------------------
+def _normalize(name: str) -> str:
+    return name.lower().replace("_", "").replace("-", "")
+
+
+def resolve_name(name: str, candidates: list[str], what: str) -> str:
+    """Resolve a user-supplied name against known ``candidates``."""
+    if name in candidates:
+        return name
+    norm = _normalize(name)
+    by_norm = {_normalize(c): c for c in candidates}
+    if norm in by_norm:
+        return by_norm[norm]
+    if "simple" + norm in by_norm:  # bare size -> the simple mesh preset
+        return by_norm["simple" + norm]
+
+    def pick(matches: list[str]) -> str | None:
+        if len(matches) == 1:
+            return matches[0]
+        if matches:
+            # Unambiguous if the shortest match is a stem of the rest.
+            shortest = min(matches, key=lambda c: len(_normalize(c)))
+            stem = _normalize(shortest)
+            if all(_normalize(m).startswith(stem) for m in matches):
+                return shortest
+        return None
+
+    chosen = pick([c for c in candidates if _normalize(c).startswith(norm)])
+    if chosen is None:
+        chosen = pick([c for c in candidates if norm in _normalize(c)])
+    if chosen is None:
+        raise SystemExit(
+            f"unknown {what} {name!r}; available: {sorted(candidates)}"
+        )
+    return chosen
+
+
+def _resolve_kernel(name: str) -> str:
+    from repro.ir import kernels
+
+    return resolve_name(name, list(kernels.kernel_names()), "kernel")
+
+
+def _resolve_arch(name: str) -> str:
+    from repro.arch import presets
+
+    return resolve_name(name, sorted(presets.PRESETS), "architecture")
+
+
+def _resolve_mapper(name: str) -> str:
+    from repro.core.registry import names
+
+    return resolve_name(name, names(), "mapper")
+
+
+def _obs_context(args):
+    """A ``tracing()`` context when ``--trace``/``--profile`` ask for it."""
+    from repro.obs import tracing
+
+    if getattr(args, "trace", None) or getattr(args, "profile", False):
+        return tracing()
+    return nullcontext()
+
+
+def _emit_obs(args, tracer) -> None:
+    """Print the profile and/or write the JSONL trace, when requested."""
+    if tracer is None:
+        return
+    if getattr(args, "profile", False):
+        from repro.obs import render_profile
+
+        print("\n" + render_profile(tracer))
+    if getattr(args, "trace", None):
+        print("\n" + _write_trace(tracer, args.trace))
+
+
+def _write_trace(source, path: str) -> str:
+    from repro.obs import write_jsonl
+
+    try:
+        n = write_jsonl(source, path)
+    except OSError as ex:
+        raise SystemExit(f"error: cannot write trace {path!r}: {ex}")
+    return f"trace: wrote {n} spans to {path}"
+
+
+# ---------------------------------------------------------------------------
 def _cmd_list(args) -> int:
     if args.what == "mappers":
         from repro.core.registry import catalog
@@ -66,26 +165,29 @@ def _cmd_map(args) -> int:
     from repro.core.metrics import metrics_of
     from repro.ir import kernels
 
-    if args.source:
-        from repro.api import compile_source
+    arch = _resolve_arch(args.arch)
+    mapper = _resolve_mapper(args.mapper)
+    cgra = presets.by_name(arch)
+    tracer = None
+    with _obs_context(args) as ctx:
+        if ctx is not None:
+            tracer = ctx
+        try:
+            if args.source:
+                from repro.api import compile_source
 
-        cgra = presets.by_name(args.arch)
-        with open(args.source) as fh:
-            src = fh.read()
-        try:
-            mapping = compile_source(src, cgra, mapper=args.mapper)
+                with open(args.source) as fh:
+                    src = fh.read()
+                mapping = compile_source(src, cgra, mapper=mapper)
+            else:
+                kernel = _resolve_kernel(args.kernel)
+                dfg = kernels.kernel(kernel)
+                mapping = map_dfg(
+                    dfg, cgra, mapper=mapper, ii=args.ii
+                )
         except MapFailure as ex:
             print(f"mapping failed: {ex}", file=sys.stderr)
-            return 1
-    else:
-        dfg = kernels.kernel(args.kernel)
-        cgra = presets.by_name(args.arch)
-        try:
-            mapping = map_dfg(
-                dfg, cgra, mapper=args.mapper, ii=args.ii
-            )
-        except MapFailure as ex:
-            print(f"mapping failed: {ex}", file=sys.stderr)
+            _emit_obs(args, tracer)
             return 1
     print(mapping.describe())
     print(f"\nmetrics: {metrics_of(mapping).row()}")
@@ -93,6 +195,7 @@ def _cmd_map(args) -> int:
         from repro.sim.configgen import render_contexts
 
         print("\n" + render_contexts(mapping))
+    _emit_obs(args, tracer)
     return 0
 
 
@@ -100,16 +203,31 @@ def _cmd_compare(args) -> int:
     from repro.arch import presets
     from repro.bench import ascii_table, run_matrix
 
-    cgra = presets.by_name(args.arch)
-    results = run_matrix(
-        args.mappers.split(","), args.kernels.split(","), cgra
-    )
+    arch = _resolve_arch(args.arch)
+    mappers = [_resolve_mapper(m) for m in args.mappers.split(",")]
+    kernels = [_resolve_kernel(k) for k in args.kernels.split(",")]
+    cgra = presets.by_name(arch)
+    want_obs = bool(args.trace or args.profile)
+    results = run_matrix(mappers, kernels, cgra, trace=want_obs)
     print(
         ascii_table(
             [r.row() for r in results],
             title=f"mapper x kernel on {cgra.name}",
         )
     )
+    if want_obs:
+        roots = [r.trace for r in results if r.trace is not None]
+        if args.profile:
+            from repro.obs import render_summary
+
+            print()
+            print(
+                render_summary(
+                    roots, title="per-phase summary (all cells)"
+                )
+            )
+        if args.trace:
+            print("\n" + _write_trace(roots, args.trace))
     return 0 if all(r.ok for r in results) else 1
 
 
@@ -137,7 +255,11 @@ def _cmd_dse(args) -> int:
     from repro.bench import ascii_table
     from repro.dse import default_space, explore, pareto_front
 
-    points = explore(default_space() if args.full else None)
+    tracer = None
+    with _obs_context(args) as ctx:
+        if ctx is not None:
+            tracer = ctx
+        points = explore(default_space() if args.full else None)
     rows = [
         {
             "architecture": p.label(),
@@ -151,13 +273,29 @@ def _cmd_dse(args) -> int:
     print("\nPareto frontier:")
     for p in pareto_front(points):
         print(f"  {p.label():30s} perf={p.performance:.3f} cost={p.cost:.0f}")
+    _emit_obs(args, tracer)
     return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write the span trace as JSONL to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase time/counter breakdown",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="A canonical CGRA mapping framework (see README.md).",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="DEBUG logging for the repro.* hierarchy",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -166,18 +304,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_list)
 
     p = sub.add_parser("map", help="map a kernel onto an architecture")
-    p.add_argument("--kernel", default="dot_product")
+    p.add_argument(
+        "kernel", nargs="?", default=None,
+        help="kernel name (same as --kernel)",
+    )
+    p.add_argument("--kernel", dest="kernel_opt", default="dot_product")
     p.add_argument("--source", help="kernel-language source file instead")
     p.add_argument("--arch", default="simple4x4")
     p.add_argument("--mapper", default="list_sched")
     p.add_argument("--ii", type=int, default=None)
     p.add_argument("--show-contexts", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_map)
 
     p = sub.add_parser("compare", help="mapper x kernel matrix")
     p.add_argument("--kernels", default="dot_product,sobel_x")
     p.add_argument("--mappers", default="list_sched,edge_centric")
     p.add_argument("--arch", default="simple4x4")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser("table1", help="regenerate the survey's Table I")
@@ -188,12 +332,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("dse", help="architecture design-space sweep")
     p.add_argument("--full", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_dse)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.obs import configure_logging
+
+    configure_logging(
+        logging.DEBUG if args.verbose else logging.WARNING
+    )
+    if args.fn is _cmd_map:
+        # The positional kernel wins over the --kernel default.
+        args.kernel = args.kernel or args.kernel_opt
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `repro list kernels | head`

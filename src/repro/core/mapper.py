@@ -15,16 +15,21 @@ taxonomy and code cannot drift apart.
 from __future__ import annotations
 
 import abc
+import logging
 import time
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.arch.cgra import CGRA
 from repro.core.exceptions import MapFailure
 from repro.core.mapping import Mapping
 from repro.core.problem import MappingProblem
 from repro.ir.dfg import DFG
+from repro.obs.tracer import II_ATTEMPTS, Tracer, get_tracer
 
 __all__ = ["Mapper", "MapperInfo"]
+
+_log = logging.getLogger("repro.core.mapper")
 
 FAMILIES = ("heuristic", "metaheuristic", "exact")
 KINDS = ("spatial", "temporal")
@@ -87,12 +92,24 @@ class Mapper(abc.ABC):
     def map(
         self, dfg: DFG, cgra: CGRA, ii: int | None = None
     ) -> Mapping:
-        """Produce a validated mapping or raise :class:`MapFailure`."""
+        """Produce a validated mapping or raise :class:`MapFailure`.
+
+        When tracing is enabled (:func:`repro.obs.tracing`) the call
+        runs under a root span named ``map`` and the resulting
+        :attr:`Mapping.trace` carries that span tree.
+        """
         dfg.check()
+        tracer = get_tracer()
         t0 = time.perf_counter()
-        mapping = self._map(dfg, cgra, ii)
+        with tracer.span(
+            "map", mapper=self.info.name, dfg=dfg.name, cgra=cgra.name
+        ) as root:
+            mapping = self._map(dfg, cgra, ii)
         mapping.mapper = self.info.name
         mapping.map_time = time.perf_counter() - t0
+        if tracer.enabled:
+            root.tag(ii=mapping.ii, kind=mapping.kind)
+            mapping.trace = root
         return mapping
 
     @abc.abstractmethod
@@ -104,21 +121,35 @@ class Mapper(abc.ABC):
     # ------------------------------------------------------------------
     def ii_range(
         self, dfg: DFG, cgra: CGRA, ii: int | None, *, slack: int = 0
-    ) -> range:
+    ) -> Iterable[int]:
         """II values to try: requested II, or MII..min(2*MII+ops, contexts).
 
         ``slack`` widens the upper end for mappers that need routing
-        headroom.
+        headroom.  With tracing enabled, iterating records one ``ii``
+        span per attempted II (wrapping the loop body that consumes
+        the value) and bumps the ``ii_attempts`` counter; disabled, the
+        plain range comes back untouched.
         """
         if ii is not None:
-            return range(ii, ii + 1)
-        prob = MappingProblem(dfg, cgra)
-        lo = prob.mii
-        hi = min(cgra.n_contexts, max(2 * lo + dfg.op_count(), lo) + slack)
-        return range(lo, hi + 1)
+            values = range(ii, ii + 1)
+        else:
+            prob = MappingProblem(dfg, cgra)
+            lo = prob.mii
+            hi = min(
+                cgra.n_contexts, max(2 * lo + dfg.op_count(), lo) + slack
+            )
+            values = range(lo, hi + 1)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return values
+        return _traced_ii_iter(values, tracer)
 
     def fail(self, message: str, attempts: int = 0) -> MapFailure:
         """Build a MapFailure tagged with this mapper's name."""
+        _log.warning(
+            "%s: giving up after %d attempt(s): %s",
+            self.info.name, attempts, message,
+        )
         return MapFailure(
             f"{self.info.name}: {message}",
             mapper=self.info.name,
@@ -127,3 +158,16 @@ class Mapper(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(seed={self.seed})"
+
+
+def _traced_ii_iter(values: range, tracer: Tracer) -> Iterator[int]:
+    """Yield IIs, wrapping each consumer loop body in an ``ii`` span.
+
+    The span opens before the yield and closes when the consumer
+    advances (or abandons) the loop, so the mapper's work for that II
+    lands inside it.
+    """
+    for value in values:
+        tracer.count(II_ATTEMPTS)
+        with tracer.span("ii", ii=value):
+            yield value

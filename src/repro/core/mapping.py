@@ -53,6 +53,8 @@ class Mapping:
         coexec: dual-issue pairs (§III-B1): each frozenset of two node
             ids may share one FU slot because the hardware issues only
             one of the two configurations at run time.
+        trace: the root :class:`repro.obs.Span` of the mapper run when
+            tracing was enabled, else None.  Not serialized.
     """
 
     dfg: DFG
@@ -65,6 +67,7 @@ class Mapping:
     mapper: str = "?"
     map_time: float = 0.0
     coexec: set[frozenset[int]] = field(default_factory=set)
+    trace: object | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def real_nodes(self) -> list[int]:

@@ -17,6 +17,7 @@ artifact the cited exploration frameworks print.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from itertools import product
 from typing import Sequence
@@ -28,6 +29,8 @@ from repro.core.registry import create
 from repro.ir import kernels as kernel_lib
 
 __all__ = ["DesignPoint", "default_space", "explore", "pareto_front"]
+
+_log = logging.getLogger("repro.dse.explorer")
 
 #: Gate-cost weights of the cost proxy (relative units).
 COST_ALU = 10.0
@@ -114,7 +117,13 @@ def evaluate_point(
             mapping = create(mapper).map(dfg, cgra)
             perfs.append(1.0 / mapping.ii)
             succeeded += 1
-        except MapFailure:
+        except MapFailure as ex:
+            _log.warning(
+                "design point %sx%s/%s: %s failed on %s, charging the"
+                " sequential fallback (%s)",
+                params["size"], params["size"], params["topology"],
+                mapper, kname, ex,
+            )
             perfs.append(1.0 / dfg.op_count())  # host fallback
     return DesignPoint(
         size=params["size"],

@@ -17,6 +17,12 @@ from repro.core.registry import register
 from repro.ir.dfg import DFG
 from repro.mappers import adjplace
 from repro.mappers.regraph import split_dist0_edges
+from repro.obs.tracer import (
+    BACKTRACKS,
+    CANDIDATES_EXPLORED,
+    SOLVER_NODES,
+    get_tracer,
+)
 
 __all__ = ["BranchAndBoundMapper"]
 
@@ -52,6 +58,7 @@ class BranchAndBoundMapper(Mapper):
     def _solve(
         self, dfg: DFG, cgra: CGRA, ii: int
     ) -> dict[int, adjplace.Slot] | None:
+        tracer = get_tracer()
         domains = adjplace.slot_domains(
             dfg, cgra, ii, window=self.window
         )
@@ -94,6 +101,7 @@ class BranchAndBoundMapper(Mapper):
                 return
             nid = order[idx]
             for slot in domains[nid]:
+                tracer.count(CANDIDATES_EXPLORED)
                 key = (slot[0], slot[1] % ii)
                 if key in used:
                     continue
@@ -102,10 +110,17 @@ class BranchAndBoundMapper(Mapper):
                 assign[nid] = slot
                 used.add(key)
                 dfs(idx + 1, max(makespan, slot[1] + 1))
+                tracer.count(BACKTRACKS)
                 del assign[nid]
                 used.discard(key)
 
-        dfs(0, 0)
+        with tracer.span(
+            "bnb_search", ii=ii,
+            slots=sum(len(d) for d in domains.values()),
+        ) as span:
+            dfs(0, 0)
+            span.count(SOLVER_NODES, nodes_seen[0])
+            span.tag(found=best is not None)
         return best
 
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:

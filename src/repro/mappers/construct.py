@@ -29,6 +29,12 @@ from repro.mappers.routing import (
     commit_route,
     release_route,
 )
+from repro.obs.tracer import (
+    BACKTRACKS,
+    CANDIDATES_EXPLORED,
+    ROUTING_ATTEMPTS,
+    get_tracer,
+)
 
 __all__ = ["PlacementState", "greedy_construct", "default_candidates"]
 
@@ -47,6 +53,9 @@ class PlacementState:
         self.binding: dict[int, int] = {}
         self.schedule: dict[int, int] = {}
         self.routes: dict[Edge, list[Step]] = {}
+        # Captured once: a PlacementState lives within one mapper run,
+        # so the active tracer cannot change under it.
+        self._tracer = get_tracer()
 
     # ------------------------------------------------------------------
     def _edge_request(self, e: Edge) -> RouteRequest:
@@ -91,8 +100,10 @@ class PlacementState:
         committed: list[tuple[Edge, RouteRequest, list[Step]]] = []
         for e in self._routable_edges_of(nid):
             req = self._edge_request(e)
+            self._tracer.count(ROUTING_ATTEMPTS)
             steps = self.router.find(self.occ, req)
             if steps is None:
+                self._tracer.count(BACKTRACKS)
                 for ce, creq, csteps in committed:
                     release_route(self.occ, self.cgra, creq, csteps)
                     del self.routes[ce]
@@ -132,6 +143,7 @@ class PlacementState:
         req = self._edge_request(e)
         if req.t_consume < req.t_emit + 1:
             return False  # timing violation: no path can fix this
+        self._tracer.count(ROUTING_ATTEMPTS)
         steps = self.router.find(self.occ, req)
         if steps is None:
             return False
@@ -267,6 +279,7 @@ def greedy_construct(
     Returns a finished mapping (not yet validated) or None when some
     operation found no feasible slot.
     """
+    tracer = get_tracer()
     state = PlacementState(dfg, cgra, ii, allow_hold=allow_hold)
     win = window if window is not None else max(2 * ii + 2, 6)
     for nid in order:
@@ -279,6 +292,7 @@ def greedy_construct(
         else:
             slots = default_candidates(state, nid, lb, ub, rng=rng)
         for cell, t in slots:
+            tracer.count(CANDIDATES_EXPLORED)
             if state.place(nid, cell, t):
                 placed = True
                 break

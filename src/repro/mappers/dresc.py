@@ -11,6 +11,7 @@ starts at MII and grows on failure, as in the original.
 
 from __future__ import annotations
 
+import logging
 import math
 import random
 
@@ -21,8 +22,11 @@ from repro.core.registry import register
 from repro.ir.dfg import DFG
 from repro.mappers.construct import PlacementState
 from repro.mappers.schedule import asap, priority_order
+from repro.obs.tracer import BACKTRACKS, CANDIDATES_EXPLORED, get_tracer
 
 __all__ = ["DRESCMapper"]
+
+_log = logging.getLogger("repro.mappers.dresc")
 
 UNROUTED_PENALTY = 50.0
 
@@ -124,6 +128,7 @@ class DRESCMapper(Mapper):
     def _anneal(
         self, dfg: DFG, cgra: CGRA, ii: int, rng: random.Random
     ) -> Mapping | None:
+        tracer = get_tracer()
         state = self._initial(dfg, cgra, ii, rng)
         if state is None:
             return None
@@ -137,6 +142,7 @@ class DRESCMapper(Mapper):
                     mapping = state.to_mapping(self.info.name)
                     if not mapping.validate(raise_on_error=False):
                         return mapping
+                tracer.count(CANDIDATES_EXPLORED)
                 nid = rng.choice(nodes)
                 # Snapshot for revert: rerouted edges may claim the
                 # vacated slot, so "move back" is not always possible.
@@ -149,7 +155,8 @@ class DRESCMapper(Mapper):
                 old = self._move(state, nid, rng, window)
                 if old is None:
                     continue
-                # Opportunistically retry previously stuck edges.
+                # Opportunistically retry previously stuck edges
+                # (try_route itself counts the routing attempts).
                 for e in state.unrouted_edges():
                     state.try_route(e)
                 new_cost = self._cost(state)
@@ -157,6 +164,7 @@ class DRESCMapper(Mapper):
                 if delta <= 0 or rng.random() < math.exp(-delta / temp):
                     cost = new_cost
                 else:
+                    tracer.count(BACKTRACKS)
                     (
                         state.occ,
                         state.binding,
@@ -178,6 +186,10 @@ class DRESCMapper(Mapper):
             mapping = self._anneal(dfg, cgra, ii_try, rng)
             if mapping is not None:
                 return mapping
+            _log.debug(
+                "dresc: II=%d infeasible for %s, escalating",
+                ii_try, dfg.name,
+            )
         raise self.fail(
             f"annealing found no feasible II for {dfg.name} on {cgra.name}",
             attempts=attempts,

@@ -15,6 +15,8 @@ model means preferring same-cell self-edges and tight clusters.
 
 from __future__ import annotations
 
+import logging
+
 from repro.arch.cgra import CGRA
 from repro.core.mapper import Mapper, MapperInfo
 from repro.core.mapping import Mapping
@@ -23,9 +25,12 @@ from repro.ir.dfg import DFG
 from repro.mappers import adjplace
 from repro.mappers.regraph import split_dist0_edges
 from repro.mappers.spatial_common import candidate_cells, finalize
+from repro.obs.tracer import CANDIDATES_EXPLORED, ROUTING_ATTEMPTS, get_tracer
 from repro.solvers.ilp import ILP
 
 __all__ = ["ILPSpatialMapper"]
+
+_log = logging.getLogger("repro.mappers.ilp_spatial")
 
 
 @register
@@ -107,16 +112,28 @@ class ILPSpatialMapper(Mapper):
         return binding
 
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        tracer = get_tracer()
         attempts = 0
         for rounds in range(self.max_route_rounds + 1):
             attempts += 1
+            if rounds:
+                _log.warning(
+                    "ilp_spatial: adjacency model infeasible for %s,"
+                    " inserting route nodes (round %d)",
+                    dfg.name, rounds,
+                )
             work = dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
             if work.op_count() > len(cgra.compute_cells()):
                 break  # further insertion cannot fit spatially
-            binding = self._solve(work, cgra)
-            if binding is None:
-                continue
-            mapping = finalize(work, cgra, binding, self.info.name)
+            with tracer.span(
+                "route_round", round=rounds, ops=work.op_count()
+            ):
+                tracer.count(CANDIDATES_EXPLORED, work.op_count())
+                binding = self._solve(work, cgra)
+                if binding is None:
+                    continue
+                tracer.count(ROUTING_ATTEMPTS)
+                mapping = finalize(work, cgra, binding, self.info.name)
             if mapping is not None:
                 return mapping
         raise self.fail(

@@ -9,6 +9,7 @@ geometrically, and route at the end (with a few restarts).
 
 from __future__ import annotations
 
+import logging
 import math
 import random
 
@@ -23,8 +24,16 @@ from repro.mappers.spatial_common import (
     random_binding,
     spatial_cost,
 )
+from repro.obs.tracer import (
+    BACKTRACKS,
+    CANDIDATES_EXPLORED,
+    ROUTING_ATTEMPTS,
+    get_tracer,
+)
 
 __all__ = ["SimulatedAnnealingSpatialMapper"]
+
+_log = logging.getLogger("repro.mappers.sa_spatial")
 
 
 @register
@@ -61,6 +70,7 @@ class SimulatedAnnealingSpatialMapper(Mapper):
     def _anneal(
         self, dfg: DFG, cgra: CGRA, rng: random.Random
     ) -> dict[int, int] | None:
+        tracer = get_tracer()
         binding = random_binding(dfg, cgra, rng)
         if binding is None:
             return None
@@ -69,6 +79,7 @@ class SimulatedAnnealingSpatialMapper(Mapper):
         temp = self.t_start
         while temp > self.t_end:
             for _ in range(self.moves_per_temp):
+                tracer.count(CANDIDATES_EXPLORED)
                 nid = rng.choice(nodes)
                 old_cell = binding[nid]
                 used = set(binding.values())
@@ -89,6 +100,7 @@ class SimulatedAnnealingSpatialMapper(Mapper):
                 if delta <= 0 or rng.random() < math.exp(-delta / temp):
                     cost = new_cost
                 else:  # revert
+                    tracer.count(BACKTRACKS)
                     binding[nid] = old_cell
                     if swap_with is not None:
                         binding[swap_with] = target
@@ -96,19 +108,26 @@ class SimulatedAnnealingSpatialMapper(Mapper):
         return binding
 
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        tracer = get_tracer()
         rng = random.Random(self.seed)
         attempts = 0
         for r in range(self.restarts):
             attempts += 1
-            binding = self._anneal(dfg, cgra, rng)
-            if binding is None:
-                raise self.fail(
-                    f"{dfg.name} does not fit spatially on {cgra.name}",
-                    attempts=attempts,
-                )
-            mapping = finalize(dfg, cgra, binding, self.info.name)
+            with tracer.span("restart", n=r):
+                binding = self._anneal(dfg, cgra, rng)
+                if binding is None:
+                    raise self.fail(
+                        f"{dfg.name} does not fit spatially on {cgra.name}",
+                        attempts=attempts,
+                    )
+                tracer.count(ROUTING_ATTEMPTS)
+                mapping = finalize(dfg, cgra, binding, self.info.name)
             if mapping is not None:
                 return mapping
+            _log.warning(
+                "sa_spatial: routing failed on restart %d/%d, retrying",
+                r + 1, self.restarts,
+            )
         raise self.fail(
             f"routing failed after {self.restarts} annealing restarts",
             attempts=attempts,

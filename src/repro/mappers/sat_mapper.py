@@ -24,6 +24,7 @@ from repro.core.registry import register
 from repro.ir.dfg import DFG
 from repro.mappers import adjplace
 from repro.mappers.regraph import split_dist0_edges
+from repro.obs.tracer import CANDIDATES_EXPLORED, ROUTING_ATTEMPTS, get_tracer
 from repro.solvers.sat import CNF, SatSolver
 
 __all__ = ["SATMapper"]
@@ -116,6 +117,7 @@ class SATMapper(Mapper):
         return assign
 
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        tracer = get_tracer()
         attempts = 0
         for ii_try in self.ii_range(dfg, cgra, ii):
             for rounds in range(self.max_route_rounds + 1):
@@ -123,12 +125,15 @@ class SATMapper(Mapper):
                 work = (
                     dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
                 )
-                assign = self._solve(work, cgra, ii_try)
-                if assign is None:
-                    continue
-                mapping = adjplace.build_mapping(
-                    work, cgra, ii_try, assign, self.info.name
-                )
+                with tracer.span("route_round", round=rounds):
+                    tracer.count(CANDIDATES_EXPLORED, work.op_count())
+                    assign = self._solve(work, cgra, ii_try)
+                    if assign is None:
+                        continue
+                    tracer.count(ROUTING_ATTEMPTS)
+                    mapping = adjplace.build_mapping(
+                        work, cgra, ii_try, assign, self.info.name
+                    )
                 if not mapping.validate(raise_on_error=False):
                     return mapping
         raise self.fail(

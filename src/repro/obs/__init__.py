@@ -1,0 +1,81 @@
+"""Observability: tracing, typed counters, trace export, logging.
+
+The survey's §II-C names the mapping quality criterion as "high
+quality solution with fast compilation time"; this subsystem makes the
+second half measurable *per stage* instead of as one opaque
+``map_time``.  Four pieces:
+
+* :mod:`repro.obs.tracer` — nested context-manager spans with
+  wall-clock, tags, and typed counters; disabled by default through
+  no-op singletons (near-zero overhead on every hot path);
+* :mod:`repro.obs.export` — JSONL trace writer/reader that round-trips
+  the span tree;
+* :mod:`repro.obs.render` — ASCII flame view and per-phase summary
+  (the CLI's ``--profile`` report);
+* :mod:`repro.obs.logwire` — the stdlib ``repro.*`` logger hierarchy
+  (silent by default, ``-v`` wires DEBUG).
+
+Instrumentation already threaded through the package: every
+``Mapper.map`` call opens a root span, the II search records one span
+per attempted II, the three solver backends report model sizes and
+conflict/node counters, the pass manager records per-pass spans, and
+the mapper inner loops emit ``candidates_explored`` / ``backtracks`` /
+``routing_attempts``.
+"""
+
+from repro.obs.export import (
+    read_jsonl,
+    spans_from_records,
+    to_records,
+    write_jsonl,
+)
+from repro.obs.logwire import configure_logging, get_logger
+from repro.obs.render import render_flame, render_profile, render_summary
+from repro.obs.tracer import (
+    BACKTRACKS,
+    CANDIDATES_EXPLORED,
+    COUNTERS,
+    II_ATTEMPTS,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    ROUTING_ATTEMPTS,
+    SOLVER_CLAUSES,
+    SOLVER_CONFLICTS,
+    SOLVER_DECISIONS,
+    SOLVER_NODES,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "BACKTRACKS",
+    "CANDIDATES_EXPLORED",
+    "COUNTERS",
+    "II_ATTEMPTS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "ROUTING_ATTEMPTS",
+    "SOLVER_CLAUSES",
+    "SOLVER_CONFLICTS",
+    "SOLVER_DECISIONS",
+    "SOLVER_NODES",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_tracer",
+    "read_jsonl",
+    "render_flame",
+    "render_profile",
+    "render_summary",
+    "set_tracer",
+    "spans_from_records",
+    "to_records",
+    "tracing",
+    "write_jsonl",
+]

@@ -1,0 +1,105 @@
+"""JSONL trace export / import.
+
+One span per line, pre-order, with explicit ``id``/``parent``/``depth``
+so a trace survives as a flat stream (greppable, appendable, loadable
+by any JSONL reader) yet rebuilds into the original span tree.
+
+Record shape::
+
+    {"id": 0, "parent": null, "depth": 0, "name": "map",
+     "start": 12.345, "end": 12.456, "dur_ms": 111.0,
+     "tags": {"mapper": "dresc"}, "counters": {"ii_attempts": 3}}
+
+``start``/``end`` are ``time.perf_counter`` readings — meaningful as
+differences within one trace, not as absolute timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "read_jsonl",
+    "spans_from_records",
+    "to_records",
+    "write_jsonl",
+]
+
+
+def _roots_of(source: Tracer | Span | Sequence[Span]) -> list[Span]:
+    if isinstance(source, Span):
+        return [source]
+    roots = getattr(source, "roots", None)
+    if roots is not None:
+        return list(roots)
+    return list(source)
+
+
+def to_records(source: Tracer | Span | Sequence[Span]) -> list[dict[str, Any]]:
+    """Flatten a tracer / span tree / list of roots into JSONL records."""
+    records: list[dict[str, Any]] = []
+
+    def emit(span: Span, parent: int | None, depth: int) -> None:
+        sid = len(records)
+        records.append(
+            {
+                "id": sid,
+                "parent": parent,
+                "depth": depth,
+                "name": span.name,
+                "start": span.t_start,
+                "end": span.t_end,
+                "dur_ms": round(span.dur_ms, 3),
+                "tags": dict(span.tags),
+                "counters": dict(span.counters),
+            }
+        )
+        for child in span.children:
+            emit(child, sid, depth + 1)
+
+    for root in _roots_of(source):
+        emit(root, None, 0)
+    return records
+
+
+def write_jsonl(
+    source: Tracer | Span | Sequence[Span], path: str
+) -> int:
+    """Write every span of ``source`` to ``path``; returns the span count."""
+    records = to_records(source)
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file back into records (blank lines skipped)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def spans_from_records(records: Iterable[dict[str, Any]]) -> list[Span]:
+    """Rebuild the span forest from flat records; returns the roots."""
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for rec in records:
+        span = Span(rec["name"], rec.get("tags") or {})
+        span.counters = dict(rec.get("counters") or {})
+        span.t_start = float(rec.get("start", 0.0))
+        span.t_end = float(rec.get("end", 0.0))
+        by_id[rec["id"]] = span
+        parent = rec.get("parent")
+        if parent is None:
+            roots.append(span)
+        else:
+            by_id[parent].children.append(span)
+    return roots

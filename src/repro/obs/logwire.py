@@ -1,0 +1,59 @@
+"""stdlib ``logging`` wiring for the ``repro`` logger hierarchy.
+
+The library logs under the ``repro.*`` namespace and attaches a
+``NullHandler`` to the root of that hierarchy, so importing the
+package never prints anything: embedding applications opt in with
+their own logging config, and the CLI opts in via
+:func:`configure_logging` (``-v`` / ``--verbose`` selects DEBUG).
+
+Convention inside the package:
+
+* WARNING — fallback and retry paths (a mapper giving up, a route
+  round escalating, a DSE point charged the sequential fallback);
+* DEBUG — per-attempt detail (II escalation, restart progress).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["ROOT_LOGGER", "configure_logging", "get_logger"]
+
+ROOT_LOGGER = "repro"
+
+# Library etiquette: silence by default, never touch the global root.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+_HANDLER_FLAG = "_repro_cli_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger in the ``repro`` hierarchy (``name`` may omit the prefix)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: int = logging.WARNING, *, stream: TextIO | None = None
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` hierarchy.
+
+    Idempotent: calling it again replaces the previously installed
+    handler instead of stacking duplicates.  Returns the root logger
+    of the hierarchy.
+    """
+    log = logging.getLogger(ROOT_LOGGER)
+    for handler in list(log.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            log.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_FLAG, True)
+    log.addHandler(handler)
+    log.setLevel(level)
+    return log

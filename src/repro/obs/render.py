@@ -1,0 +1,114 @@
+"""ASCII renderers for traces: flame view and per-phase summary.
+
+Both render plain text, like every other report in the package, and
+both reuse :func:`repro.bench.harness.ascii_table` (imported lazily —
+the bench harness itself records traces, so the import must not be
+circular at module load).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["render_flame", "render_profile", "render_summary"]
+
+_BAR_WIDTH = 24
+
+
+def _roots_of(source: Tracer | Span | Sequence[Span]) -> list[Span]:
+    if isinstance(source, Span):
+        return [source]
+    roots = getattr(source, "roots", None)
+    if roots is not None:
+        return list(roots)
+    return list(source)
+
+
+def _fmt_tags(span: Span) -> str:
+    return " ".join(f"{k}={v}" for k, v in span.tags.items())
+
+
+def render_flame(source: Tracer | Span | Sequence[Span]) -> str:
+    """Indented span tree with duration bars — a text flame graph.
+
+    Bar length is proportional to each span's share of its root's
+    wall-clock, so hot phases are visible at a glance.
+    """
+    lines: list[str] = []
+    for root in _roots_of(source):
+        scale = root.duration or 1.0
+        for depth, span in root.walk():
+            frac = min(1.0, span.duration / scale)
+            bar = "#" * max(1, round(frac * _BAR_WIDTH))
+            label = "  " * depth + span.name
+            tags = _fmt_tags(span)
+            counters = " ".join(
+                f"{k}={v}" for k, v in sorted(span.counters.items())
+            )
+            detail = " ".join(x for x in (tags, counters) if x)
+            lines.append(
+                f"{label:<32s} {span.dur_ms:>9.2f} ms"
+                f" {bar:<{_BAR_WIDTH}s} {detail}".rstrip()
+            )
+    return "\n".join(lines)
+
+
+def render_summary(
+    source: Tracer | Span | Sequence[Span], *, title: str = "per-phase summary"
+) -> str:
+    """Aggregate spans by name: calls, total/self time, counters."""
+    from repro.bench.harness import ascii_table
+
+    order: list[str] = []
+    agg: dict[str, dict] = {}
+    for root in _roots_of(source):
+        for _, span in root.walk():
+            if span.name not in agg:
+                order.append(span.name)
+                agg[span.name] = {
+                    "calls": 0, "total": 0.0, "self": 0.0, "counters": {},
+                }
+            a = agg[span.name]
+            a["calls"] += 1
+            a["total"] += span.duration
+            a["self"] += span.self_duration
+            for k, v in span.counters.items():
+                a["counters"][k] = a["counters"].get(k, 0) + v
+
+    rows = []
+    for name in order:
+        a = agg[name]
+        counters = " ".join(
+            f"{k}={v}" for k, v in sorted(a["counters"].items())
+        )
+        rows.append(
+            {
+                "phase": name,
+                "calls": a["calls"],
+                "total_ms": round(1000 * a["total"], 2),
+                "self_ms": round(1000 * a["self"], 2),
+                "counters": counters,
+            }
+        )
+    return ascii_table(rows, title=title)
+
+
+def render_profile(source: Tracer | Span | Sequence[Span]) -> str:
+    """The ``--profile`` report: flame view plus per-phase summary."""
+    roots = _roots_of(source)
+    if not roots:
+        return "(no spans recorded)"
+    parts = [render_flame(roots), "", render_summary(roots)]
+    totals: dict[str, int] = {}
+    for root in roots:
+        for k, v in root.totals().items():
+            totals[k] = totals.get(k, 0) + v
+    if totals:
+        parts.append("")
+        parts.append(
+            "counters: "
+            + " ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+        )
+    return "\n".join(parts)

@@ -1,0 +1,335 @@
+"""Span/Tracer API — the package's tracing and metrics core.
+
+The survey's quality criterion (§II-C) is a *pair*: "high quality
+solution with fast compilation time".  Mappers therefore need to show
+not just *how long* a mapping took but *where* the time went — II
+escalation, placement retries, routing, solver calls — the per-stage
+data the exact-method papers (SAT-MapIt, the ILP mappers) report.
+
+Two objects:
+
+* :class:`Span` — one timed region with a name, a tag dict, typed
+  counters, and children.  Spans nest; the tree under a root span is
+  the trace of one mapping run.
+* :class:`Tracer` — the span stack.  ``with tracer.span("x"): ...``
+  opens/closes spans; ``tracer.count(name)`` increments a counter on
+  the innermost open span.
+
+**No-op-when-disabled contract.**  The module-level active tracer
+defaults to :data:`NULL_TRACER`, a singleton whose ``span`` returns
+the shared :data:`NULL_SPAN` context manager and whose ``count`` does
+nothing.  The disabled path allocates no spans and performs no clock
+reads — instrumented hot loops pay one no-op method call per event,
+nothing more.  Enable tracing for a region with::
+
+    with tracing() as tr:
+        mapping = mapper.map(dfg, cgra)
+    print(tr.root.dur_ms, tr.root.totals())
+
+Counter names are typed as module constants (:data:`COUNTERS`) so
+instrumentation sites and report renderers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from types import MappingProxyType
+from typing import Any, Iterator
+
+__all__ = [
+    "BACKTRACKS",
+    "CANDIDATES_EXPLORED",
+    "COUNTERS",
+    "II_ATTEMPTS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "ROUTING_ATTEMPTS",
+    "SOLVER_CLAUSES",
+    "SOLVER_CONFLICTS",
+    "SOLVER_DECISIONS",
+    "SOLVER_NODES",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+# ---------------------------------------------------------------------------
+# Typed counter names.  Instrumentation sites use these constants; the
+# renderers aggregate over exactly this vocabulary.
+CANDIDATES_EXPLORED = "candidates_explored"  #: slots/moves proposed
+BACKTRACKS = "backtracks"                    #: undone decisions/reverted moves
+ROUTING_ATTEMPTS = "routing_attempts"        #: router invocations
+II_ATTEMPTS = "ii_attempts"                  #: IIs tried in the II search
+SOLVER_CLAUSES = "solver_clauses"            #: clauses/constraints in a model
+SOLVER_CONFLICTS = "solver_conflicts"        #: SAT conflicts
+SOLVER_DECISIONS = "solver_decisions"        #: SAT decisions
+SOLVER_NODES = "solver_nodes"                #: B&B / CSP search nodes
+
+COUNTERS = (
+    CANDIDATES_EXPLORED,
+    BACKTRACKS,
+    ROUTING_ATTEMPTS,
+    II_ATTEMPTS,
+    SOLVER_CLAUSES,
+    SOLVER_CONFLICTS,
+    SOLVER_DECISIONS,
+    SOLVER_NODES,
+)
+
+
+# ---------------------------------------------------------------------------
+class Span:
+    """One timed, tagged, counted region of a trace."""
+
+    __slots__ = ("name", "tags", "counters", "children", "t_start", "t_end")
+
+    def __init__(self, name: str, tags: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.tags: dict[str, Any] = dict(tags) if tags else {}
+        self.counters: dict[str, int] = {}
+        self.children: list[Span] = []
+        self.t_start = 0.0
+        self.t_end = 0.0
+
+    # -- accounting ----------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` on this span by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def tag(self, **tags: Any) -> None:
+        """Attach/overwrite tags on this span."""
+        self.tags.update(tags)
+
+    # -- timing --------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while the span is still open)."""
+        return max(0.0, self.t_end - self.t_start)
+
+    @property
+    def dur_ms(self) -> float:
+        return 1000.0 * self.duration
+
+    @property
+    def self_duration(self) -> float:
+        """Seconds not attributed to any child span."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    # -- tree ----------------------------------------------------------
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Pre-order (depth, span) over the subtree rooted here."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree (self included)."""
+        return [s for _, s in self.walk() if s.name == name]
+
+    def total(self, counter: str) -> int:
+        """Aggregate one counter over the whole subtree."""
+        return sum(s.counters.get(counter, 0) for _, s in self.walk())
+
+    def totals(self) -> dict[str, int]:
+        """Aggregate every counter over the whole subtree."""
+        out: dict[str, int] = {}
+        for _, s in self.walk():
+            for k, v in s.counters.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.dur_ms:.2f}ms,"
+            f" children={len(self.children)})"
+        )
+
+
+class _SpanCtx:
+    """Context manager that opens a :class:`Span` on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+        self.span: Span | None = None
+
+    def __enter__(self) -> Span:
+        tr = self._tracer
+        span = Span(self._name, self._tags)
+        parent = tr._stack[-1] if tr._stack else None
+        (parent.children if parent is not None else tr.roots).append(span)
+        tr._stack.append(span)
+        self.span = span
+        span.t_start = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.t_end = time.perf_counter()
+        if exc_type is not None:
+            span.tags.setdefault("error", exc_type.__name__)
+        # Pop back to this span even if a nested span was left open.
+        stack = self._tracer._stack
+        while stack and stack.pop() is not span:
+            pass
+        return False
+
+
+class Tracer:
+    """An enabled tracer: a stack of open spans plus finished roots."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        #: counters recorded while no span was open
+        self.counters: dict[str, int] = {}
+
+    def span(self, name: str, **tags: Any) -> _SpanCtx:
+        """``with tracer.span("phase", key=val) as sp:`` — a child span."""
+        return _SpanCtx(self, name, tags)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def root(self) -> Span | None:
+        """The first root span recorded, or None."""
+        return self.roots[0] if self.roots else None
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter on the innermost open span."""
+        if self._stack:
+            self._stack[-1].count(name, n)
+        else:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def tag(self, **tags: Any) -> None:
+        """Tag the innermost open span (no-op when none is open)."""
+        if self._stack:
+            self._stack[-1].tags.update(tags)
+
+
+# ---------------------------------------------------------------------------
+class _NullSpan:
+    """Shared do-nothing span/context-manager for the disabled path."""
+
+    __slots__ = ()
+
+    name = "null"
+    # Read-only empties so accidental mutation fails loudly instead of
+    # silently recording onto a shared singleton.
+    tags: Any = MappingProxyType({})
+    counters: Any = MappingProxyType({})
+    children: tuple = ()
+    t_start = 0.0
+    t_end = 0.0
+    duration = 0.0
+    dur_ms = 0.0
+    self_duration = 0.0
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def tag(self, **tags: Any) -> None:
+        pass
+
+    def walk(self, depth: int = 0):
+        return iter(())
+
+    def find(self, name: str) -> list:
+        return []
+
+    def total(self, counter: str) -> int:
+        return 0
+
+    def totals(self) -> dict:
+        return {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op.
+
+    A single module-level instance (:data:`NULL_TRACER`) is the active
+    tracer by default, so instrumented code never branches on a flag —
+    the *object* is the off switch.
+    """
+
+    enabled = False
+    roots: tuple = ()
+    counters: Any = MappingProxyType({})
+    current = None
+    root = None
+
+    __slots__ = ()
+
+    def span(self, name: str, **tags: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def tag(self, **tags: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_TRACER"
+
+
+NULL_SPAN = _NullSpan()
+NULL_TRACER = NullTracer()
+
+_ACTIVE: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The active tracer (the no-op singleton unless one is installed)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` (None = disable); returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Enable tracing for a region; restores the previous tracer on exit.
+
+    ::
+
+        with tracing() as tr:
+            mapper.map(dfg, cgra)
+        write_jsonl(tr, "trace.jsonl")
+    """
+    active = tracer if tracer is not None else Tracer()
+    previous = set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.ir.dfg import DFG
+from repro.obs.tracer import get_tracer
 from repro.passes.algebraic import algebraic_simplify
 from repro.passes.constfold import constant_fold
 from repro.passes.cse import common_subexpression_elimination
@@ -28,15 +29,26 @@ def run_pipeline(
     """Run ``passes`` in order, repeating until the DFG stops changing.
 
     Convergence is detected on the pretty-printed form (ids are stable
-    across non-mutating passes because every pass copies).
+    across non-mutating passes because every pass copies).  With
+    tracing enabled the pipeline runs under a ``passes`` span with one
+    ``pass:<name>`` child span per pass application.
     """
+    tracer = get_tracer()
     cur = dfg
-    for _ in range(max_rounds):
-        before = cur.pretty()
-        for p in passes:
-            cur = p(cur)
-        if cur.pretty() == before:
-            break
+    with tracer.span("passes", dfg=dfg.name) as pipeline_span:
+        rounds = 0
+        for rnd in range(max_rounds):
+            rounds = rnd + 1
+            before = cur.pretty()
+            for p in passes:
+                name = getattr(p, "__name__", repr(p))
+                with tracer.span(f"pass:{name}", round=rnd) as span:
+                    ops_before = cur.op_count()
+                    cur = p(cur)
+                    span.tag(ops_in=ops_before, ops_out=cur.op_count())
+            if cur.pretty() == before:
+                break
+        pipeline_span.tag(rounds=rounds)
     cur.check()
     return cur
 

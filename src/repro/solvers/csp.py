@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Sequence
 
+from repro.obs.tracer import SOLVER_NODES, get_tracer
+
 __all__ = ["CSP", "CSPUnsat", "CSPTimeout"]
 
 Value = Hashable
@@ -134,7 +136,51 @@ class CSP:
         time_limit: float | None = None,
         use_ac3: bool = True,
     ) -> dict[str, Value]:
-        """Find one solution; raises :class:`CSPUnsat` / :class:`CSPTimeout`."""
+        """Find one solution; raises :class:`CSPUnsat` / :class:`CSPTimeout`.
+
+        With tracing enabled the search runs under a ``csp_solve``
+        span tagged with the model size, counting ``solver_nodes``
+        (search nodes, recorded even when the search fails).
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_impl(
+                node_limit=node_limit,
+                time_limit=time_limit,
+                use_ac3=use_ac3,
+            )
+        with tracer.span(
+            "csp_solve",
+            model=self.name,
+            vars=len(self.domains),
+            constraints=len(self.constraints),
+        ) as span:
+            try:
+                solution = self._solve_impl(
+                    node_limit=node_limit,
+                    time_limit=time_limit,
+                    use_ac3=use_ac3,
+                )
+            except CSPUnsat:
+                span.tag(status="unsat")
+                raise
+            except CSPTimeout:
+                span.tag(status="timeout")
+                raise
+            else:
+                span.tag(status="sat")
+                return solution
+            finally:
+                span.count(SOLVER_NODES, self.stats_nodes)
+
+    def _solve_impl(
+        self,
+        *,
+        node_limit: int,
+        time_limit: float | None,
+        use_ac3: bool,
+    ) -> dict[str, Value]:
+        self.stats_nodes = 0
         domains = {v: list(d) for v, d in self.domains.items()}
         if use_ac3 and not self._ac3(domains):
             raise CSPUnsat(f"{self.name}: AC-3 wiped out a domain")

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.obs.tracer import SOLVER_CLAUSES, SOLVER_NODES, get_tracer
+
 __all__ = ["ILP", "ILPResult", "ILPStatus"]
 
 _INT_TOL = 1e-6
@@ -147,7 +149,37 @@ class ILP:
         node_limit: int = 200_000,
         time_limit: float | None = None,
     ) -> ILPResult:
-        """Run branch and bound; returns an :class:`ILPResult`."""
+        """Run branch and bound; returns an :class:`ILPResult`.
+
+        With tracing enabled the run is wrapped in an ``ilp_solve``
+        span tagged with the model size, counting ``solver_clauses``
+        (constraint rows) and ``solver_nodes`` (B&B nodes).
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_impl(
+                node_limit=node_limit, time_limit=time_limit
+            )
+        with tracer.span(
+            "ilp_solve",
+            model=self.name,
+            vars=self.n_vars,
+            constraints=self.n_constraints,
+        ) as span:
+            result = self._solve_impl(
+                node_limit=node_limit, time_limit=time_limit
+            )
+            span.count(SOLVER_CLAUSES, self.n_constraints)
+            span.count(SOLVER_NODES, result.nodes)
+            span.tag(status=result.status.value)
+            return result
+
+    def _solve_impl(
+        self,
+        *,
+        node_limit: int,
+        time_limit: float | None,
+    ) -> ILPResult:
         c, A_ub, b_ub, A_eq, b_eq = self._matrices()
         lb = np.array(self._lb, dtype=float)
         ub = np.array(self._ub, dtype=float)

@@ -15,6 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations
 
+from repro.obs.tracer import (
+    SOLVER_CLAUSES,
+    SOLVER_CONFLICTS,
+    SOLVER_DECISIONS,
+    get_tracer,
+)
+
 __all__ = ["CNF", "SatSolver", "SatResult"]
 
 
@@ -85,6 +92,27 @@ class SatSolver:
         self.n = cnf.n_vars
 
     def solve(self, *, conflict_limit: int | None = None) -> SatResult:
+        """Run DPLL; returns a :class:`SatResult`.
+
+        With tracing enabled the run is wrapped in a ``sat_solve``
+        span tagged with the formula size, counting
+        ``solver_clauses`` / ``solver_conflicts`` /
+        ``solver_decisions``.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_impl(conflict_limit=conflict_limit)
+        with tracer.span(
+            "sat_solve", vars=self.n, clauses=len(self.cnf.clauses)
+        ) as span:
+            result = self._solve_impl(conflict_limit=conflict_limit)
+            span.count(SOLVER_CLAUSES, len(self.cnf.clauses))
+            span.count(SOLVER_CONFLICTS, result.conflicts)
+            span.count(SOLVER_DECISIONS, result.decisions)
+            span.tag(sat=result.sat)
+            return result
+
+    def _solve_impl(self, *, conflict_limit: int | None = None) -> SatResult:
         n = self.n
         clauses = [list(c) for c in self.cnf.clauses]
         # assignment[v] in {None, True, False}; trail for backtracking.

@@ -1,0 +1,98 @@
+"""JSONL export round-trip and the ASCII renderers."""
+
+import json
+
+from repro.obs.export import (
+    read_jsonl,
+    spans_from_records,
+    to_records,
+    write_jsonl,
+)
+from repro.obs.render import render_flame, render_profile, render_summary
+from repro.obs.tracer import CANDIDATES_EXPLORED, Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tr = Tracer()
+    with tr.span("map", mapper="demo") as root:
+        with tr.span("ii", ii=3):
+            tr.count(CANDIDATES_EXPLORED, 7)
+        with tr.span("ii", ii=4):
+            tr.count(CANDIDATES_EXPLORED, 2)
+    assert root.t_end is not None
+    return tr
+
+
+def test_to_records_flat_preorder_with_parents():
+    tr = _sample_tracer()
+    recs = to_records(tr)
+    assert [r["name"] for r in recs] == ["map", "ii", "ii"]
+    assert recs[0]["parent"] is None and recs[0]["depth"] == 0
+    assert recs[1]["parent"] == recs[0]["id"] and recs[1]["depth"] == 1
+    assert recs[2]["parent"] == recs[0]["id"]
+    assert recs[1]["counters"] == {CANDIDATES_EXPLORED: 7}
+    assert recs[1]["tags"] == {"ii": 3}
+    for r in recs:
+        assert r["end"] >= r["start"]
+        assert r["dur_ms"] >= 0
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tr = _sample_tracer()
+    path = tmp_path / "trace.jsonl"
+    n = write_jsonl(tr, path)
+    assert n == 3
+    # Every line is standalone JSON.
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        json.loads(line)
+    recs = read_jsonl(path)
+    assert recs == to_records(tr)
+    # And the tree rebuilds.
+    roots = spans_from_records(recs)
+    assert len(roots) == 1
+    rebuilt = roots[0]
+    assert rebuilt.name == "map"
+    assert [c.name for c in rebuilt.children] == ["ii", "ii"]
+    assert rebuilt.children[0].counters == {CANDIDATES_EXPLORED: 7}
+    assert rebuilt.total(CANDIDATES_EXPLORED) == 9
+
+
+def test_export_accepts_span_and_list(tmp_path):
+    tr = _sample_tracer()
+    root = tr.root
+    assert to_records(root) == to_records(tr)
+    assert to_records([root]) == to_records(tr)
+    assert write_jsonl([root, root], tmp_path / "two.jsonl") == 6
+
+
+def test_render_flame_shows_tree_and_counters():
+    tr = _sample_tracer()
+    text = render_flame(tr)
+    lines = text.splitlines()
+    assert lines[0].startswith("map")
+    assert lines[1].startswith("  ii")  # indented child
+    assert "candidates_explored=7" in text
+    assert "mapper=demo" in text
+    assert "#" in lines[0]  # the bar
+
+
+def test_render_summary_aggregates_by_name():
+    tr = _sample_tracer()
+    text = render_summary(tr)
+    # One row per distinct span name, with call counts.
+    row = next(l for l in text.splitlines() if l.startswith("ii"))
+    assert "| 2" in row  # two "ii" calls
+    assert "candidates_explored=9" in row
+
+
+def test_render_profile_includes_totals_line():
+    tr = _sample_tracer()
+    text = render_profile(tr)
+    assert "counters: candidates_explored=9" in text
+    assert "per-phase summary" in text
+
+
+def test_render_profile_empty():
+    assert "no spans" in render_profile(Tracer())

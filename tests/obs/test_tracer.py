@@ -1,0 +1,173 @@
+"""Span/Tracer core: nesting, timing, counters, disabled path."""
+
+import pytest
+
+from repro.obs.tracer import (
+    BACKTRACKS,
+    CANDIDATES_EXPLORED,
+    COUNTERS,
+    NULL_SPAN,
+    NULL_TRACER,
+    ROUTING_ATTEMPTS,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+def test_span_nesting_structure():
+    tr = Tracer()
+    with tr.span("root") as root:
+        with tr.span("child_a") as a:
+            with tr.span("leaf") as leaf:
+                pass
+        with tr.span("child_b") as b:
+            pass
+    assert tr.roots == [root]
+    assert root.children == [a, b]
+    assert a.children == [leaf]
+    assert b.children == []
+    # Pre-order walk with depths.
+    walked = [(d, s.name) for d, s in root.walk()]
+    assert walked == [
+        (0, "root"), (1, "child_a"), (2, "leaf"), (1, "child_b"),
+    ]
+
+
+def test_current_tracks_the_stack():
+    tr = Tracer()
+    assert tr.current is None
+    with tr.span("outer") as outer:
+        assert tr.current is outer
+        with tr.span("inner") as inner:
+            assert tr.current is inner
+        assert tr.current is outer
+    assert tr.current is None
+    assert tr.root is outer
+
+
+def test_timing_monotonic_and_nested():
+    tr = Tracer()
+    with tr.span("outer") as outer:
+        with tr.span("inner") as inner:
+            for _ in range(1000):
+                pass
+    assert outer.t_start <= inner.t_start
+    assert inner.t_start <= inner.t_end
+    assert inner.t_end <= outer.t_end
+    assert outer.duration >= inner.duration >= 0.0
+    assert outer.dur_ms == pytest.approx(1000 * outer.duration)
+    # Self time excludes the child.
+    assert outer.self_duration == pytest.approx(
+        outer.duration - inner.duration
+    )
+
+
+def test_counters_attach_to_current_span_and_aggregate():
+    tr = Tracer()
+    with tr.span("root") as root:
+        tr.count(CANDIDATES_EXPLORED, 2)
+        with tr.span("sub"):
+            tr.count(CANDIDATES_EXPLORED, 3)
+            tr.count(BACKTRACKS)
+    assert root.counters == {CANDIDATES_EXPLORED: 2}
+    assert root.total(CANDIDATES_EXPLORED) == 5
+    assert root.total(BACKTRACKS) == 1
+    assert root.totals() == {CANDIDATES_EXPLORED: 5, BACKTRACKS: 1}
+    # Out-of-span counts were zero: everything landed on spans.
+    assert tr.counters == {}
+
+
+def test_count_outside_any_span_goes_to_tracer():
+    tr = Tracer()
+    tr.count(ROUTING_ATTEMPTS, 4)
+    assert tr.counters == {ROUTING_ATTEMPTS: 4}
+    assert tr.roots == []
+
+
+def test_tags_merge():
+    tr = Tracer()
+    with tr.span("s", a=1) as s:
+        s.tag(b=2)
+        tr.tag(c=3)
+    assert s.tags == {"a": 1, "b": 2, "c": 3}
+
+
+def test_exception_tags_error_and_propagates():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        with tr.span("boom") as s:
+            raise ValueError("nope")
+    assert s.tags["error"] == "ValueError"
+    assert s.t_end is not None  # span still closed
+
+
+def test_find_by_name():
+    tr = Tracer()
+    with tr.span("a"):
+        with tr.span("b") as b:
+            pass
+    assert tr.root.find("b") == [b]
+    assert tr.root.find("zzz") == []
+
+
+def test_disabled_tracer_allocates_no_spans():
+    null = NULL_TRACER
+    assert not null.enabled
+    with null.span("anything", x=1) as s:
+        # Always the same singleton: no allocation per span.
+        assert s is NULL_SPAN
+        with null.span("nested") as s2:
+            assert s2 is NULL_SPAN
+        s.count(CANDIDATES_EXPLORED)
+        s.tag(foo="bar")
+    null.count(BACKTRACKS, 10)
+    assert not null.roots
+    assert dict(null.counters) == {}
+    assert dict(NULL_SPAN.counters) == {}
+    assert not NULL_SPAN  # falsy, so `if span:` gates enabled-only work
+
+
+def test_null_span_read_only():
+    with pytest.raises(TypeError):
+        NULL_SPAN.tags["x"] = 1
+
+
+def test_default_active_tracer_is_null():
+    assert get_tracer() is NULL_TRACER
+
+
+def test_set_tracer_returns_previous():
+    tr = Tracer()
+    prev = set_tracer(tr)
+    try:
+        assert get_tracer() is tr
+    finally:
+        assert set_tracer(prev) is tr
+    assert get_tracer() is prev
+
+
+def test_tracing_context_installs_and_restores():
+    before = get_tracer()
+    with tracing() as tr:
+        assert tr.enabled
+        assert get_tracer() is tr
+        with tr.span("x"):
+            pass
+    assert get_tracer() is before
+    assert [s.name for s in tr.roots] == ["x"]
+
+
+def test_tracing_restores_on_exception():
+    before = get_tracer()
+    with pytest.raises(RuntimeError):
+        with tracing():
+            raise RuntimeError
+    assert get_tracer() is before
+
+
+def test_counter_names_registered():
+    assert CANDIDATES_EXPLORED in COUNTERS
+    assert BACKTRACKS in COUNTERS
+    assert len(COUNTERS) == len(set(COUNTERS))

@@ -79,3 +79,64 @@ def test_timeline(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_map_positional_kernel_and_fuzzy_names(capsys):
+    rc = main(["map", "dotprod", "--arch", "4x4", "--mapper", "sa_spatial"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "dot_product on simple4x4" in out
+
+
+def test_map_unknown_kernel_lists_candidates():
+    with pytest.raises(SystemExit) as exc:
+        main(["map", "no_such_kernel"])
+    assert "available" in str(exc.value)
+
+
+def test_map_profile_prints_breakdown(capsys):
+    rc = main(["map", "fir4", "--mapper", "list_sched", "--profile"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-phase summary" in out
+    assert "candidates_explored" in out
+    assert "map" in out and "ii" in out
+
+
+def test_map_trace_writes_jsonl(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "map.jsonl"
+    rc = main(["map", "fir4", "--mapper", "dresc", "--trace", str(path)])
+    assert rc == 0
+    assert "wrote" in capsys.readouterr().out
+    recs = [json.loads(l) for l in path.read_text().splitlines()]
+    assert recs
+    assert recs[0]["name"] == "map"
+    assert any(r["depth"] > 0 for r in recs)  # nested spans
+
+
+def test_compare_trace_smoke(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "cmp.jsonl"
+    rc = main([
+        "compare", "--kernels", "dot_product,fir4",
+        "--mappers", "list_sched,dresc",
+        "--trace", str(path), "--profile",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-phase summary" in out
+    recs = [json.loads(l) for l in path.read_text().splitlines()]
+    # One root span per (mapper, kernel) cell.
+    assert sum(1 for r in recs if r["parent"] is None) == 4
+
+
+def test_verbose_flag_sets_debug_level():
+    import logging
+
+    assert main(["-v", "list", "archs"]) == 0
+    assert logging.getLogger("repro").level == logging.DEBUG
+    assert main(["list", "archs"]) == 0
+    assert logging.getLogger("repro").level == logging.WARNING

@@ -1,0 +1,232 @@
+"""Hot-path microbenchmark: flat arrays, pruned routing, parallel sweeps.
+
+Measures the three fast-path layers against their reference
+implementations and writes ``BENCH_hotpath.json``:
+
+* **occupancy** — the flat-array :class:`repro.core.resources.Occupancy`
+  vs the dict/Counter :class:`repro.core.refimpl.DictOccupancy` on an
+  identical can/add/release/copy workload (ops/second each, ratio);
+* **router** — the distance-pruned/A* :class:`Router` vs the exhaustive
+  :class:`ReferenceRouter` on an identical batch of route queries
+  (routes/second, explored-candidate counts, ratio);
+* **matrix** — ``run_matrix`` wall-clock serial vs ``--jobs N``
+  (speedup is bounded by the machine's core count, which is recorded).
+
+Run::
+
+    python benchmarks/bench_hotpath.py            # full, jobs=2
+    python benchmarks/bench_hotpath.py --smoke    # seconds, for CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.arch import presets  # noqa: E402
+from repro.bench.harness import run_matrix  # noqa: E402
+from repro.core.refimpl import DictOccupancy, ReferenceRouter  # noqa: E402
+from repro.core.resources import Occupancy  # noqa: E402
+from repro.mappers.routing import RouteRequest, Router  # noqa: E402
+from repro.obs.tracer import CANDIDATES_EXPLORED, tracing  # noqa: E402
+
+#: documented fast-path goals (informational; the JSON records actuals)
+TARGET_OCCUPANCY_SPEEDUP = 1.5
+TARGET_ROUTER_SPEEDUP = 1.5
+TARGET_MATRIX_SPEEDUP = 1.7  # needs >= 2 physical cores
+
+
+def _occupancy_workload(cgra, impl_cls, rounds: int) -> float:
+    """Seconds for the shared synthetic occupancy workload."""
+    rng = random.Random(42)
+    links = sorted(cgra.links)
+    ops = []
+    for _ in range(400):
+        ops.append(
+            (
+                rng.randrange(6),
+                rng.randrange(cgra.n_cells),
+                rng.randrange(64),
+                rng.randrange(16),
+                rng.choice(links),
+            )
+        )
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        occ = impl_cls(cgra, 4)
+        for kind, cell, t, value, link in ops:
+            if kind == 0:
+                if occ.can_place_op(cell, t):
+                    occ.place_op(value, cell, t)
+            elif kind == 1:
+                if occ.can_route(value, cell, t):
+                    occ.add_route(value, cell, t)
+            elif kind == 2:
+                if occ.can_hold(value, cell, t):
+                    occ.add_hold(value, cell, t)
+            elif kind == 3:
+                if occ.can_use_link(value, *link, t):
+                    occ.add_link(value, *link, t)
+            elif kind == 4:
+                occ.release_route(value, cell, t)
+            else:
+                occ.pressure()
+        occ.copy()
+    return time.perf_counter() - t0
+
+
+def bench_occupancy(cgra, rounds: int) -> dict:
+    flat = _occupancy_workload(cgra, Occupancy, rounds)
+    ref = _occupancy_workload(cgra, DictOccupancy, rounds)
+    return {
+        "rounds": rounds,
+        "flat_s": round(flat, 4),
+        "dict_s": round(ref, 4),
+        "flat_ops_per_s": round(rounds * 401 / flat, 1),
+        "dict_ops_per_s": round(rounds * 401 / ref, 1),
+        "speedup": round(ref / flat, 2),
+    }
+
+
+def _route_batch(cgra) -> tuple[Occupancy, list[RouteRequest]]:
+    rng = random.Random(7)
+    occ = Occupancy(cgra, 4)
+    cells = rng.sample(range(cgra.n_cells), 8)
+    for i, c in enumerate(cells):
+        occ.place_op(100 + i, c, i % 4)
+    reqs = []
+    for i in range(24):
+        src, dst = rng.sample(cells, 2)
+        t0 = rng.randrange(4)
+        reqs.append(
+            RouteRequest(
+                value=rng.randrange(8),
+                src_cell=src,
+                t_emit=t0,
+                dst_cell=dst,
+                t_consume=t0 + rng.randrange(2, 6),
+            )
+        )
+    return occ, reqs
+
+
+def _router_workload(cgra, router, rounds: int) -> tuple[float, int, int]:
+    """(seconds, routes found, candidates explored) for the batch."""
+    occ, reqs = _route_batch(cgra)
+    found = 0
+    with tracing() as tr:
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            for req in reqs:
+                if router.find(occ, req) is not None:
+                    found += 1
+                router.find_negotiated(occ, req)
+        elapsed = time.perf_counter() - t0
+    explored = tr.root.total(CANDIDATES_EXPLORED) if tr.root else sum(
+        s.counters.get(CANDIDATES_EXPLORED, 0) for s in tr.roots
+    ) + tr.counters.get(CANDIDATES_EXPLORED, 0)
+    return elapsed, found, explored
+
+
+def bench_router(cgra, rounds: int) -> dict:
+    fast_s, fast_found, fast_explored = _router_workload(
+        cgra, Router(cgra), rounds
+    )
+    ref_s, ref_found, ref_explored = _router_workload(
+        cgra, ReferenceRouter(cgra), rounds
+    )
+    assert fast_found == ref_found, "pruned router changed results"
+    n = rounds * 48  # find + find_negotiated per request
+    return {
+        "rounds": rounds,
+        "pruned_s": round(fast_s, 4),
+        "reference_s": round(ref_s, 4),
+        "pruned_routes_per_s": round(n / fast_s, 1),
+        "reference_routes_per_s": round(n / ref_s, 1),
+        "pruned_candidates_explored": fast_explored,
+        "reference_candidates_explored": ref_explored,
+        "speedup": round(ref_s / fast_s, 2),
+    }
+
+
+def bench_matrix(cgra, jobs: int, smoke: bool) -> dict:
+    if smoke:
+        mappers = ["list_sched", "edge_centric"]
+        kernels = ["dot_product", "fir4"]
+    else:
+        mappers = ["list_sched", "edge_centric", "spr", "dresc"]
+        kernels = ["dot_product", "fir4", "sobel_x"]
+    # Warm the per-architecture caches so both runs start equal.
+    run_matrix(mappers[:1], kernels[:1], cgra)
+    t0 = time.perf_counter()
+    serial = run_matrix(mappers, kernels, cgra)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_matrix(mappers, kernels, cgra, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+    same = [
+        (a.mapper, a.kernel, a.ok, a.ii) for a in serial
+    ] == [(b.mapper, b.kernel, b.ok, b.ii) for b in parallel]
+    assert same, "parallel matrix changed results"
+    return {
+        "jobs": jobs,
+        "cells": len(serial),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workloads: verifies the harness, not the numbers",
+    )
+    ap.add_argument("--jobs", type=int, default=2)
+    ap.add_argument(
+        "--out", default=str(Path(__file__).parent / "BENCH_hotpath.json")
+    )
+    args = ap.parse_args(argv)
+
+    cgra = presets.simple_cgra(4, 4)
+    occ_rounds = 20 if args.smoke else 300
+    route_rounds = 5 if args.smoke else 60
+
+    report = {
+        "benchmark": "hotpath",
+        "smoke": args.smoke,
+        "machine": {"cpu_count": os.cpu_count()},
+        "targets": {
+            "occupancy_speedup": TARGET_OCCUPANCY_SPEEDUP,
+            "router_speedup": TARGET_ROUTER_SPEEDUP,
+            "matrix_speedup_at_2_cores": TARGET_MATRIX_SPEEDUP,
+        },
+        "occupancy": bench_occupancy(cgra, occ_rounds),
+        "router": bench_router(cgra, route_rounds),
+        "matrix": bench_matrix(cgra, args.jobs, args.smoke),
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    ok = (
+        report["occupancy"]["speedup"] >= 1.0
+        and report["router"]["speedup"] >= 1.0
+    )
+    print(
+        f"\noccupancy x{report['occupancy']['speedup']}"
+        f"  router x{report['router']['speedup']}"
+        f"  matrix x{report['matrix']['speedup']}"
+        f" (jobs={args.jobs}, {os.cpu_count()} core(s))"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,11 +3,17 @@
 A :class:`CGRA` is a set of :class:`~repro.arch.cell.Cell`\\ s plus a
 directed link set.  It answers the questions every mapper asks:
 
-* which cells can execute a given opcode (:meth:`CGRA.candidates`),
+* which cells can execute a given opcode (:meth:`CGRA.candidates`,
+  memoized per opcode via :meth:`CGRA.supporting_cells`),
 * which cells are adjacent (:meth:`CGRA.neighbors_out` /
   :meth:`CGRA.neighbors_in`),
 * how far apart two cells are (:meth:`CGRA.distance`, precomputed
-  all-pairs BFS),
+  all-pairs BFS; :meth:`CGRA.distance_table` exposes the whole table
+  so routers can prune against it without per-call indirection),
+
+plus the dense indices the resource fast paths are built on: every
+link owns a stable integer id (:meth:`CGRA.link_index`), so occupancy
+tables can be flat arrays instead of tuple-keyed dicts,
 
 and carries the execution-model parameters the survey's §II-B calls
 out as the "contract between the hardware and the software":
@@ -94,7 +100,16 @@ class CGRA:
         for adj in self._in.values():
             adj.sort()
 
+        # Dense link ids in sorted (src, dst) order: stable across
+        # equal-topology instances, so flat occupancy arrays built on
+        # one CGRA line up with any equal copy of it.
+        self._link_index: dict[Link, int] = {
+            link: i for i, link in enumerate(sorted(self.links))
+        }
+
         self._dist: list[list[int]] | None = None
+        self._support: dict[object, tuple[int, ...]] = {}
+        self._reach: list[list[int]] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -124,9 +139,46 @@ class CGRA:
     def has_link(self, src: int, dst: int) -> bool:
         return (src, dst) in self.links
 
+    @property
+    def n_links(self) -> int:
+        return len(self.links)
+
+    def link_index(self, src: int, dst: int) -> int:
+        """Dense id of link ``src -> dst`` (KeyError when absent)."""
+        return self._link_index[(src, dst)]
+
+    @property
+    def link_table(self) -> dict[Link, int]:
+        """The full ``(src, dst) -> dense id`` map (do not mutate)."""
+        return self._link_index
+
+    def reach_lists(self) -> list[list[int]]:
+        """Per cell: itself plus its out-neighbours (routers' one-step
+        reach under the re-emission model).  Cached; do not mutate."""
+        if self._reach is None:
+            self._reach = [
+                [c.cid, *self._out[c.cid]] for c in self.cells
+            ]
+        return self._reach
+
+    def supporting_cells(self, op: Op) -> tuple[int, ...]:
+        """Cells whose FU can execute ``op``, ascending, memoized.
+
+        The per-opcode answer never changes for a given array, and the
+        constructive mappers ask it once per candidate scan — callers
+        that need to reorder must copy (``list(...)``).
+        """
+        cached = self._support.get(op)
+        if cached is None:
+            cached = tuple(
+                c.cid for c in self.cells if c.supports(op)
+            )
+            self._support[op] = cached
+        return cached
+
     def candidates(self, op: Op) -> list[int]:
         """Cells whose FU can execute ``op``."""
-        return [c.cid for c in self.cells if c.supports(op)]
+        return list(self.supporting_cells(op))
 
     def compute_cells(self) -> list[int]:
         return [c.cid for c in self.cells if c.is_compute]
@@ -137,9 +189,18 @@ class CGRA:
     # ------------------------------------------------------------------
     def distance(self, src: int, dst: int) -> int:
         """Hop distance over links (BFS, cached all-pairs)."""
+        return self.distance_table()[src][dst]
+
+    def distance_table(self) -> list[list[int]]:
+        """The all-pairs hop-distance table (computed once, cached).
+
+        ``table[src][dst]`` is the minimum number of links from
+        ``src`` to ``dst`` (``10**9`` when unreachable).  Routers use
+        the rows directly for admissible distance pruning.
+        """
         if self._dist is None:
             self._dist = [self._bfs(c.cid) for c in self.cells]
-        return self._dist[src][dst]
+        return self._dist
 
     def _bfs(self, start: int) -> list[int]:
         INF = 10**9

@@ -1,4 +1,10 @@
-"""Sweep runner and table renderer for the benchmarks."""
+"""Sweep runner and table renderer for the benchmarks.
+
+``run_matrix`` runs serially by default; with ``jobs=N`` the cells
+fan out over :func:`repro.parallel.pmap` — deterministic row order,
+per-cell ``timeout`` overruns surfacing as failure rows, and traces
+pickled back from the workers.
+"""
 
 from __future__ import annotations
 
@@ -14,6 +20,7 @@ from repro.core.metrics import metrics_of
 from repro.core.registry import create
 from repro.ir import kernels as kernel_lib
 from repro.obs.tracer import Span, Tracer, tracing
+from repro.parallel import TaskTimeout, pmap, time_limit
 
 __all__ = ["MatrixResult", "ascii_table", "run_matrix"]
 
@@ -65,6 +72,60 @@ class MatrixResult:
         }
 
 
+def _run_cell(
+    mname: str,
+    kname: str,
+    cgra: CGRA,
+    ii: int | None,
+    opts: dict,
+    trace: bool,
+    timeout: float | None = None,
+) -> MatrixResult:
+    """One (mapper, kernel) cell — shared by the serial and pool paths."""
+    dfg = kernel_lib.kernel(kname)
+    tracer = Tracer() if trace else None
+    ctx = tracing(tracer) if trace else nullcontext()
+    t0 = time.perf_counter()
+    try:
+        with ctx:
+            with time_limit(timeout):
+                mapping = create(mname, **opts).map(dfg, cgra, ii=ii)
+        total_ms = 1000 * (time.perf_counter() - t0)
+        met = metrics_of(mapping)
+        return MatrixResult(
+            mapper=mname,
+            kernel=kname,
+            ok=met.valid,
+            ii=mapping.ii,
+            schedule_length=met.schedule_length,
+            utilization=met.utilization,
+            route_steps=met.route_steps,
+            time_ms=1000 * mapping.map_time,
+            total_ms=total_ms,
+            trace=mapping.trace,
+        )
+    except (MapFailure, TaskTimeout) as ex:
+        total_ms = 1000 * (time.perf_counter() - t0)
+        _log.warning(
+            "run_matrix: %s on %s failed: %s", mname, kname, ex
+        )
+        return MatrixResult(
+            mapper=mname,
+            kernel=kname,
+            ok=False,
+            time_ms=total_ms,
+            total_ms=total_ms,
+            error=str(ex),
+            trace=tracer.root if tracer is not None else None,
+        )
+
+
+def _cell_task(task: tuple) -> MatrixResult:
+    """pmap payload: unpack one cell (module-level for pickling)."""
+    mname, kname, cgra, ii, opts, trace = task
+    return _run_cell(mname, kname, cgra, ii, opts, trace)
+
+
 def run_matrix(
     mappers: Sequence[str],
     kernels: Sequence[str],
@@ -73,57 +134,52 @@ def run_matrix(
     ii: int | None = None,
     mapper_opts: dict[str, dict] | None = None,
     trace: bool = False,
+    jobs: int = 1,
+    timeout: float | None = None,
 ) -> list[MatrixResult]:
     """Run every mapper on every kernel; failures become rows, not errors.
 
     With ``trace=True`` each cell runs under its own tracer and the
     resulting root span is attached to :attr:`MatrixResult.trace`.
+    ``jobs > 1`` distributes cells over a process pool (same rows, same
+    order; only the timing fields differ from a serial run).
+    ``timeout`` bounds each cell's wall-clock in seconds; an overrun
+    becomes a failure row with a timeout error, never a hung sweep.
     """
-    out: list[MatrixResult] = []
     opts = mapper_opts or {}
-    for mname in mappers:
-        for kname in kernels:
-            dfg = kernel_lib.kernel(kname)
-            tracer = Tracer() if trace else None
-            ctx = tracing(tracer) if trace else nullcontext()
-            t0 = time.perf_counter()
-            try:
-                with ctx:
-                    mapping = create(mname, **opts.get(mname, {})).map(
-                        dfg, cgra, ii=ii
-                    )
-                total_ms = 1000 * (time.perf_counter() - t0)
-                met = metrics_of(mapping)
-                out.append(
-                    MatrixResult(
-                        mapper=mname,
-                        kernel=kname,
-                        ok=met.valid,
-                        ii=mapping.ii,
-                        schedule_length=met.schedule_length,
-                        utilization=met.utilization,
-                        route_steps=met.route_steps,
-                        time_ms=1000 * mapping.map_time,
-                        total_ms=total_ms,
-                        trace=mapping.trace,
-                    )
-                )
-            except MapFailure as ex:
-                total_ms = 1000 * (time.perf_counter() - t0)
-                _log.warning(
-                    "run_matrix: %s on %s failed: %s", mname, kname, ex
-                )
-                out.append(
-                    MatrixResult(
-                        mapper=mname,
-                        kernel=kname,
-                        ok=False,
-                        time_ms=total_ms,
-                        total_ms=total_ms,
-                        error=str(ex),
-                        trace=tracer.root if tracer is not None else None,
-                    )
-                )
+    cells = [
+        (mname, kname, cgra, ii, opts.get(mname, {}), trace)
+        for mname in mappers
+        for kname in kernels
+    ]
+    if jobs <= 1:
+        return [
+            _run_cell(*cell, timeout=timeout) for cell in cells
+        ]
+    out: list[MatrixResult] = []
+    for res, cell in zip(
+        pmap(_cell_task, cells, jobs=jobs, timeout=timeout), cells
+    ):
+        if res.ok:
+            out.append(res.value)
+            continue
+        if not res.timed_out:
+            raise res.error  # mirror the serial path: only MapFailure
+            # and timeouts become rows; anything else propagates.
+        mname, kname = cell[0], cell[1]
+        _log.warning(
+            "run_matrix: %s on %s failed: %s", mname, kname, res.error
+        )
+        out.append(
+            MatrixResult(
+                mapper=mname,
+                kernel=kname,
+                ok=False,
+                time_ms=1000 * res.elapsed,
+                total_ms=1000 * res.elapsed,
+                error=str(res.error),
+            )
+        )
     return out
 
 

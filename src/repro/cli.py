@@ -10,6 +10,7 @@ a tool::
     python -m repro map dotprod --arch 4x4 --mapper sa_spatial --profile
     python -m repro compare --kernels dot_product,sobel_x \\
                             --mappers list_sched,dresc,ilp --trace out.jsonl
+    python -m repro compare --jobs 4 --timeout 60
     python -m repro table1
     python -m repro timeline
     python -m repro dse
@@ -208,7 +209,10 @@ def _cmd_compare(args) -> int:
     kernels = [_resolve_kernel(k) for k in args.kernels.split(",")]
     cgra = presets.by_name(arch)
     want_obs = bool(args.trace or args.profile)
-    results = run_matrix(mappers, kernels, cgra, trace=want_obs)
+    results = run_matrix(
+        mappers, kernels, cgra, trace=want_obs,
+        jobs=args.jobs, timeout=args.timeout,
+    )
     print(
         ascii_table(
             [r.row() for r in results],
@@ -259,7 +263,10 @@ def _cmd_dse(args) -> int:
     with _obs_context(args) as ctx:
         if ctx is not None:
             tracer = ctx
-        points = explore(default_space() if args.full else None)
+        points = explore(
+            default_space() if args.full else None,
+            jobs=args.jobs, timeout=args.timeout,
+        )
     rows = [
         {
             "architecture": p.label(),
@@ -275,6 +282,17 @@ def _cmd_dse(args) -> int:
         print(f"  {p.label():30s} perf={p.performance:.3f} cost={p.cost:.0f}")
     _emit_obs(args, tracer)
     return 0
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (1 = serial, the default)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget; overruns become failure rows",
+    )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -321,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernels", default="dot_product,sobel_x")
     p.add_argument("--mappers", default="list_sched,edge_centric")
     p.add_argument("--arch", default="simple4x4")
+    _add_parallel_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_compare)
 
@@ -332,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("dse", help="architecture design-space sweep")
     p.add_argument("--full", action="store_true")
+    _add_parallel_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_dse)
     return parser

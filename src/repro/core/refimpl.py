@@ -1,0 +1,287 @@
+"""Reference (pre-fast-path) resource accounting.
+
+:class:`DictOccupancy` is the original tuple-keyed ``dict``/``Counter``
+implementation of :class:`repro.core.resources.Occupancy`, kept as an
+executable specification:
+
+* the equivalence suite (``tests/core/test_equivalence.py``) drives
+  both implementations through identical operation sequences and whole
+  mapper runs and asserts byte-identical outcomes;
+* ``benchmarks/bench_hotpath.py`` measures the flat-array speedup
+  against it.
+
+It is **not** used by any mapper — production code imports the flat
+implementation from :mod:`repro.core.resources`.  The two must keep
+identical observable semantics; when the contract changes, change both
+(the suite fails loudly otherwise).
+
+:class:`ReferenceRouter` likewise keeps the original search strategies
+— plain breadth-first :meth:`~ReferenceRouter.find` and plain-Dijkstra
+:meth:`~ReferenceRouter.find_negotiated`, no distance pruning, no A*
+ordering — modulo the (intentional) terminal-link bugfix shared with
+the production router, so "fast path equals slow path" stays a
+meaningful assertion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import heapq
+
+from repro.arch.cgra import CGRA
+from repro.arch.tec import HOLD, ROUTE, Step
+from repro.mappers.routing import Router
+from repro.obs.tracer import CANDIDATES_EXPLORED, get_tracer
+
+__all__ = ["DictOccupancy", "ReferenceRouter"]
+
+
+class DictOccupancy:
+    """Dict-keyed reference of the Occupancy contract (slow path)."""
+
+    def __init__(self, cgra: CGRA, ii: int | None = None) -> None:
+        self.cgra = cgra
+        self.ii = ii
+        # (cell, slot) -> op node id occupying the FU.
+        self.fu: dict[tuple[int, int], int] = {}
+        # (cell, slot) -> value -> refcount (shares fu or bypass).
+        self.routed: dict[tuple[int, int], Counter] = defaultdict(Counter)
+        # (cell, slot) -> value -> refcount of RF holds.
+        self.rf: dict[tuple[int, int], Counter] = defaultdict(Counter)
+        # (src, dst, slot) -> value -> refcount on the link.
+        self.link: dict[tuple[int, int, int], Counter] = defaultdict(Counter)
+
+    def slot(self, t: int) -> int:
+        return t % self.ii if self.ii else t
+
+    # -- functional units ----------------------------------------------
+    def can_place_op(self, cell: int, t: int) -> bool:
+        key = (cell, self.slot(t))
+        if key in self.fu:
+            return False
+        if self.cgra.route_shares_fu and self.routed.get(key):
+            return False
+        return True
+
+    def place_op(self, nid: int, cell: int, t: int) -> None:
+        self.fu[(cell, self.slot(t))] = nid
+
+    def release_op(self, cell: int, t: int) -> None:
+        self.fu.pop((cell, self.slot(t)), None)
+
+    def op_at(self, cell: int, t: int) -> int | None:
+        return self.fu.get((cell, self.slot(t)))
+
+    # -- routing --------------------------------------------------------
+    def can_route(self, value: int, cell: int, t: int) -> bool:
+        key = (cell, self.slot(t))
+        if value in self.routed[key]:
+            return True
+        if self.cgra.route_shares_fu:
+            return key not in self.fu and not self.routed[key]
+        return len(self.routed[key]) < self.cgra.bypass_capacity
+
+    def add_route(self, value: int, cell: int, t: int) -> None:
+        self.routed[(cell, self.slot(t))][value] += 1
+
+    def release_route(self, value: int, cell: int, t: int) -> None:
+        key = (cell, self.slot(t))
+        self.routed[key][value] -= 1
+        if self.routed[key][value] <= 0:
+            del self.routed[key][value]
+
+    # -- register-file holds -------------------------------------------
+    def can_hold(self, value: int, cell: int, t: int) -> bool:
+        key = (cell, self.slot(t))
+        if value in self.rf[key]:
+            return True
+        return len(self.rf[key]) < self.cgra.cell(cell).rf_size
+
+    def add_hold(self, value: int, cell: int, t: int) -> None:
+        self.rf[(cell, self.slot(t))][value] += 1
+
+    def release_hold(self, value: int, cell: int, t: int) -> None:
+        key = (cell, self.slot(t))
+        self.rf[key][value] -= 1
+        if self.rf[key][value] <= 0:
+            del self.rf[key][value]
+
+    # -- links ----------------------------------------------------------
+    def can_use_link(self, value: int, src: int, dst: int, t: int) -> bool:
+        key = (src, dst, self.slot(t))
+        users = self.link[key]
+        return value in users or not users
+
+    def add_link(self, value: int, src: int, dst: int, t: int) -> None:
+        self.link[(src, dst, self.slot(t))][value] += 1
+
+    def release_link(self, value: int, src: int, dst: int, t: int) -> None:
+        key = (src, dst, self.slot(t))
+        self.link[key][value] -= 1
+        if self.link[key][value] <= 0:
+            del self.link[key][value]
+
+    # -- introspection (mirror of the flat API) ------------------------
+    def holds_at(self, cell: int, t: int) -> set[int]:
+        return set(self.rf.get((cell, self.slot(t)), ()))
+
+    def routed_at(self, cell: int, t: int) -> set[int]:
+        return set(self.routed.get((cell, self.slot(t)), ()))
+
+    def link_users(self, src: int, dst: int, t: int) -> set[int]:
+        return set(self.link.get((src, dst, self.slot(t)), ()))
+
+    # ------------------------------------------------------------------
+    def used_entries(self) -> int:
+        return (
+            len(self.fu)
+            + sum(1 for v in self.routed.values() if v)
+            + sum(1 for v in self.rf.values() if v)
+            + sum(1 for v in self.link.values() if v)
+        )
+
+    def pressure(self) -> float:
+        """Mean occupied slots per resource class (same as the flat
+        implementation — the documented contract)."""
+        return self.used_entries() / 4
+
+    def copy(self) -> "DictOccupancy":
+        out = DictOccupancy(self.cgra, self.ii)
+        out.fu = dict(self.fu)
+        out.routed = defaultdict(
+            Counter, {k: Counter(v) for k, v in self.routed.items()}
+        )
+        out.rf = defaultdict(
+            Counter, {k: Counter(v) for k, v in self.rf.items()}
+        )
+        out.link = defaultdict(
+            Counter, {k: Counter(v) for k, v in self.link.items()}
+        )
+        return out
+
+
+class ReferenceRouter(Router):
+    """The original (pre-fast-path) route search, kept as the spec.
+
+    Exhaustive layer-BFS for :meth:`find` and plain Dijkstra with
+    ``(cost, state)`` heap keys for :meth:`find_negotiated` — exactly
+    the seed algorithms the pruned/A* production router must replicate
+    step for step.  Shares the expansion and terminal rules with
+    :class:`~repro.mappers.routing.Router` so only the search strategy
+    differs.
+    """
+
+    def __init__(self, cgra, *, allow_hold=True, max_hold=64, **_ignored):
+        super().__init__(
+            cgra, allow_hold=allow_hold, max_hold=max_hold, prune=False
+        )
+
+    def find(self, occ, req):
+        span = req.t_consume - req.t_emit - 1
+        if span < 0:
+            return None
+        if span == 0:
+            if self._final_ok(occ, req, Step(req.src_cell, req.t_emit, ROUTE)):
+                return []
+            return None
+        start = (req.src_cell, ROUTE)
+        frontier = {start: []}
+        explored = 0
+        for k in range(span):
+            t = req.t_emit + 1 + k
+            last = k == span - 1
+            nxt = {}
+            for (cell, kind), path in frontier.items():
+                for step in self._expansions(occ, req.value, cell, kind, t):
+                    explored += 1
+                    key = (step.cell, step.kind)
+                    if key in nxt:
+                        continue
+                    cand = path + [step]
+                    if last:
+                        if self._final_ok(occ, req, step):
+                            get_tracer().count(
+                                CANDIDATES_EXPLORED, explored
+                            )
+                            return cand
+                    nxt[key] = cand
+            if not nxt:
+                get_tracer().count(CANDIDATES_EXPLORED, explored)
+                return None
+            frontier = nxt
+        get_tracer().count(CANDIDATES_EXPLORED, explored)
+        return None
+
+    def find_negotiated(self, occ, req, *, history=None, penalty=10.0):
+        span = req.t_consume - req.t_emit - 1
+        if span < 0:
+            return None
+        history = history or {}
+
+        def step_cost(step):
+            key = (step.cell, occ.slot(step.time), step.kind)
+            base = 1.0 + history.get(key, 0.0)
+            free = (
+                occ.can_hold(req.value, step.cell, step.time)
+                if step.kind == HOLD
+                else occ.can_route(req.value, step.cell, step.time)
+            )
+            return base if free else base + penalty
+
+        if span == 0:
+            if self._final_ok(occ, req, Step(req.src_cell, req.t_emit, ROUTE)):
+                return [], 0.0
+            return None
+
+        start = (req.src_cell, ROUTE, 0)
+        dist = {start: 0.0}
+        prev = {start: None}
+        steps_at = {start: None}
+        heap = [(0.0, start)]
+        best = None
+        explored = 0
+        while heap:
+            d, state = heapq.heappop(heap)
+            if d > dist.get(state, float("inf")):
+                continue
+            explored += 1
+            cell, kind, layer = state
+            if layer == span:
+                last = steps_at[state]
+                ok = last is not None and (
+                    (last.kind == HOLD and last.cell == req.dst_cell)
+                    or (
+                        last.kind == ROUTE
+                        and (
+                            last.cell == req.dst_cell
+                            or self.cgra.has_link(last.cell, req.dst_cell)
+                        )
+                    )
+                )
+                if ok:
+                    best = state
+                    break
+                continue
+            t = req.t_emit + 1 + layer
+            candidates = [
+                Step(nxt, t, ROUTE) for nxt in self._reach[cell]
+            ] + [Step(cell, t, HOLD)]
+            for step in candidates:
+                nd = d + step_cost(step)
+                ns = (step.cell, step.kind, layer + 1)
+                if nd < dist.get(ns, float("inf")):
+                    dist[ns] = nd
+                    prev[ns] = state
+                    steps_at[ns] = step
+                    heapq.heappush(heap, (nd, ns))
+        get_tracer().count(CANDIDATES_EXPLORED, explored)
+        if best is None:
+            return None
+        out = []
+        s = best
+        while s is not None and steps_at[s] is not None:
+            out.append(steps_at[s])
+            s = prev[s]
+        out.reverse()
+        return out, dist[best]

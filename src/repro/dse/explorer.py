@@ -27,6 +27,7 @@ from repro.arch.cgra import CGRA
 from repro.core.exceptions import MapFailure
 from repro.core.registry import create
 from repro.ir import kernels as kernel_lib
+from repro.parallel import TaskTimeout, pmap, time_limit
 
 __all__ = ["DesignPoint", "default_space", "explore", "pareto_front"]
 
@@ -136,21 +137,85 @@ def evaluate_point(
     )
 
 
+def _fallback_point(params: dict, suite: Sequence[str]) -> DesignPoint:
+    """The all-kernels-failed outcome: every kernel charged the host
+    sequential fallback, success rate zero — what a design point that
+    blew its time budget is worth to the sweep."""
+    cgra = presets.simple_cgra(
+        params["size"],
+        params["size"],
+        topology=params["topology"],
+        rf_size=params["rf_size"],
+        mem_cells=params["mem_cells"],
+    )
+    perfs = [
+        1.0 / kernel_lib.kernel(kname).op_count() for kname in suite
+    ]
+    return DesignPoint(
+        size=params["size"],
+        topology=params["topology"],
+        rf_size=params["rf_size"],
+        mem_cells=params["mem_cells"],
+        performance=sum(perfs) / len(perfs),
+        cost=architecture_cost(cgra),
+        success_rate=0.0,
+    )
+
+
+def _point_task(task: tuple) -> DesignPoint:
+    """pmap payload: one design point (module-level for pickling)."""
+    params, suite, mapper = task
+    return evaluate_point(params, suite, mapper=mapper)
+
+
 def explore(
     space: Sequence[dict] | None = None,
     suite: Sequence[str] | None = None,
     *,
     mapper: str = "list_sched",
+    jobs: int = 1,
+    timeout: float | None = None,
 ) -> list[DesignPoint]:
-    """Evaluate every design point in the space."""
-    pts = [
-        evaluate_point(
-            params,
-            suite or ["dot_product", "fir4", "sobel_x", "if_select"],
-            mapper=mapper,
-        )
-        for params in (space if space is not None else default_space())
-    ]
+    """Evaluate every design point in the space.
+
+    ``jobs > 1`` evaluates points over a process pool; ``timeout``
+    bounds one point's wall-clock in seconds, with overruns demoted to
+    the sequential-fallback outcome rather than hanging the sweep.
+    The returned list is identical for any ``jobs`` value.
+    """
+    kernels = suite or ["dot_product", "fir4", "sobel_x", "if_select"]
+    points = list(space if space is not None else default_space())
+    tasks = [(params, tuple(kernels), mapper) for params in points]
+    pts: list[DesignPoint] = []
+    if jobs <= 1:
+        for task in tasks:
+            try:
+                with time_limit(timeout):
+                    pts.append(_point_task(task))
+            except TaskTimeout as ex:
+                _log.warning(
+                    "design point %sx%s/%s: %s; charging the sequential"
+                    " fallback",
+                    task[0]["size"], task[0]["size"],
+                    task[0]["topology"], ex,
+                )
+                pts.append(_fallback_point(task[0], kernels))
+    else:
+        for res, task in zip(
+            pmap(_point_task, tasks, jobs=jobs, timeout=timeout), tasks
+        ):
+            if res.ok:
+                pts.append(res.value)
+            elif res.timed_out:
+                _log.warning(
+                    "design point %sx%s/%s: %s; charging the sequential"
+                    " fallback",
+                    task[0]["size"], task[0]["size"],
+                    task[0]["topology"], res.error,
+                )
+                pts.append(_fallback_point(task[0], kernels))
+            else:
+                raise res.error
     return sorted(pts, key=lambda p: (p.cost, -p.performance))
 
 

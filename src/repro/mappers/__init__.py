@@ -20,6 +20,7 @@ from repro.mappers import (  # noqa: F401
     ilp_spatial,
     ilp_temporal,
     list_sched,
+    portfolio,
     qea,
     ramp,
     regimap,

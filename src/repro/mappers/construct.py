@@ -248,12 +248,11 @@ def default_candidates(
     cgra = state.cgra
     op = state.dfg.node(nid).op
     anchors = state.neighbor_cells(nid)
-    cells = [c for c in range(cgra.n_cells) if cgra.cell(c).supports(op)]
+    cells = list(cgra.supporting_cells(op))
+    dist = cgra.distance_table()
 
     def dist_cost(c: int) -> int:
-        return sum(
-            min(cgra.distance(a, c), cgra.distance(c, a)) for a in anchors
-        )
+        return sum(min(dist[a][c], dist[c][a]) for a in anchors)
 
     if rng is not None:
         rng.shuffle(cells)

@@ -80,10 +80,11 @@ class DRESCMapper(Mapper):
         for nid in order:
             op = dfg.node(nid).op
             anchors = state.neighbor_cells(nid)
-            cells = [c.cid for c in cgra.cells if c.supports(op)]
+            cells = list(cgra.supporting_cells(op))
             rng.shuffle(cells)
+            dist = cgra.distance_table()
             cells.sort(
-                key=lambda c: sum(cgra.distance(a, c) for a in anchors)
+                key=lambda c: sum(dist[a][c] for a in anchors)
             )
             lb, ub = state.time_bounds(nid, 4 * ii)
             lb = max(lb, t0[nid])
@@ -109,7 +110,7 @@ class DRESCMapper(Mapper):
         old = (state.binding[nid], state.schedule[nid])
         state.unplace(nid)
         op = state.dfg.node(nid).op
-        cells = [c.cid for c in state.cgra.cells if c.supports(op)]
+        cells = state.cgra.supporting_cells(op)
         lb, ub = state.time_bounds(nid, window)
         if ub < lb:
             # The op's own window is empty (neighbours must move first);

@@ -1,0 +1,189 @@
+"""Portfolio mapper — race several mappers, keep the winner.
+
+Twenty years of mapping methods (the survey's Table I) left no single
+dominant technique: constructive heuristics are fast but brittle,
+annealers robust but slow, and which one lands the best II depends on
+the kernel.  The standard systems answer is an *algorithm portfolio*:
+run several entrants on the same problem and keep the first (or best)
+valid result.  With :mod:`repro.parallel` the entrants race on real
+cores; losers are cancelled once a winner is decided.
+
+Determinism: the winner is chosen by *entrant order*, not completion
+order — policy ``"first"`` takes the lowest-index entrant that
+produced a valid mapping, policy ``"best"`` waits for everyone and
+takes the lowest II (ties broken by entrant order).  The portfolio
+therefore returns the same mapping for a fixed seed whether it runs
+serially or in parallel.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+from repro.arch.cgra import CGRA
+from repro.core.exceptions import MapFailure
+from repro.core.mapper import Mapper, MapperInfo
+from repro.core.mapping import Mapping
+from repro.core.registry import create, register
+from repro.ir.dfg import DFG
+from repro.obs.tracer import get_tracer, tracing
+from repro.parallel import (
+    PMapResult,
+    TaskTimeout,
+    in_worker,
+    pmap,
+    race,
+    time_limit,
+)
+
+__all__ = ["PortfolioMapper"]
+
+_log = logging.getLogger("repro.mappers.portfolio")
+
+#: Default entrants: a fast constructive heuristic, a routing-aware
+#: constructive method, and two meta-heuristics with different search
+#: shapes — cheap insurance against any single method's blind spots.
+DEFAULT_ENTRANTS = ("list_sched", "edge_centric", "spr", "dresc")
+
+
+def _entrant_task(payload: tuple) -> Mapping:
+    """One entrant's full mapping run (module-level for pickling)."""
+    mname, seed, dfg, cgra, ii, trace = payload
+    if not trace:
+        return create(mname, seed=seed).map(dfg, cgra, ii=ii)
+    with tracing():
+        return create(mname, seed=seed).map(dfg, cgra, ii=ii)
+
+
+@register
+class PortfolioMapper(Mapper):
+    """Race a set of registered mappers; first/best valid mapping wins."""
+
+    info = MapperInfo(
+        name="portfolio",
+        family="metaheuristic",
+        subfamily="portfolio",
+        kinds=("temporal",),
+        solves="binding+scheduling",
+        modeled_after="§VI (no single dominant method)",
+        year=2022,
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        mappers: tuple[str, ...] | None = None,
+        policy: str = "first",
+        jobs: int = 0,
+        timeout: float | None = None,
+    ) -> None:
+        """Args:
+            mappers: entrant registry names, in priority order.
+            policy: ``"first"`` — lowest-priority-index valid mapping
+                wins, losers are cancelled; ``"best"`` — all entrants
+                finish, lowest II wins (ties by priority order).
+            jobs: worker processes; 0 = one per entrant (capped at the
+                core count), 1 = run entrants serially in-process.
+            timeout: per-entrant wall-clock budget in seconds.
+        """
+        super().__init__(seed)
+        if policy not in ("first", "best"):
+            raise ValueError(f"bad portfolio policy {policy!r}")
+        self.mappers = tuple(mappers) if mappers else DEFAULT_ENTRANTS
+        self.policy = policy
+        self.jobs = jobs
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _effective_jobs(self) -> int:
+        if self.jobs > 0:
+            return self.jobs
+        return min(len(self.mappers), os.cpu_count() or 1)
+
+    def _pick_best(
+        self, finished: list[tuple[int, Mapping]]
+    ) -> Mapping | None:
+        if not finished:
+            return None
+        return min(
+            finished, key=lambda t: (t[1].ii or 10**9, t[0])
+        )[1]
+
+    def _map_serial(
+        self, dfg: DFG, cgra: CGRA, ii: int | None
+    ) -> Mapping:
+        """Entrants in priority order, in-process, under the caller's
+        tracer (spans nest naturally)."""
+        finished: list[tuple[int, Mapping]] = []
+        for idx, mname in enumerate(self.mappers):
+            try:
+                with time_limit(self.timeout):
+                    mapping = create(mname, seed=self.seed).map(
+                        dfg, cgra, ii=ii
+                    )
+            except (MapFailure, TaskTimeout) as ex:
+                _log.debug("portfolio: %s lost: %s", mname, ex)
+                continue
+            if self.policy == "first":
+                get_tracer().tag(winner=mname)
+                return mapping
+            finished.append((idx, mapping))
+        best = self._pick_best(finished)
+        if best is None:
+            raise self.fail(
+                f"all {len(self.mappers)} entrants failed on {dfg.name}",
+                attempts=len(self.mappers),
+            )
+        get_tracer().tag(winner=best.mapper)
+        return best
+
+    def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
+        jobs = self._effective_jobs()
+        if jobs <= 1 or in_worker():
+            return self._map_serial(dfg, cgra, ii)
+
+        tracer = get_tracer()
+        tasks = [
+            (mname, self.seed, dfg, cgra, ii, tracer.enabled)
+            for mname in self.mappers
+        ]
+        if self.policy == "first":
+            results = race(
+                _entrant_task, tasks, jobs=jobs, timeout=self.timeout
+            )
+        else:
+            results = pmap(
+                _entrant_task, tasks, jobs=jobs, timeout=self.timeout
+            )
+        finished = [
+            (i, r.value)
+            for i, r in enumerate(results)
+            if isinstance(r, PMapResult) and r.ok
+        ]
+        for i, r in enumerate(results):
+            if isinstance(r, PMapResult) and not r.ok:
+                if not r.timed_out and not isinstance(
+                    r.error, MapFailure
+                ):
+                    raise r.error  # a bug, not a lost race
+                _log.debug(
+                    "portfolio: %s lost: %s", self.mappers[i], r.error
+                )
+        winner = (
+            finished[0][1] if self.policy == "first" and finished
+            else self._pick_best(finished)
+        )
+        if winner is None:
+            raise self.fail(
+                f"all {len(self.mappers)} entrants failed on {dfg.name}",
+                attempts=len(self.mappers),
+            )
+        # Graft the winner's worker-side trace under our root span so
+        # --profile sees inside the child process.
+        if tracer.enabled:
+            tracer.tag(winner=winner.mapper)
+            if winner.trace is not None and tracer.current is not None:
+                tracer.current.children.append(winner.trace)
+        return winner

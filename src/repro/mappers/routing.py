@@ -14,8 +14,32 @@ Two disciplines are provided:
   constructive mappers;
 * :meth:`Router.find_negotiated` — PathFinder-style: overused
   resources are allowed but penalised by a rising congestion cost, and
-  a Dijkstra search minimises total cost.  SPR iterates this to
-  resolve congestion gradually.
+  an A* search minimises total cost.  SPR iterates this to resolve
+  congestion gradually.
+
+Distance pruning
+----------------
+
+Both disciplines prune against the CGRA's cached all-pairs hop-distance
+table (:meth:`repro.arch.cgra.CGRA.distance_table`).  A search state at
+cell ``c`` with ``r`` time layers left can only terminate usefully when
+``dist(c, dst) <= r + 1`` — each layer moves the value at most one hop
+and the terminal read grants one more (§II-B's neighbour-visibility
+rule).  States violating that bound can never reach an accepting
+terminal, and every state reachable *from* a violating state violates
+the (one-weaker) bound of its own layer, so dropping them is exact:
+the surviving search explores the same states in the same order and
+returns byte-identical paths (the equivalence suite asserts this
+against ``prune=False``).  In :meth:`Router.find_negotiated` the same
+admissible reasoning gives the A* heuristic: every one of the
+``span - layer`` remaining layers costs at least 1, and the distance
+table supplies the reachability cut (an infinite heuristic).  Ordering
+the heap by ``(f, g, state)`` keeps tie-breaking identical to the
+plain Dijkstra it replaces.
+
+The number of states actually explored is recorded on the active
+trace span under ``candidates_explored``, so ``--profile`` shows the
+pruning win directly.
 """
 
 from __future__ import annotations
@@ -26,8 +50,11 @@ from dataclasses import dataclass
 from repro.arch.cgra import CGRA
 from repro.arch.tec import HOLD, ROUTE, Step
 from repro.core.resources import Occupancy
+from repro.obs.tracer import CANDIDATES_EXPLORED, get_tracer
 
 __all__ = ["Router", "RouteRequest", "commit_route", "release_route"]
+
+_INF = 10**9
 
 
 @dataclass(frozen=True)
@@ -47,15 +74,32 @@ class RouteRequest:
 
 
 class Router:
+    """Per-edge route search over a shared occupancy.
+
+    Args:
+        cgra: the target array.
+        allow_hold: permit RF-hold steps (cheaper than re-emission).
+        max_hold: legacy bound on consecutive holds (kept for
+            signature compatibility).
+        prune: admissible distance pruning (semantics-preserving; the
+            switch exists so the equivalence suite and the ablation
+            benchmark can run the exhaustive search).
+    """
+
     def __init__(
-        self, cgra: CGRA, *, allow_hold: bool = True, max_hold: int = 64
+        self,
+        cgra: CGRA,
+        *,
+        allow_hold: bool = True,
+        max_hold: int = 64,
+        prune: bool = True,
     ) -> None:
         self.cgra = cgra
         self.allow_hold = allow_hold
         self.max_hold = max_hold
-        self._reach = {
-            c.cid: [c.cid, *cgra.neighbors_out(c.cid)] for c in cgra.cells
-        }
+        self.prune = prune
+        self._reach = cgra.reach_lists()
+        self._dist = cgra.distance_table()
 
     # ------------------------------------------------------------------
     def find(
@@ -74,26 +118,43 @@ class Router:
             if self._final_ok(occ, req, Step(req.src_cell, req.t_emit, ROUTE)):
                 return []
             return None
+        dst = req.dst_cell
+        dist_to = self._dist if self.prune else None
+        if dist_to is not None and dist_to[req.src_cell][dst] > span + 1:
+            return None  # unreachable within the time budget
         # BFS over time layers; states are (cell, kind-of-last-step).
         start = (req.src_cell, ROUTE)
         frontier: dict[tuple[int, str], list[Step]] = {start: []}
+        explored = 0
         for k in range(span):
             t = req.t_emit + 1 + k
             last = k == span - 1
+            # After the step of this layer, span-1-k layers remain plus
+            # the terminal-read hop: admissible bound span - k.
+            allowed = span - k
             nxt: dict[tuple[int, str], list[Step]] = {}
             for (cell, kind), path in frontier.items():
                 for step in self._expansions(occ, req.value, cell, kind, t):
+                    if (
+                        dist_to is not None
+                        and dist_to[step.cell][dst] > allowed
+                    ):
+                        continue
+                    explored += 1
                     key = (step.cell, step.kind)
                     if key in nxt:
                         continue
                     cand = path + [step]
                     if last:
                         if self._final_ok(occ, req, step):
+                            get_tracer().count(CANDIDATES_EXPLORED, explored)
                             return cand
                     nxt[key] = cand
             if not nxt:
+                get_tracer().count(CANDIDATES_EXPLORED, explored)
                 return None
             frontier = nxt
+        get_tracer().count(CANDIDATES_EXPLORED, explored)
         return None
 
     def _expansions(self, occ, value, cell, kind, t):
@@ -143,6 +204,7 @@ class Router:
         if span < 0:
             return None
         history = history or {}
+        dst = req.dst_cell
 
         def step_cost(step: Step) -> float:
             key = (step.cell, occ.slot(step.time), step.kind)
@@ -155,24 +217,33 @@ class Router:
             return base if free else base + penalty
 
         if span == 0:
-            last = Step(req.src_cell, req.t_emit, ROUTE)
-            if last.cell == req.dst_cell or self.cgra.has_link(
-                last.cell, req.dst_cell
-            ):
+            # Direct read of the emission — same terminal discipline as
+            # :meth:`find`: the terminal link must exist *and* be free
+            # for this value (congestion on it cannot be negotiated
+            # away, there is no step left to pay a penalty on).
+            if self._final_ok(occ, req, Step(req.src_cell, req.t_emit, ROUTE)):
                 return [], 0.0
             return None
 
-        # Dijkstra over (cell, kind, layer).
+        dist_to = self._dist if self.prune else None
+        if dist_to is not None and dist_to[req.src_cell][dst] > span + 1:
+            return None
+        # A* over (cell, kind, layer): g = accumulated cost, heuristic
+        # h = span - layer (each remaining layer costs >= 1; the
+        # distance table contributes the reachability cut).  Heap keys
+        # (f, g, state) preserve plain-Dijkstra tie-breaking exactly.
         start = (req.src_cell, ROUTE, 0)
         dist: dict[tuple, float] = {start: 0.0}
         prev: dict[tuple, tuple | None] = {start: None}
         steps_at: dict[tuple, Step | None] = {start: None}
-        heap = [(0.0, start)]
+        heap = [(float(span), 0.0, start)]
         best: tuple | None = None
+        explored = 0
         while heap:
-            d, state = heapq.heappop(heap)
+            _f, d, state = heapq.heappop(heap)
             if d > dist.get(state, float("inf")):
                 continue
+            explored += 1
             cell, kind, layer = state
             if layer == span:
                 last = steps_at[state]
@@ -199,14 +270,22 @@ class Router:
             candidates = [
                 Step(nxt, t, ROUTE) for nxt in self._reach[cell]
             ] + [Step(cell, t, HOLD)]
+            nlayer = layer + 1
+            h = float(span - nlayer)
             for step in candidates:
+                if (
+                    dist_to is not None
+                    and dist_to[step.cell][dst] > span - layer
+                ):
+                    continue
                 nd = d + step_cost(step)
-                ns = (step.cell, step.kind, layer + 1)
+                ns = (step.cell, step.kind, nlayer)
                 if nd < dist.get(ns, float("inf")):
                     dist[ns] = nd
                     prev[ns] = state
                     steps_at[ns] = step
-                    heapq.heappush(heap, (nd, ns))
+                    heapq.heappush(heap, (nd + h, nd, ns))
+        get_tracer().count(CANDIDATES_EXPLORED, explored)
         if best is None:
             return None
         # Reconstruct.

@@ -34,8 +34,8 @@ __all__ = [
 
 
 def candidate_cells(dfg: DFG, cgra: CGRA, nid: int) -> list[int]:
-    op = dfg.node(nid).op
-    return [c.cid for c in cgra.cells if c.supports(op)]
+    """Cells that can host ``nid`` (memoized per opcode on the CGRA)."""
+    return list(cgra.supporting_cells(dfg.node(nid).op))
 
 
 def random_binding(

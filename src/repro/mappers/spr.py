@@ -71,10 +71,11 @@ class SPRMapper(Mapper):
                 for e in dfg.out_edges(nid)
                 if e.dst in binding and e.dst != nid
             ]
-            cells = [c.cid for c in cgra.cells if c.supports(op)]
+            cells = list(cgra.supporting_cells(op))
             rng.shuffle(cells)
+            dist = cgra.distance_table()
             cells.sort(
-                key=lambda c: sum(cgra.distance(a, c) for a in anchors)
+                key=lambda c: sum(dist[a][c] for a in anchors)
             )
             lb = t0[nid]
             ub = None

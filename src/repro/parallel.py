@@ -1,0 +1,299 @@
+"""Shared parallel-execution layer.
+
+One process pool abstraction serves every sweep in the package:
+:func:`repro.bench.run_matrix` (mapper x kernel grids),
+:func:`repro.dse.explore` (architecture sweeps), and the ``portfolio``
+mapper (racing several mappers on one kernel).  The contract:
+
+* **Determinism** — results come back in submission order regardless
+  of completion order, and ``jobs=1`` callers keep their exact serial
+  code path (they never enter this module's pool).
+* **Timeouts are data, not hangs** — every task runs under a
+  SIGALRM-based :func:`time_limit` inside its worker, so a runaway
+  mapper raises :class:`TaskTimeout` in-process and comes back as a
+  failed :class:`PMapResult`; a parent-side backstop (for workers
+  stuck outside the interpreter) terminates the pool rather than
+  joining it forever.
+* **No nested pools** — workers are marked (:func:`in_worker`), and
+  parallel entry points degrade to their serial paths inside one, so
+  a ``portfolio`` mapper inside a parallel ``run_matrix`` sweep does
+  not fork a second pool per cell.
+* **Traces travel** — values are pickled back whole, including any
+  :class:`repro.obs.Span` trees a task attached, so ``--profile``
+  aggregates child work in the parent.
+
+Workers are forked (POSIX), so an architecture or registry built in
+the parent is visible in the children without re-imports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = [
+    "PMapResult",
+    "TaskTimeout",
+    "in_worker",
+    "pmap",
+    "race",
+    "time_limit",
+]
+
+#: Parent-side backstop slack (seconds) beyond the in-worker alarm —
+#: only reached when a worker hangs outside the interpreter, where
+#: SIGALRM cannot unwind it.
+BACKSTOP_SLACK = 10.0
+
+_IN_WORKER = False
+
+
+class TaskTimeout(Exception):
+    """A task exceeded its wall-clock budget."""
+
+
+def in_worker() -> bool:
+    """True inside a :func:`pmap` worker process."""
+    return _IN_WORKER
+
+
+def _worker_init() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+@contextmanager
+def time_limit(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`TaskTimeout` in the block after ``seconds``.
+
+    SIGALRM-based, so it interrupts pure-Python compute loops (the
+    usual way a mapper hangs).  A no-op when ``seconds`` is None/0 or
+    when not on the main thread (signals cannot be delivered there);
+    pool workers run tasks on their main thread, so the limit is
+    always live in parallel sweeps.  Do not nest: the inner limit
+    replaces the outer timer.
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TaskTimeout(f"timeout after {seconds:g}s")
+
+    old_handler = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class PMapResult:
+    """Outcome of one :func:`pmap` task, in submission order.
+
+    ``ok`` tasks carry their return value; failed ones carry the
+    raised exception (``timed_out`` distinguishes budget overruns from
+    genuine errors, so harnesses can turn the former into failure rows
+    and re-raise the latter like their serial paths would).
+    """
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: BaseException | None = None
+    timed_out: bool = False
+    elapsed: float = 0.0
+
+
+def _run_task(payload: tuple) -> PMapResult:
+    """Worker body: apply fn under the task's time budget."""
+    fn, item, index, timeout = payload
+    t0 = time.perf_counter()
+    try:
+        with time_limit(timeout):
+            value = fn(item)
+        return PMapResult(
+            index=index, ok=True, value=value,
+            elapsed=time.perf_counter() - t0,
+        )
+    except TaskTimeout as ex:
+        return PMapResult(
+            index=index, ok=False, error=ex, timed_out=True,
+            elapsed=time.perf_counter() - t0,
+        )
+    except BaseException as ex:  # pickled back; parent decides
+        try:
+            return PMapResult(
+                index=index, ok=False, error=ex,
+                elapsed=time.perf_counter() - t0,
+            )
+        except Exception:  # unpicklable exception: degrade to repr
+            return PMapResult(
+                index=index, ok=False, error=RuntimeError(repr(ex)),
+                elapsed=time.perf_counter() - t0,
+            )
+
+
+def pmap(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    jobs: int,
+    timeout: float | None = None,
+) -> list[PMapResult]:
+    """Apply ``fn`` to every item over a process pool.
+
+    Args:
+        fn: a picklable (module-level) callable of one argument.
+        items: the work list; results come back in this order.
+        jobs: worker processes.  ``jobs <= 1`` (or a call from inside
+            a worker) runs serially in-process — same semantics, no
+            pool.
+        timeout: per-task wall-clock budget in seconds (None = none).
+
+    Returns:
+        One :class:`PMapResult` per item, submission-ordered.  The
+        call itself only raises for infrastructure failures; task
+        exceptions are returned, not raised.
+    """
+    items = list(items)
+    payloads = [
+        (fn, item, i, timeout) for i, item in enumerate(items)
+    ]
+    if jobs <= 1 or in_worker() or len(items) <= 1:
+        return [_run_task(p) for p in payloads]
+
+    ctx = multiprocessing.get_context("fork")
+    results: list[PMapResult | None] = [None] * len(items)
+    executor = ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)),
+        mp_context=ctx,
+        initializer=_worker_init,
+    )
+    poisoned = False
+    try:
+        futures = [executor.submit(_run_task, p) for p in payloads]
+        backstop = None if timeout is None else timeout + BACKSTOP_SLACK
+        for i, fut in enumerate(futures):
+            if poisoned:
+                # Pool already torn down; drain without waiting.
+                wait = 0.1
+            else:
+                wait = backstop
+            try:
+                results[i] = fut.result(timeout=wait)
+            except FutureTimeout:
+                # Worker wedged beyond the in-process alarm (or pool
+                # gone): record the overrun and stop trusting the pool.
+                fut.cancel()
+                results[i] = PMapResult(
+                    index=i, ok=False, timed_out=True,
+                    error=TaskTimeout(
+                        f"hard timeout: worker unresponsive after"
+                        f" {wait:g}s"
+                    ),
+                )
+                if not poisoned:
+                    poisoned = True
+                    for p in list(executor._processes.values()):
+                        p.terminate()
+            except BaseException as ex:
+                # BrokenProcessPool & friends: fail this task, keep
+                # draining the rest without blocking.
+                results[i] = PMapResult(index=i, ok=False, error=ex)
+                poisoned = True
+    finally:
+        executor.shutdown(wait=not poisoned, cancel_futures=True)
+    return results  # type: ignore[return-value]
+
+
+def race(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    jobs: int,
+    timeout: float | None = None,
+    accept: Callable[[PMapResult], bool] | None = None,
+) -> list[PMapResult | None]:
+    """Run items concurrently; the lowest-index accepted result wins.
+
+    Results are examined in submission order, so the winner is
+    deterministic regardless of completion order: the first result
+    ``accept`` approves (default: :attr:`PMapResult.ok`) stops the
+    race, later tasks are cancelled and their workers terminated.
+    Serially (``jobs <= 1``, inside a worker, or one item) losers past
+    the winner are simply never started.
+
+    Returns the submission-ordered result list with ``None`` for every
+    task past the winner (losers whose outcome was discarded).
+    """
+    accept = accept if accept is not None else (lambda r: r.ok)
+    items = list(items)
+    payloads = [
+        (fn, item, i, timeout) for i, item in enumerate(items)
+    ]
+    results: list[PMapResult | None] = [None] * len(items)
+    if jobs <= 1 or in_worker() or len(items) <= 1:
+        for i, p in enumerate(payloads):
+            results[i] = _run_task(p)
+            if accept(results[i]):
+                break
+        return results
+
+    ctx = multiprocessing.get_context("fork")
+    executor = ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)),
+        mp_context=ctx,
+        initializer=_worker_init,
+    )
+    torn_down = False
+    try:
+        futures = [executor.submit(_run_task, p) for p in payloads]
+        backstop = None if timeout is None else timeout + BACKSTOP_SLACK
+        for i, fut in enumerate(futures):
+            try:
+                results[i] = fut.result(timeout=backstop)
+            except FutureTimeout:
+                fut.cancel()
+                results[i] = PMapResult(
+                    index=i, ok=False, timed_out=True,
+                    error=TaskTimeout(
+                        f"hard timeout: worker unresponsive after"
+                        f" {backstop:g}s"
+                    ),
+                )
+                break  # pool no longer trustworthy; losers stay None
+            except BaseException as ex:
+                results[i] = PMapResult(index=i, ok=False, error=ex)
+                break
+            if accept(results[i]):
+                break
+        else:
+            # Every entrant examined, none accepted: clean finish.
+            executor.shutdown(wait=True, cancel_futures=True)
+            torn_down = True
+            return results
+        # A winner (or a broken pool): cancel losers, stop their work.
+        for fut in futures:
+            fut.cancel()
+        for p in list(executor._processes.values()):
+            p.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)
+        torn_down = True
+        return results
+    finally:
+        if not torn_down:
+            executor.shutdown(wait=False, cancel_futures=True)

@@ -88,7 +88,7 @@ def test_copy_is_independent(cgra):
     clone.release_op(0, 0)
     clone.add_hold(2, 1, 0)
     assert occ.op_at(0, 0) == 7
-    assert set(occ.rf[(1, 0)]) == {1}
+    assert occ.holds_at(1, 0) == {1}
 
 
 def test_release_is_refcounted(cgra):

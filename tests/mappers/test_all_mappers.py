@@ -32,7 +32,7 @@ def cgra():
 
 
 def test_registry_count_matches_design():
-    assert len(names()) == 22
+    assert len(names()) == 23
 
 
 def test_every_family_represented():

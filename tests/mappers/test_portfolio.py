@@ -1,0 +1,74 @@
+"""Portfolio mapper: deterministic winners, serial == parallel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import presets
+from repro.core.exceptions import MapFailure
+from repro.core.registry import create
+from repro.ir import kernels as kernel_lib
+from repro.obs.tracer import tracing
+
+
+@pytest.fixture(scope="module")
+def cgra():
+    return presets.simple_cgra(4, 4)
+
+
+def _signature(mapping):
+    return (
+        mapping.ii,
+        dict(mapping.binding),
+        dict(mapping.schedule) if mapping.schedule else None,
+        {e: list(s) for e, s in mapping.routes.items()},
+    )
+
+
+@pytest.mark.parametrize("kname", ["dot_product", "fir4"])
+def test_parallel_race_matches_serial(cgra, kname):
+    dfg = kernel_lib.kernel(kname)
+    serial = create("portfolio", jobs=1).map(dfg, cgra)
+    parallel = create("portfolio", jobs=2).map(dfg, cgra)
+    assert _signature(serial) == _signature(parallel)
+    assert serial.mapper == "portfolio"
+
+
+def test_best_policy_matches_serial(cgra):
+    dfg = kernel_lib.kernel("dot_product")
+    serial = create("portfolio", policy="best", jobs=1).map(dfg, cgra)
+    parallel = create("portfolio", policy="best", jobs=2).map(dfg, cgra)
+    assert _signature(serial) == _signature(parallel)
+
+
+def test_first_policy_prefers_entrant_order(cgra):
+    dfg = kernel_lib.kernel("dot_product")
+    with tracing() as tr:
+        create(
+            "portfolio", mappers=("list_sched", "edge_centric"), jobs=1
+        ).map(dfg, cgra)
+    # list_sched succeeds on dot_product, so it must be the winner.
+    assert tr.root.tags.get("winner") == "list_sched"
+
+
+def test_winner_trace_grafted_in_parallel_run(cgra):
+    dfg = kernel_lib.kernel("fir4")
+    with tracing() as tr:
+        create("portfolio", jobs=2).map(dfg, cgra)
+    assert tr.root.tags.get("winner")
+    # The winner's child-process span tree hangs under our root.
+    assert len(tr.root.find("map")) >= 2
+
+
+def test_all_entrants_failing_raises_mapfailure(cgra):
+    dfg = kernel_lib.kernel("sobel_x")
+    mapper = create(
+        "portfolio", mappers=("dresc",), jobs=1, timeout=0.05
+    )
+    with pytest.raises(MapFailure):
+        mapper.map(dfg, cgra)
+
+
+def test_bad_policy_rejected():
+    with pytest.raises(ValueError):
+        create("portfolio", policy="fastest")

@@ -1,7 +1,7 @@
 """Hot-path microbenchmark: flat arrays, pruned routing, parallel sweeps.
 
-Measures the three fast-path layers against their reference
-implementations and writes ``BENCH_hotpath.json``:
+Measures the fast-path layers against their reference implementations
+and writes ``BENCH_hotpath.json`` plus ``BENCH_solver.json``:
 
 * **occupancy** — the flat-array :class:`repro.core.resources.Occupancy`
   vs the dict/Counter :class:`repro.core.refimpl.DictOccupancy` on an
@@ -10,12 +10,18 @@ implementations and writes ``BENCH_hotpath.json``:
   :class:`ReferenceRouter` on an identical batch of route queries
   (routes/second, explored-candidate counts, ratio);
 * **matrix** — ``run_matrix`` wall-clock serial vs ``--jobs N``
-  (speedup is bounded by the machine's core count, which is recorded).
+  (speedup is bounded by the machine's core count, which is recorded);
+* **solver** — the exact-method family: the CDCL SAT engine vs the
+  retained DPLL reference driving :class:`SATMapper` on kernels and a
+  mid-size random DFG (wall + decisions), plus the warm-start hooks
+  (ILP MIP start, CSP value hints) re-solving an II with the prior
+  assignment as the hint.
 
 Run::
 
-    python benchmarks/bench_hotpath.py            # full, jobs=2
-    python benchmarks/bench_hotpath.py --smoke    # seconds, for CI
+    python benchmarks/bench_hotpath.py                  # full, jobs=2
+    python benchmarks/bench_hotpath.py --smoke          # seconds, for CI
+    python benchmarks/bench_hotpath.py --only solver    # one section
 """
 
 from __future__ import annotations
@@ -34,13 +40,23 @@ from repro.arch import presets  # noqa: E402
 from repro.bench.harness import run_matrix  # noqa: E402
 from repro.core.refimpl import DictOccupancy, ReferenceRouter  # noqa: E402
 from repro.core.resources import Occupancy  # noqa: E402
+from repro.ir import kernels, randdfg  # noqa: E402
+from repro.mappers.csp_mapper import CSPMapper  # noqa: E402
+from repro.mappers.ilp_temporal import ILPTemporalMapper  # noqa: E402
 from repro.mappers.routing import RouteRequest, Router  # noqa: E402
-from repro.obs.tracer import CANDIDATES_EXPLORED, tracing  # noqa: E402
+from repro.mappers.sat_mapper import SATMapper  # noqa: E402
+from repro.obs.tracer import (  # noqa: E402
+    CANDIDATES_EXPLORED,
+    SOLVER_DECISIONS,
+    SOLVER_NODES,
+    tracing,
+)
 
 #: documented fast-path goals (informational; the JSON records actuals)
 TARGET_OCCUPANCY_SPEEDUP = 1.5
 TARGET_ROUTER_SPEEDUP = 1.5
 TARGET_MATRIX_SPEEDUP = 1.7  # needs >= 2 physical cores
+TARGET_SAT_SPEEDUP = 2.0  # CDCL vs DPLL on the SAT-mapper workload
 
 
 def _occupancy_workload(cgra, impl_cls, rounds: int) -> float:
@@ -184,6 +200,124 @@ def bench_matrix(cgra, jobs: int, smoke: bool) -> dict:
     }
 
 
+def _sat_run(dfg, cgra, engine: str, ii: int | None) -> dict:
+    """One SATMapper run: best II, wall seconds, SAT decisions."""
+    with tracing() as tr:
+        t0 = time.perf_counter()
+        mapping = SATMapper(engine=engine).map(dfg, cgra, ii=ii)
+        elapsed = time.perf_counter() - t0
+    decisions = sum(s.total(SOLVER_DECISIONS) for s in tr.roots)
+    return {
+        "ii": mapping.ii,
+        "wall_s": round(elapsed, 4),
+        "decisions": decisions,
+    }
+
+
+def _counted(fn) -> tuple[object, float, int]:
+    """(result, wall seconds, solver nodes) for a traced call."""
+    with tracing() as tr:
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+    nodes = sum(s.total(SOLVER_NODES) for s in tr.roots) + tr.counters.get(
+        SOLVER_NODES, 0
+    )
+    return result, elapsed, nodes
+
+
+def bench_solver(smoke: bool) -> dict:
+    """CDCL-vs-DPLL SAT mapping plus ILP/CSP warm-start re-solves."""
+    cgra = presets.simple_cgra(3, 3)
+    # SAT workloads: kernels escalate II from the lower bound; the
+    # random layered DFG is pinned to its known-feasible II (the DPLL
+    # escalation through the infeasible IIs below it takes minutes).
+    workloads: list[tuple[str, object, int | None]] = [
+        ("dot_product", kernels.kernel("dot_product"), None),
+        ("fir4", kernels.kernel("fir4"), None),
+    ]
+    if not smoke:
+        workloads += [
+            ("sobel_x", kernels.kernel("sobel_x"), None),
+            ("layered8_s1@ii3", randdfg.layered(8, seed=1), 3),
+        ]
+    # Warm the per-architecture caches so both engines start equal.
+    SATMapper().map(kernels.kernel("dot_product"), cgra)
+
+    sat_rows = []
+    for name, dfg, ii in workloads:
+        cdcl = _sat_run(dfg, cgra, "cdcl", ii)
+        dpll = _sat_run(dfg, cgra, "dpll", ii)
+        assert cdcl["ii"] == dpll["ii"], f"engines disagree on {name}"
+        sat_rows.append(
+            {
+                "workload": name,
+                "ii": cdcl["ii"],
+                "cdcl": cdcl,
+                "dpll": dpll,
+                "wall_speedup": round(
+                    dpll["wall_s"] / max(cdcl["wall_s"], 1e-9), 2
+                ),
+                "decision_speedup": round(
+                    dpll["decisions"] / max(cdcl["decisions"], 1), 2
+                ),
+            }
+        )
+    total_cdcl = sum(r["cdcl"]["wall_s"] for r in sat_rows)
+    total_dpll = sum(r["dpll"]["wall_s"] for r in sat_rows)
+    dec_cdcl = sum(r["cdcl"]["decisions"] for r in sat_rows)
+    dec_dpll = sum(r["dpll"]["decisions"] for r in sat_rows)
+    sat = {
+        "engine_fast": "cdcl",
+        "engine_reference": "dpll",
+        "workloads": sat_rows,
+        "wall_speedup": round(total_dpll / max(total_cdcl, 1e-9), 2),
+        "decision_speedup": round(dec_dpll / max(dec_cdcl, 1), 2),
+    }
+
+    # Warm-start re-solves: solve an II cold, then the same model again
+    # with the cold assignment as the hint — the shape of II escalation
+    # and route-round retries, where the previous solution usually
+    # survives.  The ILP MIP start admits the incumbent without
+    # branching; the CSP value hints walk straight to the solution.
+    fir4 = kernels.kernel("fir4")
+
+    ilp_mapper = ILPTemporalMapper()
+    cold_assign, ilp_cold_s, ilp_cold_nodes = _counted(
+        lambda: ilp_mapper._solve(fir4, cgra, 2)
+    )
+    assert cold_assign is not None, "ILP cold solve failed"
+    warm_assign, ilp_warm_s, ilp_warm_nodes = _counted(
+        lambda: ilp_mapper._solve(fir4, cgra, 2, hint=cold_assign)
+    )
+    assert warm_assign is not None, "ILP warm solve failed"
+    ilp = {
+        "workload": "fir4@ii2",
+        "cold": {"wall_s": round(ilp_cold_s, 4), "nodes": ilp_cold_nodes},
+        "warm": {"wall_s": round(ilp_warm_s, 4), "nodes": ilp_warm_nodes},
+        "wall_speedup": round(ilp_cold_s / max(ilp_warm_s, 1e-9), 2),
+    }
+
+    conv = kernels.kernel("conv3x3")
+    csp_mapper = CSPMapper()
+    csp_cold, csp_cold_s, csp_cold_nodes = _counted(
+        lambda: csp_mapper._solve(conv, cgra, 3)
+    )
+    assert csp_cold is not None, "CSP cold solve failed"
+    csp_warm, csp_warm_s, csp_warm_nodes = _counted(
+        lambda: csp_mapper._solve(conv, cgra, 3, hint=csp_cold)
+    )
+    assert csp_warm is not None, "CSP warm solve failed"
+    csp = {
+        "workload": "conv3x3@ii3",
+        "cold": {"wall_s": round(csp_cold_s, 4), "nodes": csp_cold_nodes},
+        "warm": {"wall_s": round(csp_warm_s, 4), "nodes": csp_warm_nodes},
+        "node_ratio": round(csp_cold_nodes / max(csp_warm_nodes, 1), 2),
+    }
+
+    return {"sat": sat, "ilp_warm_start": ilp, "csp_value_hints": csp}
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -192,39 +326,78 @@ def main(argv=None) -> int:
     )
     ap.add_argument("--jobs", type=int, default=2)
     ap.add_argument(
+        "--only",
+        choices=["occupancy", "router", "matrix", "solver"],
+        action="append",
+        help="run only the named section(s); default: all",
+    )
+    ap.add_argument(
         "--out", default=str(Path(__file__).parent / "BENCH_hotpath.json")
     )
+    ap.add_argument(
+        "--out-solver",
+        default=str(Path(__file__).parent / "BENCH_solver.json"),
+    )
     args = ap.parse_args(argv)
+    sections = args.only or ["occupancy", "router", "matrix", "solver"]
 
     cgra = presets.simple_cgra(4, 4)
     occ_rounds = 20 if args.smoke else 300
     route_rounds = 5 if args.smoke else 60
 
-    report = {
-        "benchmark": "hotpath",
-        "smoke": args.smoke,
-        "machine": {"cpu_count": os.cpu_count()},
-        "targets": {
-            "occupancy_speedup": TARGET_OCCUPANCY_SPEEDUP,
-            "router_speedup": TARGET_ROUTER_SPEEDUP,
-            "matrix_speedup_at_2_cores": TARGET_MATRIX_SPEEDUP,
-        },
-        "occupancy": bench_occupancy(cgra, occ_rounds),
-        "router": bench_router(cgra, route_rounds),
-        "matrix": bench_matrix(cgra, args.jobs, args.smoke),
-    }
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    ok = (
-        report["occupancy"]["speedup"] >= 1.0
-        and report["router"]["speedup"] >= 1.0
-    )
-    print(
-        f"\noccupancy x{report['occupancy']['speedup']}"
-        f"  router x{report['router']['speedup']}"
-        f"  matrix x{report['matrix']['speedup']}"
-        f" (jobs={args.jobs}, {os.cpu_count()} core(s))"
-    )
+    ok = True
+    summary = []
+
+    hotpath_sections = [s for s in sections if s != "solver"]
+    if hotpath_sections:
+        report = {
+            "benchmark": "hotpath",
+            "smoke": args.smoke,
+            "machine": {"cpu_count": os.cpu_count()},
+            "targets": {
+                "occupancy_speedup": TARGET_OCCUPANCY_SPEEDUP,
+                "router_speedup": TARGET_ROUTER_SPEEDUP,
+                "matrix_speedup_at_2_cores": TARGET_MATRIX_SPEEDUP,
+            },
+        }
+        if "occupancy" in sections:
+            report["occupancy"] = bench_occupancy(cgra, occ_rounds)
+            ok &= report["occupancy"]["speedup"] >= 1.0
+            summary.append(f"occupancy x{report['occupancy']['speedup']}")
+        if "router" in sections:
+            report["router"] = bench_router(cgra, route_rounds)
+            ok &= report["router"]["speedup"] >= 1.0
+            summary.append(f"router x{report['router']['speedup']}")
+        if "matrix" in sections:
+            report["matrix"] = bench_matrix(cgra, args.jobs, args.smoke)
+            summary.append(
+                f"matrix x{report['matrix']['speedup']}"
+                f" (jobs={args.jobs}, {os.cpu_count()} core(s))"
+            )
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
+
+    if "solver" in sections:
+        solver = {
+            "benchmark": "solver",
+            "smoke": args.smoke,
+            "machine": {"cpu_count": os.cpu_count()},
+            "targets": {"sat_speedup": TARGET_SAT_SPEEDUP},
+            **bench_solver(args.smoke),
+        }
+        Path(args.out_solver).write_text(
+            json.dumps(solver, indent=2) + "\n"
+        )
+        print(json.dumps(solver, indent=2))
+        # Decisions are deterministic, so the threshold holds even on a
+        # noisy CI box; smoke's tiny workloads still clear 2x.
+        ok &= solver["sat"]["decision_speedup"] >= TARGET_SAT_SPEEDUP
+        summary.append(
+            f"sat x{solver['sat']['wall_speedup']} wall"
+            f" / x{solver['sat']['decision_speedup']} decisions"
+        )
+
+    print("\n" + "  ".join(summary))
     return 0 if ok else 1
 
 

@@ -11,6 +11,11 @@ so those arrive as parameters, and the mapper modules are thin.
 :class:`PlacementState` is the mutable working set (occupancy, partial
 binding/schedule/routes) with transactional ``place``/``unplace`` so
 simulated-annealing mappers can reuse it for rip-up-and-reroute moves.
+For annealing loops it also keeps an optional **delta-undo journal**
+(:meth:`begin_undo` / :meth:`mark` / :meth:`undo_to` / :meth:`commit`):
+every mutation appends its inverse, so rejecting a move replays a few
+inverse operations instead of deep-copying occupancy, binding,
+schedule, and routes on every move.
 """
 
 from __future__ import annotations
@@ -53,9 +58,51 @@ class PlacementState:
         self.binding: dict[int, int] = {}
         self.schedule: dict[int, int] = {}
         self.routes: dict[Edge, list[Step]] = {}
+        # Delta-undo journal: None until begin_undo() enables it.
+        self._undo: list[tuple] | None = None
         # Captured once: a PlacementState lives within one mapper run,
         # so the active tracer cannot change under it.
         self._tracer = get_tracer()
+
+    # -- delta-undo journal --------------------------------------------
+    def begin_undo(self) -> None:
+        """Start journaling mutations so they can be rolled back."""
+        self._undo = []
+
+    def mark(self) -> int:
+        """A rollback point for :meth:`undo_to` (journal must be on)."""
+        assert self._undo is not None, "begin_undo() first"
+        return len(self._undo)
+
+    def undo_to(self, mark: int) -> None:
+        """Replay inverse operations until the journal shrinks to ``mark``."""
+        undo = self._undo
+        assert undo is not None
+        while len(undo) > mark:
+            entry = undo.pop()
+            kind = entry[0]
+            if kind == "op+":
+                _, nid, cell, t = entry
+                self.occ.release_op(cell, t)
+                del self.binding[nid], self.schedule[nid]
+            elif kind == "op-":
+                _, nid, cell, t = entry
+                self.occ.place_op(nid, cell, t)
+                self.binding[nid] = cell
+                self.schedule[nid] = t
+            elif kind == "rt+":
+                _, e, req, steps = entry
+                release_route(self.occ, self.cgra, req, steps)
+                del self.routes[e]
+            else:  # "rt-"
+                _, e, req, steps = entry
+                commit_route(self.occ, self.cgra, req, steps)
+                self.routes[e] = steps
+
+    def commit(self) -> None:
+        """Accept everything journaled so far (the log is cleared)."""
+        assert self._undo is not None
+        self._undo.clear()
 
     # ------------------------------------------------------------------
     def _edge_request(self, e: Edge) -> RouteRequest:
@@ -113,6 +160,10 @@ class PlacementState:
             commit_route(self.occ, self.cgra, req, steps)
             self.routes[e] = steps
             committed.append((e, req, steps))
+        if self._undo is not None:
+            self._undo.append(("op+", nid, cell, t))
+            for ce, creq, csteps in committed:
+                self._undo.append(("rt+", ce, creq, csteps))
         return True
 
     def place_loose(self, nid: int, cell: int, t: int) -> bool:
@@ -132,6 +183,8 @@ class PlacementState:
         self.occ.place_op(nid, cell, t)
         self.binding[nid] = cell
         self.schedule[nid] = t
+        if self._undo is not None:
+            self._undo.append(("op+", nid, cell, t))
         for e in self._routable_edges_of(nid):
             self.try_route(e)
         return True
@@ -149,6 +202,8 @@ class PlacementState:
             return False
         commit_route(self.occ, self.cgra, req, steps)
         self.routes[e] = steps
+        if self._undo is not None:
+            self._undo.append(("rt+", e, req, steps))
         return True
 
     def unrouted_edges(self) -> list[Edge]:
@@ -170,12 +225,15 @@ class PlacementState:
         cell, t = self.binding[nid], self.schedule[nid]
         for e in self._routable_edges_of(nid):
             if e in self.routes:
-                release_route(
-                    self.occ, self.cgra, self._edge_request(e),
-                    self.routes.pop(e),
-                )
+                req = self._edge_request(e)
+                steps = self.routes.pop(e)
+                release_route(self.occ, self.cgra, req, steps)
+                if self._undo is not None:
+                    self._undo.append(("rt-", e, req, steps))
         self.occ.release_op(cell, t)
         del self.binding[nid], self.schedule[nid]
+        if self._undo is not None:
+            self._undo.append(("op-", nid, cell, t))
 
     # ------------------------------------------------------------------
     def time_bounds(self, nid: int, window: int) -> tuple[int, int]:

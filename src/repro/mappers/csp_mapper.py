@@ -51,7 +51,11 @@ class CSPMapper(Mapper):
         self.max_route_rounds = max_route_rounds
 
     def _solve(
-        self, dfg: DFG, cgra: CGRA, ii: int
+        self,
+        dfg: DFG,
+        cgra: CGRA,
+        ii: int,
+        hint: dict[int, adjplace.Slot] | None = None,
     ) -> dict[int, adjplace.Slot] | None:
         domains = adjplace.slot_domains(dfg, cgra, ii)
         csp = CSP(name=f"map_{dfg.name}_ii{ii}")
@@ -88,23 +92,35 @@ class CSPMapper(Mapper):
                     name=f"fu{a},{b}",
                 )
 
+        # Value-ordering warm start: a prior assignment (earlier II or
+        # round) is tried first wherever its slots survive in the new
+        # domains — completeness is unaffected.
+        value_hints = None
+        if hint is not None:
+            value_hints = {f"n{nid}": s for nid, s in hint.items()}
         try:
-            sol = csp.solve(node_limit=self.node_limit)
+            sol = csp.solve(
+                node_limit=self.node_limit, value_hints=value_hints
+            )
         except (CSPUnsat, CSPTimeout):
             return None
         return {nid: sol[f"n{nid}"] for nid in domains}
 
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
         attempts = 0
+        hints: dict[int, dict[int, adjplace.Slot]] = {}
         for ii_try in self.ii_range(dfg, cgra, ii):
             for rounds in range(self.max_route_rounds + 1):
                 attempts += 1
                 work = (
                     dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
                 )
-                assign = self._solve(work, cgra, ii_try)
+                assign = self._solve(
+                    work, cgra, ii_try, hint=hints.get(rounds)
+                )
                 if assign is None:
                     continue
+                hints[rounds] = assign
                 mapping = adjplace.build_mapping(
                     work, cgra, ii_try, assign, self.info.name
                 )

@@ -106,7 +106,11 @@ class DRESCMapper(Mapper):
         self, state: PlacementState, nid: int, rng: random.Random,
         window: int,
     ) -> tuple[int, int] | None:
-        """Relocate ``nid`` to a random free slot; returns old (cell, t)."""
+        """Relocate ``nid`` to a random free slot; returns old (cell, t).
+
+        On failure the state is left ripped up — the caller rolls back
+        through the undo journal.
+        """
         old = (state.binding[nid], state.schedule[nid])
         state.unplace(nid)
         op = state.dfg.node(nid).op
@@ -121,9 +125,6 @@ class DRESCMapper(Mapper):
             t = rng.randint(lb, ub)
             if state.place_loose(nid, cell, t):
                 return old
-        # Could not find any free slot: restore.
-        restored = state.place_loose(nid, old[0], old[1])
-        assert restored, "restoring a just-vacated slot cannot fail"
         return None
 
     def _anneal(
@@ -137,6 +138,11 @@ class DRESCMapper(Mapper):
         nodes = list(state.binding)
         cost = self._cost(state)
         temp = self.t_start
+        # Rejected moves roll back through the delta-undo journal —
+        # rerouted edges may claim the vacated slot, so "move back" is
+        # not always possible, but replaying the inverse log is exact
+        # and costs a few operations instead of a full state copy.
+        state.begin_undo()
         while temp > self.t_end:
             for _ in range(self.moves_per_temp):
                 if cost == 0 or not state.unrouted_edges():
@@ -145,16 +151,10 @@ class DRESCMapper(Mapper):
                         return mapping
                 tracer.count(CANDIDATES_EXPLORED)
                 nid = rng.choice(nodes)
-                # Snapshot for revert: rerouted edges may claim the
-                # vacated slot, so "move back" is not always possible.
-                snap = (
-                    state.occ.copy(),
-                    dict(state.binding),
-                    dict(state.schedule),
-                    dict(state.routes),
-                )
+                start = state.mark()
                 old = self._move(state, nid, rng, window)
                 if old is None:
+                    state.undo_to(start)
                     continue
                 # Opportunistically retry previously stuck edges
                 # (try_route itself counts the routing attempts).
@@ -164,14 +164,10 @@ class DRESCMapper(Mapper):
                 delta = new_cost - cost
                 if delta <= 0 or rng.random() < math.exp(-delta / temp):
                     cost = new_cost
+                    state.commit()
                 else:
                     tracer.count(BACKTRACKS)
-                    (
-                        state.occ,
-                        state.binding,
-                        state.schedule,
-                        state.routes,
-                    ) = snap
+                    state.undo_to(start)
             temp *= self.cooling
         if not state.unrouted_edges():
             mapping = state.to_mapping(self.info.name)

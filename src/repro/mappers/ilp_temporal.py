@@ -57,7 +57,11 @@ class ILPTemporalMapper(Mapper):
         self.window = window
 
     def _solve(
-        self, dfg: DFG, cgra: CGRA, ii: int
+        self,
+        dfg: DFG,
+        cgra: CGRA,
+        ii: int,
+        hint: dict[int, adjplace.Slot] | None = None,
     ) -> dict[int, adjplace.Slot] | None:
         domains = adjplace.slot_domains(dfg, cgra, ii, window=self.window)
         ilp = ILP(name=f"map_{dfg.name}_ii{ii}")
@@ -97,9 +101,22 @@ class ILPTemporalMapper(Mapper):
                 ilp.add_constraint(coeffs, ">=", 0.0)
 
         # Pure feasibility: any integral point proves the II, so the
-        # first incumbent terminates the search immediately.
+        # first incumbent terminates the search immediately.  A prior
+        # assignment (earlier II or round) becomes a MIP start: if it
+        # is still feasible here, the solver returns without branching.
+        warm = None
+        if hint is not None:
+            warm = {v: 0.0 for v in var.values()}
+            for nid, s in hint.items():
+                idx = var.get((nid, s))
+                if idx is None:
+                    warm = None
+                    break
+                warm[idx] = 1.0
         res = ilp.solve(
-            node_limit=self.node_limit, time_limit=self.time_limit
+            node_limit=self.node_limit,
+            time_limit=self.time_limit,
+            warm_start=warm,
         )
         if not res.ok:
             return None
@@ -111,15 +128,19 @@ class ILPTemporalMapper(Mapper):
 
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
         attempts = 0
+        hints: dict[int, dict[int, adjplace.Slot]] = {}
         for ii_try in self.ii_range(dfg, cgra, ii):
             for rounds in range(self.max_route_rounds + 1):
                 attempts += 1
                 work = (
                     dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
                 )
-                assign = self._solve(work, cgra, ii_try)
+                assign = self._solve(
+                    work, cgra, ii_try, hint=hints.get(rounds)
+                )
                 if assign is None:
                     continue
+                hints[rounds] = assign
                 mapping = adjplace.build_mapping(
                     work, cgra, ii_try, assign, self.info.name
                 )

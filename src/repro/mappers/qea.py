@@ -99,10 +99,20 @@ class QEAMapper(Mapper):
             for nid in nodes
         }
 
+        # As the amplitudes converge, observations repeat; memoizing by
+        # the (hashable) binding avoids re-running the BFS router on
+        # bindings already scored.
+        seen: dict[tuple[tuple[int, int], ...], float] = {}
+
         def fitness(b: dict[int, int]) -> float:
+            key = tuple(sorted(b.items()))
+            cached = seen.get(key)
+            if cached is not None:
+                return cached
             cost = spatial_cost(dfg, cgra, b)
             if cost and route_spatial(dfg, cgra, b) is None:
                 cost += 100.0
+            seen[key] = cost
             return cost
 
         best: tuple[float, dict[int, int]] | None = None

@@ -21,6 +21,7 @@ from repro.ir.dfg import DFG
 from repro.mappers.spatial_common import (
     candidate_cells,
     finalize,
+    incident_edges,
     random_binding,
     spatial_cost,
 )
@@ -76,13 +77,32 @@ class SimulatedAnnealingSpatialMapper(Mapper):
             return None
         nodes = list(binding)
         cost = spatial_cost(dfg, cgra, binding)
+        # Delta evaluation: a move changes only the cost terms of the
+        # edges incident to the moved ops, and the occupied-cell set is
+        # maintained across moves instead of being rebuilt per move.
+        inc = incident_edges(dfg)
+        dist = cgra.distance
+
+        def local_cost(moved: tuple[int, ...]) -> float:
+            seen: set = set()
+            total = 0.0
+            for n in moved:
+                for e in inc.get(n, ()):
+                    if e in seen:
+                        continue
+                    seen.add(e)
+                    src, dst = binding[e.src], binding[e.dst]
+                    if src != dst:
+                        total += max(0, dist(src, dst) - 1)
+            return total
+
+        used = set(binding.values())
         temp = self.t_start
         while temp > self.t_end:
             for _ in range(self.moves_per_temp):
                 tracer.count(CANDIDATES_EXPLORED)
                 nid = rng.choice(nodes)
                 old_cell = binding[nid]
-                used = set(binding.values())
                 options = candidate_cells(dfg, cgra, nid)
                 target = rng.choice(options)
                 swap_with = None
@@ -93,12 +113,17 @@ class SimulatedAnnealingSpatialMapper(Mapper):
                     )
                     if old_cell not in candidate_cells(dfg, cgra, swap_with):
                         continue
+                moved = (nid,) if swap_with is None else (nid, swap_with)
+                before = local_cost(moved)
+                if swap_with is not None:
                     binding[swap_with] = old_cell
                 binding[nid] = target
-                new_cost = spatial_cost(dfg, cgra, binding)
-                delta = new_cost - cost
+                delta = local_cost(moved) - before
                 if delta <= 0 or rng.random() < math.exp(-delta / temp):
-                    cost = new_cost
+                    cost += delta
+                    if swap_with is None:
+                        used.discard(old_cell)
+                        used.add(target)
                 else:  # revert
                     tracer.count(BACKTRACKS)
                     binding[nid] = old_cell

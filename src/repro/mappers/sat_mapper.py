@@ -2,7 +2,7 @@
 
 Miyasaka et al. [17] encode DFG-onto-CGRA mapping as Boolean
 satisfiability.  The adjacency-placement model becomes CNF over this
-package's DPLL solver (:mod:`repro.solvers.sat`):
+package's CDCL solver (:mod:`repro.solvers.sat`):
 
 * ``x[v, s]`` — operation ``v`` occupies slot ``s = (cell, cycle)``;
   exactly one slot per operation;
@@ -12,7 +12,19 @@ package's DPLL solver (:mod:`repro.solvers.sat`):
 
 An UNSAT answer proves the windowed model infeasible for that II and
 route-insertion round — the defining property of the exact column of
-Table I.
+Table I.  A *conflict-limit* overrun, by contrast, leaves the II
+**undetermined**: the mapper still escalates, but reports that
+infeasibility was not proven.
+
+The II escalation is **incremental** (SAT-MapIt-style): one CDCL
+instance per route-insertion round persists across II values.  Slot
+variables are shared between IIs (same ``(op, cell, cycle)`` meaning),
+each II's constraints are guarded by a fresh selector literal, and the
+solve runs under ``assumptions=[selector]`` — so learned clauses,
+variable activities, and saved phases carry over instead of being
+rebuilt from scratch at every II.  ``engine="dpll"`` selects the
+retained non-incremental DPLL reference (the baseline the benchmark
+and equivalence suites compare against).
 """
 
 from __future__ import annotations
@@ -25,9 +37,96 @@ from repro.ir.dfg import DFG
 from repro.mappers import adjplace
 from repro.mappers.regraph import split_dist0_edges
 from repro.obs.tracer import CANDIDATES_EXPLORED, ROUTING_ATTEMPTS, get_tracer
-from repro.solvers.sat import CNF, SatSolver
+from repro.solvers.sat import CNF, DPLLSolver, SatSolver
 
 __all__ = ["SATMapper"]
+
+
+class _IncrementalModel:
+    """One CNF/CDCL pair reused across the II escalation of one DFG.
+
+    Slot variables are allocated once per ``(op, cell, cycle)`` triple;
+    the per-II constraints (exactly-one over that II's domain, folded
+    resource exclusivity, edge compatibility) are all guarded by a
+    per-II selector literal.  Escalating retires the old selector with
+    a unit clause and encodes the next II on top of the shared state.
+    """
+
+    def __init__(self) -> None:
+        self.cnf = CNF()
+        self.solver = SatSolver(self.cnf)
+        self.slot_var: dict[tuple[int, int, int], int] = {}
+        self.op_slots: dict[int, list[tuple[int, int]]] = {}
+        self.selector: int | None = None
+
+    def encode_ii(
+        self, dfg: DFG, cgra: CGRA, ii: int
+    ) -> tuple[int, dict[tuple[int, adjplace.Slot], int]]:
+        """Guarded encoding for one II; returns (selector, var map)."""
+        cnf = self.cnf
+        if self.selector is not None:
+            cnf.add(-self.selector)  # retire the previous II permanently
+        sel = cnf.new_var()
+        self.selector = sel
+
+        domains = adjplace.slot_domains(dfg, cgra, ii)
+        var: dict[tuple[int, adjplace.Slot], int] = {}
+        for nid, dom in domains.items():
+            lits = []
+            for s in dom:
+                key = (nid, s[0], s[1])
+                v = self.slot_var.get(key)
+                if v is None:
+                    v = cnf.new_var()
+                    self.slot_var[key] = v
+                    self.op_slots.setdefault(nid, []).append(s)
+                var[(nid, s)] = v
+                lits.append(v)
+            cnf.exactly_one(lits, guard=sel)
+            # Slots introduced by earlier IIs but outside this II's
+            # domain must be off while this selector is active.
+            dom_set = set(dom)
+            for s in self.op_slots[nid]:
+                if s not in dom_set:
+                    cnf.add(-sel, -self.slot_var[(nid, s[0], s[1])])
+
+        # Resource exclusivity per (cell, slot mod II).
+        by_res: dict[tuple[int, int], list[int]] = {}
+        for (nid, (c, t)), v in var.items():
+            by_res.setdefault((c, t % ii), []).append(v)
+        for lits in by_res.values():
+            if len(lits) > 1:
+                cnf.at_most_one(lits, guard=sel)
+
+        # Edge compatibility, implication form in both directions.
+        for e in adjplace.real_edges(dfg):
+            lat = dfg.node(e.src).op.latency
+            if e.src == e.dst:
+                for s in domains[e.src]:
+                    if not adjplace.compatible(cgra, ii, e, lat, s, s):
+                        cnf.add(-sel, -var[(e.src, s)])
+                continue
+            for su in domains[e.src]:
+                support = [
+                    var[(e.dst, sv)]
+                    for sv in domains[e.dst]
+                    if adjplace.compatible(cgra, ii, e, lat, su, sv)
+                ]
+                if support:
+                    cnf.implies_any(var[(e.src, su)], support, guard=sel)
+                else:
+                    cnf.add(-sel, -var[(e.src, su)])
+            for sv in domains[e.dst]:
+                support = [
+                    var[(e.src, su)]
+                    for su in domains[e.src]
+                    if adjplace.compatible(cgra, ii, e, lat, su, sv)
+                ]
+                if support:
+                    cnf.implies_any(var[(e.dst, sv)], support, guard=sel)
+                else:
+                    cnf.add(-sel, -var[(e.dst, sv)])
+        return sel, var
 
 
 @register
@@ -51,14 +150,20 @@ class SATMapper(Mapper):
         *,
         conflict_limit: int = 200_000,
         max_route_rounds: int = 1,
+        engine: str = "cdcl",
     ) -> None:
         super().__init__(seed)
+        if engine not in ("cdcl", "dpll"):
+            raise ValueError(f"unknown SAT engine {engine!r}")
         self.conflict_limit = conflict_limit
         self.max_route_rounds = max_route_rounds
+        self.engine = engine
 
-    def _solve(
+    # -- non-incremental reference path --------------------------------
+    def _solve_dpll(
         self, dfg: DFG, cgra: CGRA, ii: int
-    ) -> dict[int, adjplace.Slot] | None:
+    ) -> tuple[dict[int, adjplace.Slot] | None, bool]:
+        """Fresh DPLL encode-and-solve (the retained baseline)."""
         domains = adjplace.slot_domains(dfg, cgra, ii)
         cnf = CNF()
         var: dict[tuple[int, adjplace.Slot], int] = {}
@@ -70,7 +175,6 @@ class SATMapper(Mapper):
                 lits.append(v)
             cnf.exactly_one(lits)
 
-        # Resource exclusivity per (cell, slot mod II).
         by_res: dict[tuple[int, int], list[int]] = {}
         for (nid, (c, t)), v in var.items():
             by_res.setdefault((c, t % ii), []).append(v)
@@ -78,7 +182,6 @@ class SATMapper(Mapper):
             if len(lits) > 1:
                 cnf.at_most_one(lits)
 
-        # Edge compatibility, implication form in both directions.
         for e in adjplace.real_edges(dfg):
             lat = dfg.node(e.src).op.latency
             if e.src == e.dst:
@@ -107,27 +210,60 @@ class SATMapper(Mapper):
                 else:
                     cnf.add(-var[(e.dst, sv)])
 
-        res = SatSolver(cnf).solve(conflict_limit=self.conflict_limit)
+        res = DPLLSolver(cnf).solve(conflict_limit=self.conflict_limit)
         if not res.sat:
-            return None
+            return None, res.limit_reached
         assign: dict[int, adjplace.Slot] = {}
         for (nid, s), v in var.items():
             if res.assignment[v]:
                 assign[nid] = s
-        return assign
+        return assign, False
+
+    # -- incremental CDCL path -----------------------------------------
+    def _solve_cdcl(
+        self, model: _IncrementalModel, dfg: DFG, cgra: CGRA, ii: int
+    ) -> tuple[dict[int, adjplace.Slot] | None, bool]:
+        sel, var = model.encode_ii(dfg, cgra, ii)
+        res = model.solver.solve(
+            assumptions=[sel], conflict_limit=self.conflict_limit
+        )
+        if not res.sat:
+            return None, res.limit_reached
+        assign: dict[int, adjplace.Slot] = {}
+        for (nid, s), v in var.items():
+            if res.assignment[v]:
+                assign[nid] = s
+        return assign, False
 
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
         tracer = get_tracer()
         attempts = 0
+        undetermined = False
+        models: dict[int, _IncrementalModel] = {}
+        works: dict[int, DFG] = {}
         for ii_try in self.ii_range(dfg, cgra, ii):
             for rounds in range(self.max_route_rounds + 1):
                 attempts += 1
-                work = (
-                    dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
-                )
+                work = works.get(rounds)
+                if work is None:
+                    work = (
+                        dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
+                    )
+                    works[rounds] = work
                 with tracer.span("route_round", round=rounds):
                     tracer.count(CANDIDATES_EXPLORED, work.op_count())
-                    assign = self._solve(work, cgra, ii_try)
+                    if self.engine == "dpll":
+                        assign, limited = self._solve_dpll(
+                            work, cgra, ii_try
+                        )
+                    else:
+                        model = models.get(rounds)
+                        if model is None:
+                            model = models[rounds] = _IncrementalModel()
+                        assign, limited = self._solve_cdcl(
+                            model, work, cgra, ii_try
+                        )
+                    undetermined = undetermined or limited
                     if assign is None:
                         continue
                     tracer.count(ROUTING_ATTEMPTS)
@@ -136,6 +272,13 @@ class SATMapper(Mapper):
                     )
                 if not mapping.validate(raise_on_error=False):
                     return mapping
+        if undetermined:
+            raise self.fail(
+                "undetermined: the conflict limit was reached before"
+                f" infeasibility could be proven on {cgra.name}"
+                " (raise conflict_limit to get a proof)",
+                attempts=attempts,
+            )
         raise self.fail(
             f"UNSAT for every windowed model on {cgra.name}",
             attempts=attempts,

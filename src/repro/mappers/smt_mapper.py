@@ -21,6 +21,14 @@ satisfiability modulo theories.  This implementation runs the classic
 Like the other exact mappers, ROUTE-insertion rounds recover multi-hop
 communication before the II escalates.
 
+The Boolean skeleton is **II-independent**, so the escalation loop
+keeps one incremental CDCL instance per route-insertion round: theory
+conflicts that do not depend on the II (unreachable cell pairs) become
+permanent blocking clauses, II-dependent ones are guarded by a per-II
+selector literal, and each II solves under ``assumptions=[selector]``
+— learned clauses and branching state carry across the whole
+escalation instead of being rebuilt per II.
+
 Caveat: the loop enumerates at most ``max_models`` Boolean models per
 (II, round); when that budget is exhausted the mapper escalates even
 though an unexplored binding might have scheduled, so infeasibility is
@@ -43,6 +51,63 @@ from repro.solvers.csp import CSP, CSPTimeout, CSPUnsat
 from repro.solvers.sat import CNF, SatSolver
 
 __all__ = ["SMTMapper"]
+
+
+class _Skeleton:
+    """The II-independent Boolean binding skeleton, solved incrementally.
+
+    One CNF + CDCL pair per route-insertion round; II escalation adds a
+    fresh selector literal per II (retiring the previous one) and new
+    blocking clauses, never re-encoding the skeleton.
+    """
+
+    def __init__(self, dfg: DFG, cgra: CGRA) -> None:
+        self.ok = True
+        self.var: dict[tuple[int, int], int] = {}
+        self.cnf = CNF()
+        nodes = [n.nid for n in dfg.nodes() if not n.op.is_pseudo]
+        cells = {
+            nid: [
+                c.cid for c in cgra.cells
+                if c.supports(dfg.node(nid).op)
+            ]
+            for nid in nodes
+        }
+        if any(not cs for cs in cells.values()):
+            self.ok = False
+            self.solver = None
+            return
+        for nid in nodes:
+            lits = []
+            for c in cells[nid]:
+                v = self.cnf.new_var()
+                self.var[(nid, c)] = v
+                lits.append(v)
+            self.cnf.exactly_one(lits)
+        # Boolean-level pruning: endpoints of an edge must share a cell
+        # or be linked (the theory would reject anything else anyway).
+        for e in adjplace.real_edges(dfg):
+            if e.src == e.dst:
+                continue
+            for cu in cells[e.src]:
+                support = [
+                    self.var[(e.dst, cv)]
+                    for cv in cells[e.dst]
+                    if cv == cu or cgra.has_link(cu, cv)
+                ]
+                if support:
+                    self.cnf.implies_any(self.var[(e.src, cu)], support)
+                else:
+                    self.cnf.add(-self.var[(e.src, cu)])
+        self.solver = SatSolver(self.cnf)
+        self.selector: int | None = None
+
+    def new_ii(self) -> int:
+        """Retire the previous II's guarded clauses; return a fresh guard."""
+        if self.selector is not None:
+            self.cnf.add(-self.selector)
+        self.selector = self.cnf.new_var()
+        return self.selector
 
 
 @register
@@ -76,10 +141,16 @@ class SMTMapper(Mapper):
     # ------------------------------------------------------------------
     def _theory_schedule(
         self, dfg: DFG, cgra: CGRA, ii: int, binding: dict[int, int]
-    ) -> dict[int, int] | None:
+    ) -> tuple[dict[int, int] | None, bool, set[int] | None]:
         """Difference-logic scheduling for a fixed binding.
 
-        Returns issue cycles, or None on a theory conflict.
+        Returns ``(issue cycles, False, None)`` on success, or
+        ``(None, ii_dependent, core)`` on a theory conflict:
+        ``ii_dependent`` is False only for conflicts that hold at
+        *every* II (the caller may block them permanently), and
+        ``core`` names the ops whose cells alone force the conflict
+        (None when the whole binding is implicated) — blocking just
+        the core prunes every binding that repeats it.
         """
         nodes = list(binding)
         edges = adjplace.real_edges(dfg)
@@ -107,6 +178,9 @@ class SMTMapper(Mapper):
             delta[rb] = da + diff - db
             return True
 
+        def component(root: int) -> set[int]:
+            return {n for n in nodes if find(n)[0] == root}
+
         ineqs: list[tuple[int, int, int]] = []  # t(b) - t(a) >= w
         for e in edges:
             lat = dfg.node(e.src).op.latency
@@ -115,14 +189,18 @@ class SMTMapper(Mapper):
             if cu == cv:
                 if e.src == e.dst:
                     if w > 0:
-                        return None  # recurrence tighter than II
+                        # Recurrence tighter than the II: holds for
+                        # every binding, so the core is empty — the
+                        # II itself is infeasible.
+                        return None, True, set()
                     continue
                 ineqs.append((e.src, e.dst, w))
             elif cgra.has_link(cu, cv):
                 if not union(e.src, e.dst, w):
-                    return None
+                    return None, True, component(find(e.src)[0])
             else:
-                return None  # endpoints not reachable in this model
+                # Not reachable in the adjacency model at any II.
+                return None, False, {e.src, e.dst}
 
         # Components: offset variables over a finite window.
         comps: dict[int, list[int]] = {}
@@ -146,7 +224,7 @@ class SMTMapper(Mapper):
             ra, rb = find(a)[0], find(b)[0]
             if ra == rb:
                 if rel[b] - rel[a] < w:
-                    return None
+                    return None, True, component(ra)
                 continue
             csp.add_constraint(
                 (f"c{ra}", f"c{rb}"),
@@ -165,7 +243,7 @@ class SMTMapper(Mapper):
                     ra, rb = find(a)[0], find(b)[0]
                     if ra == rb:
                         if (rel[a] - rel[b]) % ii == 0:
-                            return None
+                            return None, True, component(ra) | {a, b}
                         continue
                     csp.add_constraint(
                         (f"c{ra}", f"c{rb}"),
@@ -176,52 +254,20 @@ class SMTMapper(Mapper):
         try:
             sol = csp.solve(node_limit=20_000)
         except (CSPUnsat, CSPTimeout):
-            return None
+            return None, True, None
         return {
             n: sol[f"c{find(n)[0]}"] + rel[n] for n in nodes
-        }
+        }, False, None
 
     # ------------------------------------------------------------------
     def _solve(
-        self, dfg: DFG, cgra: CGRA, ii: int
+        self, skeleton: _Skeleton, dfg: DFG, cgra: CGRA, ii: int
     ) -> tuple[dict[int, int], dict[int, int]] | None:
-        nodes = [n.nid for n in dfg.nodes() if not n.op.is_pseudo]
-        cells = {
-            nid: [
-                c.cid for c in cgra.cells
-                if c.supports(dfg.node(nid).op)
-            ]
-            for nid in nodes
-        }
-        if any(not cs for cs in cells.values()):
-            return None
-        cnf = CNF()
-        var: dict[tuple[int, int], int] = {}
-        for nid in nodes:
-            lits = []
-            for c in cells[nid]:
-                v = cnf.new_var()
-                var[(nid, c)] = v
-                lits.append(v)
-            cnf.exactly_one(lits)
-        # Boolean-level pruning: endpoints of an edge must share a cell
-        # or be linked (the theory would reject anything else anyway).
-        for e in adjplace.real_edges(dfg):
-            if e.src == e.dst:
-                continue
-            for cu in cells[e.src]:
-                support = [
-                    var[(e.dst, cv)]
-                    for cv in cells[e.dst]
-                    if cv == cu or cgra.has_link(cu, cv)
-                ]
-                if support:
-                    cnf.implies_any(var[(e.src, cu)], support)
-                else:
-                    cnf.add(-var[(e.src, cu)])
-
+        sel = skeleton.new_ii()
+        var = skeleton.var
+        cnf = skeleton.cnf
         for _ in range(self.max_models):
-            res = SatSolver(cnf).solve()
+            res = skeleton.solver.solve(assumptions=[sel])
             if not res.sat:
                 return None
             binding = {
@@ -229,22 +275,42 @@ class SMTMapper(Mapper):
                 for (nid, c), v in var.items()
                 if res.assignment[v]
             }
-            schedule = self._theory_schedule(dfg, cgra, ii, binding)
+            schedule, ii_dependent, core = self._theory_schedule(
+                dfg, cgra, ii, binding
+            )
             if schedule is not None:
                 return binding, schedule
-            # Theory conflict: block this binding.
-            cnf.add(*(-var[(nid, c)] for nid, c in binding.items()))
+            # Theory conflict: block the conflict core (the whole
+            # binding when no core was isolated) — permanently when
+            # the conflict holds at every II, else under this II's
+            # guard.
+            ops = binding if core is None else core
+            block = [-var[(nid, binding[nid])] for nid in ops]
+            if ii_dependent:
+                cnf.add(-sel, *block)
+            else:
+                cnf.add(*block)
         return None
 
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
         attempts = 0
+        skeletons: dict[int, _Skeleton] = {}
+        works: dict[int, DFG] = {}
         for ii_try in self.ii_range(dfg, cgra, ii):
             for rounds in range(self.max_route_rounds + 1):
                 attempts += 1
-                work = (
-                    dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
-                )
-                solved = self._solve(work, cgra, ii_try)
+                work = works.get(rounds)
+                if work is None:
+                    work = (
+                        dfg if rounds == 0 else split_dist0_edges(dfg, rounds)
+                    )
+                    works[rounds] = work
+                skeleton = skeletons.get(rounds)
+                if skeleton is None:
+                    skeleton = skeletons[rounds] = _Skeleton(work, cgra)
+                if not skeleton.ok:
+                    continue
+                solved = self._solve(skeleton, work, cgra, ii_try)
                 if solved is None:
                     continue
                 binding, schedule = solved

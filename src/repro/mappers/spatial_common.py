@@ -27,6 +27,7 @@ from repro.ir.dfg import DFG, Edge
 __all__ = [
     "route_spatial",
     "spatial_cost",
+    "incident_edges",
     "finalize",
     "random_binding",
     "candidate_cells",
@@ -79,6 +80,21 @@ def spatial_cost(dfg: DFG, cgra: CGRA, binding: dict[int, int]) -> float:
             continue
         total += max(0, cgra.distance(src, dst) - 1)
     return total
+
+
+def incident_edges(dfg: DFG) -> dict[int, list[Edge]]:
+    """Routable edges grouped by endpoint node.
+
+    Lets a move-based search recompute only the cost terms its moved
+    ops touch (the :func:`spatial_cost` summand is per-edge, so a move
+    changes exactly the edges incident to the moved ops).
+    """
+    table: dict[int, list[Edge]] = {}
+    for e in _routable_edges(dfg):
+        table.setdefault(e.src, []).append(e)
+        if e.dst != e.src:
+            table.setdefault(e.dst, []).append(e)
+    return table
 
 
 def route_spatial(

@@ -50,6 +50,7 @@ __all__ = [
     "SOLVER_CONFLICTS",
     "SOLVER_DECISIONS",
     "SOLVER_NODES",
+    "SOLVER_RESTARTS",
     "Span",
     "Tracer",
     "get_tracer",
@@ -68,6 +69,7 @@ SOLVER_CLAUSES = "solver_clauses"            #: clauses/constraints in a model
 SOLVER_CONFLICTS = "solver_conflicts"        #: SAT conflicts
 SOLVER_DECISIONS = "solver_decisions"        #: SAT decisions
 SOLVER_NODES = "solver_nodes"                #: B&B / CSP search nodes
+SOLVER_RESTARTS = "solver_restarts"          #: CDCL restarts
 
 COUNTERS = (
     CANDIDATES_EXPLORED,
@@ -78,6 +80,7 @@ COUNTERS = (
     SOLVER_CONFLICTS,
     SOLVER_DECISIONS,
     SOLVER_NODES,
+    SOLVER_RESTARTS,
 )
 
 

@@ -135,8 +135,14 @@ class CSP:
         node_limit: int = 1_000_000,
         time_limit: float | None = None,
         use_ac3: bool = True,
+        value_hints: dict[str, Value] | None = None,
     ) -> dict[str, Value]:
         """Find one solution; raises :class:`CSPUnsat` / :class:`CSPTimeout`.
+
+        ``value_hints`` maps variables to preferred values (e.g. the
+        previous II's assignment): a hinted value still in the domain
+        is tried first, warm-starting the search without affecting
+        completeness.
 
         With tracing enabled the search runs under a ``csp_solve``
         span tagged with the model size, counting ``solver_nodes``
@@ -148,6 +154,7 @@ class CSP:
                 node_limit=node_limit,
                 time_limit=time_limit,
                 use_ac3=use_ac3,
+                value_hints=value_hints,
             )
         with tracer.span(
             "csp_solve",
@@ -160,6 +167,7 @@ class CSP:
                     node_limit=node_limit,
                     time_limit=time_limit,
                     use_ac3=use_ac3,
+                    value_hints=value_hints,
                 )
             except CSPUnsat:
                 span.tag(status="unsat")
@@ -179,6 +187,7 @@ class CSP:
         node_limit: int,
         time_limit: float | None,
         use_ac3: bool,
+        value_hints: dict[str, Value] | None = None,
     ) -> dict[str, Value]:
         self.stats_nodes = 0
         domains = {v: list(d) for v, d in self.domains.items()}
@@ -274,7 +283,13 @@ class CSP:
             var = select_var()
             if var is None:
                 return True
-            for val in list(domains[var]):
+            vals = list(domains[var])
+            if value_hints is not None:
+                hint = value_hints.get(var)
+                if hint is not None and hint in vals:
+                    vals.remove(hint)
+                    vals.insert(0, hint)
+            for val in vals:
                 if not check(var, val):
                     continue
                 assignment[var] = val

@@ -148,8 +148,15 @@ class ILP:
         *,
         node_limit: int = 200_000,
         time_limit: float | None = None,
+        warm_start: dict[int, float] | None = None,
     ) -> ILPResult:
         """Run branch and bound; returns an :class:`ILPResult`.
+
+        ``warm_start`` maps variable indices to candidate values (a
+        MIP start, e.g. the previous II's solution re-expressed in
+        this model's variables).  If the completed vector is feasible
+        it becomes the incumbent before the search starts, so the
+        bound prunes from node one; an infeasible start is ignored.
 
         With tracing enabled the run is wrapped in an ``ilp_solve``
         span tagged with the model size, counting ``solver_clauses``
@@ -158,7 +165,9 @@ class ILP:
         tracer = get_tracer()
         if not tracer.enabled:
             return self._solve_impl(
-                node_limit=node_limit, time_limit=time_limit
+                node_limit=node_limit,
+                time_limit=time_limit,
+                warm_start=warm_start,
             )
         with tracer.span(
             "ilp_solve",
@@ -167,18 +176,46 @@ class ILP:
             constraints=self.n_constraints,
         ) as span:
             result = self._solve_impl(
-                node_limit=node_limit, time_limit=time_limit
+                node_limit=node_limit,
+                time_limit=time_limit,
+                warm_start=warm_start,
             )
             span.count(SOLVER_CLAUSES, self.n_constraints)
             span.count(SOLVER_NODES, result.nodes)
             span.tag(status=result.status.value)
             return result
 
+    def _warm_incumbent(
+        self, warm_start: dict[int, float], c: np.ndarray
+    ) -> tuple[np.ndarray, float] | None:
+        """The warm start as a feasible incumbent, or None."""
+        x = np.array(self._lb, dtype=float)
+        for i, v in warm_start.items():
+            x[i] = v
+        if np.any(x < np.array(self._lb) - _INT_TOL) or np.any(
+            x > np.array(self._ub) + _INT_TOL
+        ):
+            return None
+        int_mask = np.array(self._integer, dtype=bool)
+        if np.any(np.abs(x - np.round(x))[int_mask] > _INT_TOL):
+            return None
+        x = np.where(int_mask, np.round(x), x)
+        for coeffs, sense, rhs in self._cons:
+            lhs = sum(v * x[i] for i, v in coeffs.items())
+            if sense == "<=" and lhs > rhs + _INT_TOL:
+                return None
+            if sense == ">=" and lhs < rhs - _INT_TOL:
+                return None
+            if sense == "==" and abs(lhs - rhs) > _INT_TOL:
+                return None
+        return x, float(c @ x)
+
     def _solve_impl(
         self,
         *,
         node_limit: int,
         time_limit: float | None,
+        warm_start: dict[int, float] | None = None,
     ) -> ILPResult:
         c, A_ub, b_ub, A_eq, b_eq = self._matrices()
         lb = np.array(self._lb, dtype=float)
@@ -206,6 +243,10 @@ class ILP:
 
         best_x: np.ndarray | None = None
         best_obj = np.inf
+        if warm_start is not None:
+            incumbent = self._warm_incumbent(warm_start, c)
+            if incumbent is not None:
+                best_x, best_obj = incumbent
         nodes = 0
         # Heap entries: (bound, tiebreak, lo, hi, x_relax)
         counter = 0

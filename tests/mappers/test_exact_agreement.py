@@ -79,3 +79,37 @@ def test_spatial_ilp_finds_known_feasible():
     cgra = presets.simple_cgra(3, 3)
     m = map_dfg(dfg, cgra, mapper="ilp_spatial")
     assert m.validate() == []
+
+
+def test_sat_engines_agree_on_best_ii(cgra):
+    """The incremental CDCL path and the DPLL reference find the same IIs."""
+    from repro.mappers.sat_mapper import SATMapper
+
+    for kernel in KERNELS + ["fir4"]:
+        dfg = kernels.kernel(kernel)
+        cdcl = SATMapper(engine="cdcl").map(dfg, cgra)
+        dpll = SATMapper(engine="dpll").map(dfg, cgra)
+        assert cdcl.ii == dpll.ii, kernel
+        assert cdcl.validate() == []
+        assert dpll.validate() == []
+
+
+def test_sat_conflict_limit_reports_undetermined(cgra):
+    """A conflict-limit overrun is 'undetermined', not a proof of UNSAT."""
+    from repro.mappers.sat_mapper import SATMapper
+
+    dfg = kernels.fir4()
+    for engine in ("cdcl", "dpll"):
+        mapper = SATMapper(conflict_limit=0, engine=engine)
+        with pytest.raises(MapFailure, match="undetermined"):
+            mapper.map(dfg, cgra, ii=1)
+
+
+def test_sat_genuine_unsat_not_reported_undetermined(cgra):
+    """A true infeasibility proof must not claim the limit was the cause."""
+    from repro.mappers.sat_mapper import SATMapper
+
+    dfg = kernels.iir_biquad()  # RecMII = 3
+    with pytest.raises(MapFailure, match="UNSAT") as err:
+        SATMapper().map(dfg, cgra, ii=2)
+    assert "undetermined" not in str(err.value)

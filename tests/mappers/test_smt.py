@@ -41,7 +41,7 @@ def test_theory_rejects_unreachable_binding(cgra):
 
     add = next(n.nid for n in dfg.nodes() if n.op is Op.ADD)
     # Single-op graph: any binding schedules trivially.
-    sched = mapper._theory_schedule(dfg, cgra, 1, {add: 0})
+    sched, ii_dep, core = mapper._theory_schedule(dfg, cgra, 1, {add: 0})
     assert sched == {add: 0}
 
 
@@ -55,7 +55,7 @@ def test_theory_same_cell_slack(cgra):
     a = g.add(Op.NEG, x)
     b = g.add(Op.ABS, a)
     g.output(b, "y")
-    sched = mapper._theory_schedule(g, cgra, 2, {a: 0, b: 0})
+    sched, ii_dep, core = mapper._theory_schedule(g, cgra, 2, {a: 0, b: 0})
     assert sched is not None
     assert sched[b] > sched[a]
     assert sched[a] % 2 != sched[b] % 2
@@ -71,7 +71,10 @@ def test_theory_conflict_on_distant_cells(cgra):
     b = g.add(Op.ABS, a)
     g.output(b, "y")
     # Cells 0 and 8 are not adjacent on a 3x3 mesh.
-    assert mapper._theory_schedule(g, cgra, 2, {a: 0, b: 8}) is None
+    sched, ii_dep, core = mapper._theory_schedule(g, cgra, 2, {a: 0, b: 8})
+    assert sched is None
+    assert not ii_dep  # unreachable at every II: permanent block
+    assert core == {a, b}
 
 
 def test_smt_blocking_loop_makes_progress(cgra):

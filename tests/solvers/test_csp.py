@@ -150,3 +150,23 @@ def test_graph_coloring():
     sol = csp.solve()
     for i in range(5):
         assert sol[f"n{i}"] != sol[f"n{(i + 1) % 5}"]
+
+
+def test_value_hints_prefer_hinted_solution():
+    csp = CSP()
+    for v in "abc":
+        csp.add_var(v, range(6))
+    csp.add_constraint(("a", "b"), lambda a, b: a < b)
+    csp.add_constraint(("b", "c"), lambda b, c: b < c)
+    hinted = csp.solve(value_hints={"a": 2, "b": 3, "c": 4})
+    assert hinted == {"a": 2, "b": 3, "c": 4}
+
+
+def test_value_hints_do_not_break_completeness():
+    """A hint pointing at an infeasible value only reorders the search."""
+    csp = CSP()
+    csp.add_var("x", range(3))
+    csp.add_var("y", range(3))
+    csp.add_constraint(("x", "y"), lambda x, y: x + y == 4)
+    sol = csp.solve(value_hints={"x": 0, "y": 0})  # 0+0 != 4
+    assert sol["x"] + sol["y"] == 4

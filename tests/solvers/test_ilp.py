@@ -121,3 +121,37 @@ def test_random_knapsack_matches_scipy_milp(seed):
     )
     assert ours.status is ILPStatus.OPTIMAL
     assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+
+def test_warm_start_feasible_becomes_incumbent():
+    """A valid MIP start on a feasibility model ends the search at once."""
+    n = 10
+    ilp = ILP()
+    xs = [ilp.add_var() for _ in range(n)]
+    for i in range(0, n, 2):
+        ilp.add_constraint({xs[i]: 1.0, xs[i + 1]: 1.0}, "==", 1.0)
+    start = {xs[i]: float(i % 2 == 0) for i in range(n)}
+    res = ilp.solve(warm_start=start)
+    assert res.status is ILPStatus.OPTIMAL
+    assert all(res.x[xs[i]] + res.x[xs[i + 1]] == 1.0 for i in range(0, n, 2))
+
+
+def test_warm_start_infeasible_is_ignored():
+    ilp = ILP()
+    a, b = ilp.add_var(), ilp.add_var()
+    ilp.add_constraint({a: 1.0, b: 1.0}, "==", 1.0)
+    res = ilp.solve(warm_start={a: 1.0, b: 1.0})  # violates the equality
+    assert res.ok
+    assert res.x[a] + res.x[b] == 1.0
+
+
+def test_warm_start_never_worse_than_optimal():
+    """A suboptimal start must still yield the true optimum."""
+    ilp = ILP()
+    xs = [ilp.add_var() for _ in range(3)]
+    ilp.add_constraint({x: 1.0 for x in xs}, "==", 1.0)
+    ilp.set_objective({xs[0]: 3.0, xs[1]: 1.0, xs[2]: 2.0})
+    res = ilp.solve(warm_start={xs[0]: 1.0, xs[1]: 0.0, xs[2]: 0.0})
+    assert res.status is ILPStatus.OPTIMAL
+    assert res.objective == pytest.approx(1.0)
+    assert res.x[xs[1]] == 1.0

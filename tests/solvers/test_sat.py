@@ -162,3 +162,114 @@ def test_random_3sat_agrees_with_brute_force(seed):
     assert res.sat == expected
     if res.sat:
         assert check_model(clauses, res.assignment)
+
+
+# -- incremental solving / assumptions --------------------------------------
+def test_assumptions_flip_between_solves():
+    cnf = CNF()
+    a, b = cnf.new_var(), cnf.new_var()
+    cnf.add(a, b)
+    solver = SatSolver(cnf)
+    res = solver.solve(assumptions=[-a])
+    assert res.sat and res.assignment[b]
+    res = solver.solve(assumptions=[-b])
+    assert res.sat and res.assignment[a]
+    res = solver.solve(assumptions=[-a, -b])
+    assert not res.sat
+    # An assumption failure is not permanent: the instance stays usable.
+    assert solver.solve().sat
+
+
+def test_incremental_clauses_between_solves():
+    cnf = CNF()
+    vs = [cnf.new_var() for _ in range(3)]
+    cnf.exactly_one(vs)
+    solver = SatSolver(cnf)
+    models = []
+    while True:
+        res = solver.solve()
+        if not res.sat:
+            break
+        chosen = next(v for v in vs if res.assignment[v])
+        models.append(chosen)
+        cnf.add(-chosen)  # block and re-solve on the same instance
+    assert sorted(models) == vs  # enumerated every model exactly once
+
+
+def test_assumption_selector_retirement():
+    """The sat_mapper pattern: guarded groups retired by unit clauses."""
+    cnf = CNF()
+    x = cnf.new_var()
+    s1 = cnf.new_var()
+    cnf.add(-s1, x)  # under s1: x must hold
+    solver = SatSolver(cnf)
+    assert solver.solve(assumptions=[s1]).assignment[x]
+    cnf.add(-s1)  # retire s1
+    s2 = cnf.new_var()
+    cnf.add(-s2, -x)  # under s2: x must not hold
+    res = solver.solve(assumptions=[s2])
+    assert res.sat and not res.assignment[x]
+
+
+def test_conflict_limit_sets_limit_reached():
+    holes = 8
+    pigeons = holes + 1
+    cnf = CNF()
+    var = {
+        (p, h): cnf.new_var() for p in range(pigeons) for h in range(holes)
+    }
+    for p in range(pigeons):
+        cnf.add(*[var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add(-var[p1, h], -var[p2, h])
+    res = SatSolver(cnf).solve(conflict_limit=5)
+    assert not res.sat and res.limit_reached
+    from repro.solvers.sat import DPLLSolver
+
+    res = DPLLSolver(cnf).solve(conflict_limit=5)
+    assert not res.sat and res.limit_reached
+
+
+def test_genuine_unsat_leaves_limit_flag_clear():
+    cnf = CNF()
+    a = cnf.new_var()
+    cnf.add(a)
+    cnf.add(-a)
+    res = SatSolver(cnf).solve(conflict_limit=10_000)
+    assert not res.sat and not res.limit_reached
+
+
+# -- ladder (sequential) at-most-one ----------------------------------------
+def test_ladder_amo_large_group_semantics():
+    from repro.solvers.sat import AMO_PAIRWISE_MAX
+
+    n = AMO_PAIRWISE_MAX + 6
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(n)]
+    cnf.at_most_one(lits)
+    assert cnf.n_vars > n  # ladder introduced auxiliary variables
+    solver = SatSolver(cnf)
+    # Any single literal can be on...
+    for x in (lits[0], lits[n // 2], lits[-1]):
+        res = solver.solve(assumptions=[x])
+        assert res.sat
+        assert sum(res.assignment[v] for v in lits) == 1
+    # ...but no pair can.
+    assert not solver.solve(assumptions=[lits[2], lits[11]]).sat
+
+
+def test_ladder_amo_guard_disables_constraint():
+    from repro.solvers.sat import AMO_PAIRWISE_MAX
+
+    n = AMO_PAIRWISE_MAX + 4
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(n)]
+    g = cnf.new_var()
+    cnf.at_most_one(lits, guard=g)
+    solver = SatSolver(cnf)
+    # Guard off: two literals may hold simultaneously.
+    assert solver.solve(assumptions=[-g, lits[0], lits[1]]).sat
+    # Guard on: the constraint bites.
+    assert not solver.solve(assumptions=[g, lits[0], lits[1]]).sat

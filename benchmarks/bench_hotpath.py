@@ -15,13 +15,18 @@ and writes ``BENCH_hotpath.json`` plus ``BENCH_solver.json``:
   retained DPLL reference driving :class:`SATMapper` on kernels and a
   mid-size random DFG (wall + decisions), plus the warm-start hooks
   (ILP MIP start, CSP value hints) re-solving an II with the prior
-  assignment as the hint.
+  assignment as the hint;
+* **cache** — the content-addressed mapping cache (``BENCH_cache.json``):
+  a repeated DSE sweep and a repeated compare matrix, cold (empty
+  cache) vs warm (same store), with the warm results asserted
+  identical to the cold *and* to a cache-disabled reference run.
 
 Run::
 
     python benchmarks/bench_hotpath.py                  # full, jobs=2
     python benchmarks/bench_hotpath.py --smoke          # seconds, for CI
     python benchmarks/bench_hotpath.py --only solver    # one section
+    python benchmarks/bench_hotpath.py --only cache
 """
 
 from __future__ import annotations
@@ -57,6 +62,8 @@ TARGET_OCCUPANCY_SPEEDUP = 1.5
 TARGET_ROUTER_SPEEDUP = 1.5
 TARGET_MATRIX_SPEEDUP = 1.7  # needs >= 2 physical cores
 TARGET_SAT_SPEEDUP = 2.0  # CDCL vs DPLL on the SAT-mapper workload
+TARGET_CACHE_SPEEDUP = 5.0  # warm vs cold repeated-DSE sweep
+TARGET_CACHE_SPEEDUP_SMOKE = 1.5  # tiny smoke workload, higher overhead
 
 
 def _occupancy_workload(cgra, impl_cls, rounds: int) -> float:
@@ -200,6 +207,86 @@ def bench_matrix(cgra, jobs: int, smoke: bool) -> dict:
     }
 
 
+def _matrix_sig(rows) -> list[tuple]:
+    return [
+        (r.mapper, r.kernel, r.ok, r.ii, r.schedule_length,
+         r.route_steps)
+        for r in rows
+    ]
+
+
+def bench_cache(smoke: bool) -> dict:
+    """Cold-vs-warm mapping-cache runs; results asserted identical."""
+    import tempfile
+
+    from repro.cache import MappingCache
+    from repro.dse.explorer import default_space, explore
+
+    if smoke:
+        space = [
+            {"size": 4, "topology": t, "rf_size": 2, "mem_cells": "left"}
+            for t in ("mesh", "diagonal")
+        ]
+        suite = ["dot_product", "fir4"]
+        dse_mapper = "list_sched"
+        mappers = ["list_sched", "edge_centric"]
+        mat_kernels = ["dot_product", "fir4"]
+    else:
+        space = default_space()
+        suite = ["dot_product", "fir4", "sobel_x", "if_select"]
+        dse_mapper = "spr"
+        mappers = ["list_sched", "edge_centric", "spr", "dresc"]
+        mat_kernels = ["dot_product", "fir4", "sobel_x"]
+
+    # Repeated DSE sweep: reference (cache off), cold fill, warm replay.
+    reference = explore(space, suite, mapper=dse_mapper, cache=False)
+    store = MappingCache(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    t0 = time.perf_counter()
+    cold_pts = explore(space, suite, mapper=dse_mapper, cache=store)
+    cold_s = time.perf_counter() - t0
+    cold_stats = store.stats.as_dict()
+    t0 = time.perf_counter()
+    warm_pts = explore(space, suite, mapper=dse_mapper, cache=store)
+    warm_s = time.perf_counter() - t0
+    assert reference == cold_pts == warm_pts, "cache changed DSE results"
+    assert store.stats.validation_failures == 0
+    dse = {
+        "points": len(space),
+        "suite": suite,
+        "mapper": dse_mapper,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "cold_stats": cold_stats,
+        "stats": store.stats.as_dict(),
+        "speedup": round(cold_s / max(warm_s, 1e-9), 2),
+    }
+
+    # Repeated compare matrix, same shape.
+    cgra = presets.simple_cgra(4, 4)
+    mat_ref = run_matrix(mappers, mat_kernels, cgra, cache=False)
+    store2 = MappingCache(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    t0 = time.perf_counter()
+    mat_cold = run_matrix(mappers, mat_kernels, cgra, cache=store2)
+    mat_cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    mat_warm = run_matrix(mappers, mat_kernels, cgra, cache=store2)
+    mat_warm_s = time.perf_counter() - t0
+    assert _matrix_sig(mat_ref) == _matrix_sig(mat_cold) == _matrix_sig(
+        mat_warm
+    ), "cache changed matrix results"
+    assert store2.stats.validation_failures == 0
+    matrix = {
+        "cells": len(mat_ref),
+        "mappers": mappers,
+        "kernels": mat_kernels,
+        "cold_s": round(mat_cold_s, 4),
+        "warm_s": round(mat_warm_s, 4),
+        "stats": store2.stats.as_dict(),
+        "speedup": round(mat_cold_s / max(mat_warm_s, 1e-9), 2),
+    }
+    return {"dse": dse, "matrix": matrix}
+
+
 def _sat_run(dfg, cgra, engine: str, ii: int | None) -> dict:
     """One SATMapper run: best II, wall seconds, SAT decisions."""
     with tracing() as tr:
@@ -327,7 +414,7 @@ def main(argv=None) -> int:
     ap.add_argument("--jobs", type=int, default=2)
     ap.add_argument(
         "--only",
-        choices=["occupancy", "router", "matrix", "solver"],
+        choices=["occupancy", "router", "matrix", "solver", "cache"],
         action="append",
         help="run only the named section(s); default: all",
     )
@@ -338,8 +425,14 @@ def main(argv=None) -> int:
         "--out-solver",
         default=str(Path(__file__).parent / "BENCH_solver.json"),
     )
+    ap.add_argument(
+        "--out-cache",
+        default=str(Path(__file__).parent / "BENCH_cache.json"),
+    )
     args = ap.parse_args(argv)
-    sections = args.only or ["occupancy", "router", "matrix", "solver"]
+    sections = args.only or [
+        "occupancy", "router", "matrix", "solver", "cache"
+    ]
 
     cgra = presets.simple_cgra(4, 4)
     occ_rounds = 20 if args.smoke else 300
@@ -348,7 +441,9 @@ def main(argv=None) -> int:
     ok = True
     summary = []
 
-    hotpath_sections = [s for s in sections if s != "solver"]
+    hotpath_sections = [
+        s for s in sections if s in ("occupancy", "router", "matrix")
+    ]
     if hotpath_sections:
         report = {
             "benchmark": "hotpath",
@@ -395,6 +490,28 @@ def main(argv=None) -> int:
         summary.append(
             f"sat x{solver['sat']['wall_speedup']} wall"
             f" / x{solver['sat']['decision_speedup']} decisions"
+        )
+
+    if "cache" in sections:
+        target = (
+            TARGET_CACHE_SPEEDUP_SMOKE if args.smoke
+            else TARGET_CACHE_SPEEDUP
+        )
+        cache_report = {
+            "benchmark": "cache",
+            "smoke": args.smoke,
+            "machine": {"cpu_count": os.cpu_count()},
+            "targets": {"warm_dse_speedup": target},
+            **bench_cache(args.smoke),
+        }
+        Path(args.out_cache).write_text(
+            json.dumps(cache_report, indent=2) + "\n"
+        )
+        print(json.dumps(cache_report, indent=2))
+        ok &= cache_report["dse"]["speedup"] >= target
+        summary.append(
+            f"cache x{cache_report['dse']['speedup']} dse"
+            f" / x{cache_report['matrix']['speedup']} matrix"
         )
 
     print("\n" + "  ".join(summary))

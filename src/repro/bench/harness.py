@@ -3,7 +3,10 @@
 ``run_matrix`` runs serially by default; with ``jobs=N`` the cells
 fan out over :func:`repro.parallel.pmap` — deterministic row order,
 per-cell ``timeout`` overruns surfacing as failure rows, and traces
-pickled back from the workers.
+pickled back from the workers.  ``cache`` opts a sweep into the
+content-addressed mapping cache (:mod:`repro.cache`): repeated cells
+hit instead of re-mapping, workers share the disk tier, and their
+hit/miss deltas are folded back into the parent's stats.
 """
 
 from __future__ import annotations
@@ -12,9 +15,11 @@ import logging
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from os import PathLike
 from typing import Any, Sequence
 
 from repro.arch.cgra import CGRA
+from repro.cache import MappingCache, cache_scope, get_cache
 from repro.core.exceptions import MapFailure
 from repro.core.metrics import metrics_of
 from repro.core.registry import create
@@ -120,10 +125,22 @@ def _run_cell(
         )
 
 
-def _cell_task(task: tuple) -> MatrixResult:
-    """pmap payload: unpack one cell (module-level for pickling)."""
+def _cell_task(task: tuple) -> tuple[MatrixResult, dict | None]:
+    """pmap payload: unpack one cell (module-level for pickling).
+
+    Returns the result plus this cell's cache-stats delta so the
+    parent can fold worker hits/misses into its own totals (the
+    worker inherited the active cache over fork; only the disk tier
+    is shared, the counters are not).
+    """
     mname, kname, cgra, ii, opts, trace = task
-    return _run_cell(mname, kname, cgra, ii, opts, trace)
+    cache = get_cache()
+    before = cache.stats.snapshot() if cache is not None else None
+    result = _run_cell(mname, kname, cgra, ii, opts, trace)
+    delta = (
+        cache.stats.delta_since(before) if cache is not None else None
+    )
+    return result, delta
 
 
 def run_matrix(
@@ -136,6 +153,7 @@ def run_matrix(
     trace: bool = False,
     jobs: int = 1,
     timeout: float | None = None,
+    cache: bool | str | PathLike | MappingCache | None = None,
 ) -> list[MatrixResult]:
     """Run every mapper on every kernel; failures become rows, not errors.
 
@@ -145,6 +163,10 @@ def run_matrix(
     order; only the timing fields differ from a serial run).
     ``timeout`` bounds each cell's wall-clock in seconds; an overrun
     becomes a failure row with a timeout error, never a hung sweep.
+    ``cache`` follows :func:`repro.cache.cache_scope` semantics:
+    ``None`` inherits the ambient state (default), ``False`` forces
+    caching off, ``True`` enables the in-process tier, a path adds a
+    disk tier the worker processes share.
     """
     opts = mapper_opts or {}
     cells = [
@@ -152,34 +174,39 @@ def run_matrix(
         for mname in mappers
         for kname in kernels
     ]
-    if jobs <= 1:
-        return [
-            _run_cell(*cell, timeout=timeout) for cell in cells
-        ]
-    out: list[MatrixResult] = []
-    for res, cell in zip(
-        pmap(_cell_task, cells, jobs=jobs, timeout=timeout), cells
-    ):
-        if res.ok:
-            out.append(res.value)
-            continue
-        if not res.timed_out:
-            raise res.error  # mirror the serial path: only MapFailure
-            # and timeouts become rows; anything else propagates.
-        mname, kname = cell[0], cell[1]
-        _log.warning(
-            "run_matrix: %s on %s failed: %s", mname, kname, res.error
-        )
-        out.append(
-            MatrixResult(
-                mapper=mname,
-                kernel=kname,
-                ok=False,
-                time_ms=1000 * res.elapsed,
-                total_ms=1000 * res.elapsed,
-                error=str(res.error),
+    with cache_scope(cache) as active:
+        if jobs <= 1:
+            return [
+                _run_cell(*cell, timeout=timeout) for cell in cells
+            ]
+        out: list[MatrixResult] = []
+        for res, cell in zip(
+            pmap(_cell_task, cells, jobs=jobs, timeout=timeout), cells
+        ):
+            if res.ok:
+                row, delta = res.value
+                if active is not None:
+                    active.stats.merge(delta)
+                out.append(row)
+                continue
+            if not res.timed_out:
+                raise res.error  # mirror the serial path: only
+                # MapFailure and timeouts become rows; anything else
+                # propagates.
+            mname, kname = cell[0], cell[1]
+            _log.warning(
+                "run_matrix: %s on %s failed: %s", mname, kname, res.error
             )
-        )
+            out.append(
+                MatrixResult(
+                    mapper=mname,
+                    kernel=kname,
+                    ok=False,
+                    time_ms=1000 * res.elapsed,
+                    total_ms=1000 * res.elapsed,
+                    error=str(res.error),
+                )
+            )
     return out
 
 

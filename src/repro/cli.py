@@ -13,7 +13,8 @@ a tool::
     python -m repro compare --jobs 4 --timeout 60
     python -m repro table1
     python -m repro timeline
-    python -m repro dse
+    python -m repro dse --cache
+    python -m repro cache stats --dir ~/.cache/repro-mappings
 
 Every subcommand prints plain text and exits non-zero on failure, so
 the CLI scripts cleanly.  ``--profile`` prints the per-phase
@@ -124,6 +125,25 @@ def _write_trace(source, path: str) -> str:
     return f"trace: wrote {n} spans to {path}"
 
 
+def _cache_option(args):
+    """Translate --cache/--no-cache/--cache-dir into the ``cache``
+    argument of :func:`repro.cache.cache_scope`."""
+    flag = getattr(args, "cache", None)
+    if flag is False:
+        return False
+    directory = getattr(args, "cache_dir", None)
+    if directory:
+        return directory  # a directory implies --cache
+    if flag:
+        return True
+    return None  # follow the environment (off by default)
+
+
+def _emit_cache_stats(active) -> None:
+    if active is not None:
+        print(f"cache: {active.stats.describe()}")
+
+
 # ---------------------------------------------------------------------------
 def _cmd_list(args) -> int:
     if args.what == "mappers":
@@ -162,6 +182,7 @@ def _cmd_list(args) -> int:
 def _cmd_map(args) -> int:
     from repro.api import map_dfg
     from repro.arch import presets
+    from repro.cache import cache_scope
     from repro.core.exceptions import MapFailure
     from repro.core.metrics import metrics_of
     from repro.ir import kernels
@@ -170,7 +191,9 @@ def _cmd_map(args) -> int:
     mapper = _resolve_mapper(args.mapper)
     cgra = presets.by_name(arch)
     tracer = None
-    with _obs_context(args) as ctx:
+    with _obs_context(args) as ctx, cache_scope(
+        _cache_option(args)
+    ) as cache:
         if ctx is not None:
             tracer = ctx
         try:
@@ -196,6 +219,7 @@ def _cmd_map(args) -> int:
         from repro.sim.configgen import render_contexts
 
         print("\n" + render_contexts(mapping))
+    _emit_cache_stats(cache)
     _emit_obs(args, tracer)
     return 0
 
@@ -203,16 +227,19 @@ def _cmd_map(args) -> int:
 def _cmd_compare(args) -> int:
     from repro.arch import presets
     from repro.bench import ascii_table, run_matrix
+    from repro.cache import cache_scope
 
     arch = _resolve_arch(args.arch)
     mappers = [_resolve_mapper(m) for m in args.mappers.split(",")]
     kernels = [_resolve_kernel(k) for k in args.kernels.split(",")]
     cgra = presets.by_name(arch)
     want_obs = bool(args.trace or args.profile)
-    results = run_matrix(
-        mappers, kernels, cgra, trace=want_obs,
-        jobs=args.jobs, timeout=args.timeout,
-    )
+    with cache_scope(_cache_option(args)) as cache:
+        results = run_matrix(
+            mappers, kernels, cgra, trace=want_obs,
+            jobs=args.jobs, timeout=args.timeout,
+        )
+    _emit_cache_stats(cache)
     print(
         ascii_table(
             [r.row() for r in results],
@@ -233,6 +260,41 @@ def _cmd_compare(args) -> int:
         if args.trace:
             print("\n" + _write_trace(roots, args.trace))
     return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_cache(args) -> int:
+    import os
+
+    from repro.cache import CACHE_DIR_ENV, CACHE_ENV, DiskStore
+
+    directory = args.dir or os.environ.get(CACHE_DIR_ENV)
+    if not directory:
+        # A path-valued REPRO_CACHE doubles as the directory.
+        value = os.environ.get(CACHE_ENV, "").strip()
+        if value and value.lower() not in (
+            "0", "off", "false", "no", "1", "on", "true", "yes"
+        ):
+            directory = value
+    if not directory:
+        print(
+            "no cache directory configured; pass --dir, or set"
+            f" {CACHE_DIR_ENV} or a path-valued {CACHE_ENV}",
+            file=sys.stderr,
+        )
+        return 1
+    store = DiskStore(directory)
+    if args.action == "stats":
+        st = store.stats()
+        print(f"directory: {st['directory']}")
+        print(f"entries:   {st['entries']}")
+        print(
+            f"bytes:     {st['bytes']}"
+            f" (cap {st['max_bytes']})"
+        )
+    else:  # clear
+        removed = store.clear()
+        print(f"cleared {removed} entr(y/ies) from {directory}")
+    return 0
 
 
 def _cmd_table1(args) -> int:
@@ -257,16 +319,20 @@ def _cmd_timeline(args) -> int:
 
 def _cmd_dse(args) -> int:
     from repro.bench import ascii_table
+    from repro.cache import cache_scope
     from repro.dse import default_space, explore, pareto_front
 
     tracer = None
-    with _obs_context(args) as ctx:
+    with _obs_context(args) as ctx, cache_scope(
+        _cache_option(args)
+    ) as cache:
         if ctx is not None:
             tracer = ctx
         points = explore(
             default_space() if args.full else None,
             jobs=args.jobs, timeout=args.timeout,
         )
+    _emit_cache_stats(cache)
     rows = [
         {
             "architecture": p.label(),
@@ -292,6 +358,22 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-cell wall-clock budget; overruns become failure rows",
+    )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache", dest="cache", action="store_true", default=None,
+        help="enable the content-addressed mapping cache",
+    )
+    group.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="force caching off, overriding REPRO_CACHE",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache to DIR on disk as well (implies --cache)",
     )
 
 
@@ -332,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mapper", default="list_sched")
     p.add_argument("--ii", type=int, default=None)
     p.add_argument("--show-contexts", action="store_true")
+    _add_cache_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_map)
 
@@ -340,8 +423,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mappers", default="list_sched,edge_centric")
     p.add_argument("--arch", default="simple4x4")
     _add_parallel_flags(p)
+    _add_cache_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the on-disk mapping cache"
+    )
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument(
+        "--dir", metavar="DIR", default=None,
+        help="cache directory (default: REPRO_CACHE_DIR / REPRO_CACHE)",
+    )
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("table1", help="regenerate the survey's Table I")
     p.set_defaults(fn=_cmd_table1)
@@ -352,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dse", help="architecture design-space sweep")
     p.add_argument("--full", action="store_true")
     _add_parallel_flags(p)
+    _add_cache_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_dse)
     return parser

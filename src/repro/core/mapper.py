@@ -97,24 +97,65 @@ class Mapper(abc.ABC):
         When tracing is enabled (:func:`repro.obs.tracing`) the call
         runs under a root span named ``map`` and the resulting
         :attr:`Mapping.trace` carries that span tree.
+
+        When a mapping cache is active (:func:`repro.cache.mapping_cache`
+        or the ``REPRO_CACHE`` environment variable — off by default),
+        the call first consults it under the canonical problem key; a
+        validated hit returns without running the algorithm, and a
+        fresh result is stored for the next identical call.
         """
+        # Imported lazily: repro.cache serializes/validates through
+        # repro.core, so a module-level import would be circular.
+        from repro.cache import get_cache
+
         dfg.check()
         tracer = get_tracer()
+        cache = get_cache()
         t0 = time.perf_counter()
+        key = None
         with tracer.span(
             "map", mapper=self.info.name, dfg=dfg.name, cgra=cgra.name
         ) as root:
+            if cache is not None:
+                key = cache.key(
+                    dfg, cgra, mapper=self.info.name, seed=self.seed,
+                    ii=ii, token=self.cache_token(),
+                )
+                with tracer.span("cache_lookup", key=key):
+                    hit = cache.get(key, dfg, cgra)
+                if hit is not None:
+                    hit.mapper = self.info.name
+                    hit.map_time = time.perf_counter() - t0
+                    if tracer.enabled:
+                        root.tag(
+                            ii=hit.ii, kind=hit.kind, cached=True
+                        )
+                        hit.trace = root
+                    return hit
             mapping = self._map(dfg, cgra, ii)
         mapping.mapper = self.info.name
         mapping.map_time = time.perf_counter() - t0
         if tracer.enabled:
             root.tag(ii=mapping.ii, kind=mapping.kind)
             mapping.trace = root
+        if cache is not None:
+            cache.put(key, mapping)
         return mapping
 
     @abc.abstractmethod
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
         """The actual mapping algorithm."""
+
+    def cache_token(self) -> str:
+        """Configuration identity beyond (name, seed) for cache keys.
+
+        Mappers whose constructor options change the produced mapping
+        (solver engine, entrant list, iteration budgets, ...) override
+        this so differently-configured instances do not alias in the
+        mapping cache.  The default — no extra identity — is right for
+        mappers whose output is fixed by (dfg, cgra, seed, ii).
+        """
+        return ""
 
     # ------------------------------------------------------------------
     # Shared helpers

@@ -8,36 +8,68 @@ DFG fingerprinting to refuse loading against the wrong substrate.
 
 The DFG and CGRA themselves are *not* serialized (they are code-level
 objects with factories); the fingerprint ties a mapping file to the
-(dfg, cgra) pair it was produced for.
+(dfg, cgra) pair it was produced for.  Since format 2 the fingerprint
+is the canonical one from :mod:`repro.cache.fingerprint`: the DFG half
+is isomorphism-invariant, and the architecture half covers everything
+that affects feasibility (context depth, RF sizes, memory ports,
+routing discipline) — format 1 hashed rendered text and silently
+collided on presets differing only in ``n_contexts``.
+
+The dict-level entry points (:func:`mapping_to_doc` /
+:func:`mapping_from_doc`) accept an optional ``node_map`` that
+relabels node ids on the way through; the mapping cache uses it to
+store documents in canonical-id space so one entry replays onto any
+isomorphic DFG regardless of node numbering.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
+from typing import Any, Mapping as MappingT
 
 from repro.arch.cgra import CGRA
 from repro.arch.tec import Step
 from repro.core.mapping import Mapping
 from repro.ir.dfg import DFG
 
-__all__ = ["mapping_to_json", "mapping_from_json", "fingerprint"]
+__all__ = [
+    "fingerprint",
+    "mapping_from_doc",
+    "mapping_from_json",
+    "mapping_to_doc",
+    "mapping_to_json",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 def fingerprint(dfg: DFG, cgra: CGRA) -> str:
-    """A stable digest of the (application, architecture) pair."""
-    h = hashlib.sha256()
-    h.update(dfg.pretty().encode())
-    h.update(cgra.render().encode())
-    h.update(str(sorted(cgra.links)).encode())
-    return h.hexdigest()[:16]
+    """A stable digest of the (application, architecture) pair.
+
+    Isomorphism-invariant over the DFG and exhaustive over the
+    architecture parameters that affect feasibility.
+    """
+    # Imported lazily: repro.cache.store serializes through this module.
+    from repro.cache.fingerprint import problem_fingerprint
+
+    return problem_fingerprint(dfg, cgra)
 
 
-def mapping_to_json(mapping: Mapping, *, indent: int | None = 2) -> str:
-    """Serialize a mapping (of either kind) to a JSON string."""
-    doc = {
+def _ident(nid: int) -> int:
+    return nid
+
+
+def mapping_to_doc(
+    mapping: Mapping, *, node_map: MappingT[int, int] | None = None
+) -> dict[str, Any]:
+    """Serialize a mapping (of either kind) to a plain-JSON dict.
+
+    ``node_map`` relabels every node id in the document (binding and
+    schedule keys, route edge endpoints, dual-issue pairs); identity
+    when omitted.
+    """
+    nm = node_map.__getitem__ if node_map is not None else _ident
+    return {
         "format": FORMAT_VERSION,
         "fingerprint": fingerprint(mapping.dfg, mapping.cgra),
         "dfg": mapping.dfg.name,
@@ -45,30 +77,36 @@ def mapping_to_json(mapping: Mapping, *, indent: int | None = 2) -> str:
         "kind": mapping.kind,
         "ii": mapping.ii,
         "mapper": mapping.mapper,
-        "binding": {str(k): v for k, v in mapping.binding.items()},
-        "schedule": {str(k): v for k, v in mapping.schedule.items()},
+        "binding": {str(nm(k)): v for k, v in mapping.binding.items()},
+        "schedule": {str(nm(k)): v for k, v in mapping.schedule.items()},
         "routes": [
             {
-                "edge": [e.src, e.dst, e.port, e.dist],
+                "edge": [nm(e.src), nm(e.dst), e.port, e.dist],
                 "steps": [[s.cell, s.time, s.kind] for s in steps],
             }
             for e, steps in mapping.routes.items()
         ],
-        "coexec": [sorted(p) for p in mapping.coexec],
+        "coexec": [sorted(nm(n) for n in p) for p in mapping.coexec],
     }
-    return json.dumps(doc, indent=indent, sort_keys=True)
 
 
-def mapping_from_json(
-    text: str, dfg: DFG, cgra: CGRA, *, verify: bool = True
+def mapping_from_doc(
+    doc: dict[str, Any],
+    dfg: DFG,
+    cgra: CGRA,
+    *,
+    node_map: MappingT[int, int] | None = None,
+    verify: bool = True,
+    validate: bool = True,
 ) -> Mapping:
-    """Rebuild a mapping against its (dfg, cgra) pair.
+    """Rebuild a mapping against its (dfg, cgra) pair from a dict.
 
-    Raises ValueError when the file's fingerprint does not match the
-    supplied substrate (unless ``verify=False``), or on an unknown
-    format version.  The result is re-validated before returning.
+    Raises ValueError when the document's fingerprint does not match
+    the supplied substrate (unless ``verify=False``), or on an unknown
+    format version.  ``node_map`` translates the document's node ids
+    into the live DFG's (identity when omitted); the result is
+    re-validated before returning unless ``validate=False``.
     """
-    doc = json.loads(text)
     if doc.get("format") != FORMAT_VERSION:
         raise ValueError(
             f"unsupported mapping format {doc.get('format')!r}"
@@ -79,12 +117,13 @@ def mapping_from_json(
             f" a different (DFG, CGRA) pair (file: {doc['dfg']!r} on"
             f" {doc['cgra']!r})"
         )
+    nm = node_map.__getitem__ if node_map is not None else _ident
     from repro.ir.dfg import Edge
 
     routes = {}
     for entry in doc["routes"]:
         src, dst, port, dist = entry["edge"]
-        edge = Edge(src, dst, port=port, dist=dist)
+        edge = Edge(nm(src), nm(dst), port=port, dist=dist)
         routes[edge] = [
             Step(cell, time, kind) for cell, time, kind in entry["steps"]
         ]
@@ -92,12 +131,27 @@ def mapping_from_json(
         dfg,
         cgra,
         kind=doc["kind"],
-        binding={int(k): v for k, v in doc["binding"].items()},
-        schedule={int(k): v for k, v in doc["schedule"].items()},
+        binding={nm(int(k)): v for k, v in doc["binding"].items()},
+        schedule={nm(int(k)): v for k, v in doc["schedule"].items()},
         routes=routes,
         ii=doc["ii"],
         mapper=doc.get("mapper", "?"),
-        coexec={frozenset(p) for p in doc.get("coexec", [])},
+        coexec={frozenset(nm(n) for n in p) for p in doc.get("coexec", [])},
     )
-    mapping.validate()
+    if validate:
+        mapping.validate()
     return mapping
+
+
+def mapping_to_json(mapping: Mapping, *, indent: int | None = 2) -> str:
+    """Serialize a mapping (of either kind) to a JSON string."""
+    return json.dumps(
+        mapping_to_doc(mapping), indent=indent, sort_keys=True
+    )
+
+
+def mapping_from_json(
+    text: str, dfg: DFG, cgra: CGRA, *, verify: bool = True
+) -> Mapping:
+    """Rebuild a mapping against its (dfg, cgra) pair from JSON text."""
+    return mapping_from_doc(json.loads(text), dfg, cgra, verify=verify)

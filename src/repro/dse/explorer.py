@@ -20,10 +20,12 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass
 from itertools import product
+from os import PathLike
 from typing import Sequence
 
 from repro.arch import presets
 from repro.arch.cgra import CGRA
+from repro.cache import MappingCache, cache_scope, get_cache
 from repro.core.exceptions import MapFailure
 from repro.core.registry import create
 from repro.ir import kernels as kernel_lib
@@ -93,6 +95,35 @@ def default_space() -> list[dict]:
     ]
 
 
+def _params_key(params: dict) -> tuple:
+    return (
+        params["size"], params["topology"],
+        params["rf_size"], params["mem_cells"],
+    )
+
+
+#: Memoized :func:`architecture_cost` per design point — the cost is a
+#: pure function of the parameters, so the fallback path never needs
+#: to re-instantiate the preset array just to price it.
+_COST_CACHE: dict[tuple, float] = {}
+
+
+def _point_cost(params: dict) -> float:
+    key = _params_key(params)
+    cost = _COST_CACHE.get(key)
+    if cost is None:
+        cost = _COST_CACHE[key] = architecture_cost(
+            presets.simple_cgra(
+                params["size"],
+                params["size"],
+                topology=params["topology"],
+                rf_size=params["rf_size"],
+                mem_cells=params["mem_cells"],
+            )
+        )
+    return cost
+
+
 def evaluate_point(
     params: dict,
     suite: Sequence[str],
@@ -106,6 +137,9 @@ def evaluate_point(
         topology=params["topology"],
         rf_size=params["rf_size"],
         mem_cells=params["mem_cells"],
+    )
+    cost = _COST_CACHE.setdefault(
+        _params_key(params), architecture_cost(cgra)
     )
     perfs: list[float] = []
     succeeded = 0
@@ -132,7 +166,7 @@ def evaluate_point(
         rf_size=params["rf_size"],
         mem_cells=params["mem_cells"],
         performance=sum(perfs) / len(perfs),
-        cost=architecture_cost(cgra),
+        cost=cost,
         success_rate=succeeded / len(suite),
     )
 
@@ -141,13 +175,6 @@ def _fallback_point(params: dict, suite: Sequence[str]) -> DesignPoint:
     """The all-kernels-failed outcome: every kernel charged the host
     sequential fallback, success rate zero — what a design point that
     blew its time budget is worth to the sweep."""
-    cgra = presets.simple_cgra(
-        params["size"],
-        params["size"],
-        topology=params["topology"],
-        rf_size=params["rf_size"],
-        mem_cells=params["mem_cells"],
-    )
     perfs = [
         1.0 / kernel_lib.kernel(kname).op_count() for kname in suite
     ]
@@ -157,15 +184,24 @@ def _fallback_point(params: dict, suite: Sequence[str]) -> DesignPoint:
         rf_size=params["rf_size"],
         mem_cells=params["mem_cells"],
         performance=sum(perfs) / len(perfs),
-        cost=architecture_cost(cgra),
+        cost=_point_cost(params),
         success_rate=0.0,
     )
 
 
-def _point_task(task: tuple) -> DesignPoint:
-    """pmap payload: one design point (module-level for pickling)."""
+def _point_task(task: tuple) -> tuple[DesignPoint, dict | None]:
+    """pmap payload: one design point (module-level for pickling).
+
+    Returns the point plus the cache-stats delta accrued while
+    evaluating it, so the parent can fold worker hits/misses into its
+    own totals.
+    """
     params, suite, mapper = task
-    return evaluate_point(params, suite, mapper=mapper)
+    c = get_cache()
+    before = c.stats.snapshot() if c is not None else None
+    point = evaluate_point(params, suite, mapper=mapper)
+    delta = c.stats.delta_since(before) if c is not None else None
+    return point, delta
 
 
 def explore(
@@ -175,6 +211,7 @@ def explore(
     mapper: str = "list_sched",
     jobs: int = 1,
     timeout: float | None = None,
+    cache: bool | str | PathLike | MappingCache | None = None,
 ) -> list[DesignPoint]:
     """Evaluate every design point in the space.
 
@@ -182,40 +219,53 @@ def explore(
     bounds one point's wall-clock in seconds, with overruns demoted to
     the sequential-fallback outcome rather than hanging the sweep.
     The returned list is identical for any ``jobs`` value.
+
+    ``cache`` (see :func:`repro.cache.cache_scope`) enables the
+    content-addressed mapping cache for the sweep.  Design points that
+    share a feasibility-equivalent architecture and kernel re-use each
+    other's mappings — across points, across repeated sweeps, and
+    (with a path argument) across processes via the shared disk tier.
     """
     kernels = suite or ["dot_product", "fir4", "sobel_x", "if_select"]
     points = list(space if space is not None else default_space())
     tasks = [(params, tuple(kernels), mapper) for params in points]
     pts: list[DesignPoint] = []
-    if jobs <= 1:
-        for task in tasks:
-            try:
-                with time_limit(timeout):
-                    pts.append(_point_task(task))
-            except TaskTimeout as ex:
-                _log.warning(
-                    "design point %sx%s/%s: %s; charging the sequential"
-                    " fallback",
-                    task[0]["size"], task[0]["size"],
-                    task[0]["topology"], ex,
-                )
-                pts.append(_fallback_point(task[0], kernels))
-    else:
-        for res, task in zip(
-            pmap(_point_task, tasks, jobs=jobs, timeout=timeout), tasks
-        ):
-            if res.ok:
-                pts.append(res.value)
-            elif res.timed_out:
-                _log.warning(
-                    "design point %sx%s/%s: %s; charging the sequential"
-                    " fallback",
-                    task[0]["size"], task[0]["size"],
-                    task[0]["topology"], res.error,
-                )
-                pts.append(_fallback_point(task[0], kernels))
-            else:
-                raise res.error
+    with cache_scope(cache) as active:
+        if jobs <= 1:
+            for task in tasks:
+                try:
+                    with time_limit(timeout):
+                        pts.append(evaluate_point(
+                            task[0], task[1], mapper=task[2]
+                        ))
+                except TaskTimeout as ex:
+                    _log.warning(
+                        "design point %sx%s/%s: %s; charging the"
+                        " sequential fallback",
+                        task[0]["size"], task[0]["size"],
+                        task[0]["topology"], ex,
+                    )
+                    pts.append(_fallback_point(task[0], kernels))
+        else:
+            for res, task in zip(
+                pmap(_point_task, tasks, jobs=jobs, timeout=timeout),
+                tasks,
+            ):
+                if res.ok:
+                    point, delta = res.value
+                    if active is not None:
+                        active.stats.merge(delta)
+                    pts.append(point)
+                elif res.timed_out:
+                    _log.warning(
+                        "design point %sx%s/%s: %s; charging the"
+                        " sequential fallback",
+                        task[0]["size"], task[0]["size"],
+                        task[0]["topology"], res.error,
+                    )
+                    pts.append(_fallback_point(task[0], kernels))
+                else:
+                    raise res.error
     return sorted(pts, key=lambda p: (p.cost, -p.performance))
 
 

@@ -52,15 +52,29 @@ def _register(fn: Callable[[], DFG]) -> Callable[[], DFG]:
     return fn
 
 
+#: Built-once kernel instances; :func:`kernel` hands out copies.
+_BUILT: dict[str, DFG] = {}
+
+
 def kernel(name: str) -> DFG:
-    """Build a registered kernel by name."""
-    try:
-        factory = KERNELS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
-        ) from None
-    return factory()
+    """Build a registered kernel by name.
+
+    Construction is memoized per process — the factories are pure and
+    the harnesses request the same few kernels over and over — but
+    every call returns a fresh :meth:`~repro.ir.dfg.DFG.copy`, so a
+    caller that rewrites its graph in place (the pass pipelines do)
+    cannot poison the next caller's.
+    """
+    built = _BUILT.get(name)
+    if built is None:
+        try:
+            factory = KERNELS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+            ) from None
+        built = _BUILT[name] = factory()
+    return built.copy()
 
 
 def kernel_names() -> list[str]:

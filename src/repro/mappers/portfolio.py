@@ -22,6 +22,7 @@ import logging
 import os
 
 from repro.arch.cgra import CGRA
+from repro.cache import get_cache
 from repro.core.exceptions import MapFailure
 from repro.core.mapper import Mapper, MapperInfo
 from repro.core.mapping import Mapping
@@ -96,6 +97,36 @@ class PortfolioMapper(Mapper):
         self.jobs = jobs
         self.timeout = timeout
 
+    def cache_token(self) -> str:
+        return (
+            f"entrants={','.join(self.mappers)};policy={self.policy}"
+            f";timeout={self.timeout}"
+        )
+
+    # ------------------------------------------------------------------
+    def _seed_cache(
+        self, dfg: DFG, cgra: CGRA, ii: int | None, winner: Mapping
+    ) -> None:
+        """Store the winner under its *entrant's* key too.
+
+        A later direct call to the winning mapper (a re-run, a
+        narrowed sweep) then hits immediately — the race's result
+        seeds the cache for every round after the first.  Matters in
+        the parallel path, where the entrant ran in a forked worker
+        whose in-memory store died with it.
+        """
+        cache = get_cache()
+        if cache is None or winner.mapper not in self.mappers:
+            return
+        entrant = create(winner.mapper, seed=self.seed)
+        cache.put(
+            cache.key(
+                dfg, cgra, mapper=winner.mapper, seed=self.seed,
+                ii=ii, token=entrant.cache_token(),
+            ),
+            winner,
+        )
+
     # ------------------------------------------------------------------
     def _effective_jobs(self) -> int:
         if self.jobs > 0:
@@ -137,6 +168,7 @@ class PortfolioMapper(Mapper):
                 attempts=len(self.mappers),
             )
         get_tracer().tag(winner=best.mapper)
+        self._seed_cache(dfg, cgra, ii, best)
         return best
 
     def _map(self, dfg: DFG, cgra: CGRA, ii: int | None) -> Mapping:
@@ -186,4 +218,5 @@ class PortfolioMapper(Mapper):
             tracer.tag(winner=winner.mapper)
             if winner.trace is not None and tracer.current is not None:
                 tracer.current.children.append(winner.trace)
+        self._seed_cache(dfg, cgra, ii, winner)
         return winner

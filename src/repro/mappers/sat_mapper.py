@@ -159,6 +159,12 @@ class SATMapper(Mapper):
         self.max_route_rounds = max_route_rounds
         self.engine = engine
 
+    def cache_token(self) -> str:
+        return (
+            f"engine={self.engine};climit={self.conflict_limit}"
+            f";rounds={self.max_route_rounds}"
+        )
+
     # -- non-incremental reference path --------------------------------
     def _solve_dpll(
         self, dfg: DFG, cgra: CGRA, ii: int

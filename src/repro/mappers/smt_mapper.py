@@ -138,6 +138,12 @@ class SMTMapper(Mapper):
         self.max_route_rounds = max_route_rounds
         self.offset_window = offset_window
 
+    def cache_token(self) -> str:
+        return (
+            f"models={self.max_models};rounds={self.max_route_rounds}"
+            f";window={self.offset_window}"
+        )
+
     # ------------------------------------------------------------------
     def _theory_schedule(
         self, dfg: DFG, cgra: CGRA, ii: int, binding: dict[int, int]

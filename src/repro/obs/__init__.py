@@ -33,6 +33,9 @@ from repro.obs.logwire import configure_logging, get_logger
 from repro.obs.render import render_flame, render_profile, render_summary
 from repro.obs.tracer import (
     BACKTRACKS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_VALIDATION_FAILURES,
     CANDIDATES_EXPLORED,
     COUNTERS,
     II_ATTEMPTS,
@@ -53,6 +56,9 @@ from repro.obs.tracer import (
 
 __all__ = [
     "BACKTRACKS",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "CACHE_VALIDATION_FAILURES",
     "CANDIDATES_EXPLORED",
     "COUNTERS",
     "II_ATTEMPTS",

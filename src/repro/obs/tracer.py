@@ -39,6 +39,9 @@ from typing import Any, Iterator
 
 __all__ = [
     "BACKTRACKS",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "CACHE_VALIDATION_FAILURES",
     "CANDIDATES_EXPLORED",
     "COUNTERS",
     "II_ATTEMPTS",
@@ -70,6 +73,9 @@ SOLVER_CONFLICTS = "solver_conflicts"        #: SAT conflicts
 SOLVER_DECISIONS = "solver_decisions"        #: SAT decisions
 SOLVER_NODES = "solver_nodes"                #: B&B / CSP search nodes
 SOLVER_RESTARTS = "solver_restarts"          #: CDCL restarts
+CACHE_HITS = "cache_hits"                    #: mapping cache hits
+CACHE_MISSES = "cache_misses"                #: mapping cache misses
+CACHE_VALIDATION_FAILURES = "cache_validation_failures"  #: poisoned entries
 
 COUNTERS = (
     CANDIDATES_EXPLORED,
@@ -81,6 +87,9 @@ COUNTERS = (
     SOLVER_DECISIONS,
     SOLVER_NODES,
     SOLVER_RESTARTS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_VALIDATION_FAILURES,
 )
 
 

@@ -1,0 +1,133 @@
+"""Canonical-key tests: isomorphism invariance, architecture coverage.
+
+The cache key must collide exactly when two problems are the same
+problem.  The DFG half is checked against construction-order
+renumbering (the classic ``a*b + c*d`` built in either order); the
+architecture half is checked against every preset knob that changes
+mapping feasibility.
+"""
+
+from __future__ import annotations
+
+from repro.arch import presets
+from repro.cache.fingerprint import (
+    DIGEST_LEN,
+    arch_fingerprint,
+    canonical_ids,
+    dfg_fingerprint,
+    problem_fingerprint,
+    refine_colors,
+)
+from repro.ir import kernels
+from repro.ir.dfg import DFG, Op
+
+
+def sum_of_products(order: str) -> DFG:
+    """``a*b + c*d`` with the multiplies built in the given order.
+
+    Both orders are the same kernel; only the accidental node ids
+    differ.
+    """
+    g = DFG(f"sop_{order}")
+    a = g.input("a")
+    b = g.input("b")
+    c = g.input("c")
+    d = g.input("d")
+    if order == "lr":
+        m1 = g.add(Op.MUL, a, b)
+        m2 = g.add(Op.MUL, c, d)
+    else:
+        m2 = g.add(Op.MUL, c, d)
+        m1 = g.add(Op.MUL, a, b)
+    s = g.add(Op.ADD, m1, m2)
+    g.output(s, "out")
+    return g
+
+
+# ---------------------------------------------------------------------------
+# DFG half
+# ---------------------------------------------------------------------------
+def test_isomorphic_builds_share_a_fingerprint():
+    assert dfg_fingerprint(sum_of_products("lr")) == dfg_fingerprint(
+        sum_of_products("rl")
+    )
+
+
+def test_node_names_are_accidental():
+    g1 = kernels.kernel("dot_product")
+    g2 = kernels.kernel("dot_product")
+    for nid in g2:
+        g2.node(nid).name = f"renamed_{nid}"
+    assert dfg_fingerprint(g1) == dfg_fingerprint(g2)
+
+
+def test_distinct_kernels_get_distinct_fingerprints():
+    names = ["dot_product", "fir4", "sobel_x", "if_select"]
+    fps = {dfg_fingerprint(kernels.kernel(n)) for n in names}
+    assert len(fps) == len(names)
+
+
+def test_edge_distance_is_semantic():
+    """Dropping the loop-carried distance changes the problem."""
+    g1 = kernels.kernel("dot_product")
+    g2 = kernels.kernel("dot_product")
+    carried = next(e for e in g2.edges() if e.dist == 1)
+    g2.remove_edge(carried)
+    g2.connect(carried.src, carried.dst, port=carried.port, dist=2)
+    assert dfg_fingerprint(g1) != dfg_fingerprint(g2)
+
+
+def test_canonical_ids_are_a_permutation():
+    g = kernels.kernel("sobel_x")
+    canon = canonical_ids(g)
+    assert sorted(canon) == sorted(g)
+    assert sorted(canon.values()) == list(range(len(g)))
+    # Precomputed colors short-circuit to the same answer.
+    assert canonical_ids(g, refine_colors(g)) == canon
+
+
+def test_canonical_ids_translate_across_renumbering():
+    """The canonical relabelings of two isomorphic builds agree on
+    which *roles* land on which canonical index."""
+    g1, g2 = sum_of_products("lr"), sum_of_products("rl")
+    ops1 = {i: g1.node(nid).op for nid, i in canonical_ids(g1).items()}
+    ops2 = {i: g2.node(nid).op for nid, i in canonical_ids(g2).items()}
+    assert ops1 == ops2
+
+
+# ---------------------------------------------------------------------------
+# Architecture half
+# ---------------------------------------------------------------------------
+def test_arch_fingerprint_deterministic_across_instances():
+    assert arch_fingerprint(presets.simple_cgra(4, 4)) == arch_fingerprint(
+        presets.simple_cgra(4, 4)
+    )
+
+
+def test_arch_fingerprint_covers_feasibility_knobs():
+    base = arch_fingerprint(presets.simple_cgra(4, 4))
+    variants = [
+        presets.simple_cgra(2, 2),
+        presets.simple_cgra(4, 4, topology="torus"),
+        presets.simple_cgra(4, 4, rf_size=2),
+        presets.simple_cgra(4, 4, n_contexts=8),
+        presets.simple_cgra(4, 4, mem_cells="left"),
+    ]
+    fps = [arch_fingerprint(v) for v in variants]
+    assert base not in fps
+    assert len(set(fps)) == len(fps)
+
+
+def test_arch_fingerprint_memoized_on_instance():
+    cgra = presets.simple_cgra(4, 4)
+    fp = arch_fingerprint(cgra)
+    assert cgra._arch_fp == fp
+    assert arch_fingerprint(cgra) == fp
+
+
+def test_problem_fingerprint_concatenates_both_halves():
+    dfg = kernels.kernel("fir4")
+    cgra = presets.simple_cgra(4, 4)
+    fp = problem_fingerprint(dfg, cgra)
+    assert len(fp) == 2 * DIGEST_LEN
+    assert fp == dfg_fingerprint(dfg) + arch_fingerprint(cgra)

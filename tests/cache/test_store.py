@@ -1,0 +1,127 @@
+"""Tiered memo store: LRU discipline, atomicity, corruption tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache.store import DiskStore, MemoryStore, TieredStore
+
+
+# ---------------------------------------------------------------------------
+# MemoryStore
+# ---------------------------------------------------------------------------
+def test_memory_roundtrip_and_miss():
+    store = MemoryStore(4)
+    assert store.get("k") is None
+    store.put("k", {"v": 1})
+    assert store.get("k") == {"v": 1}
+    store.invalidate("k")
+    assert store.get("k") is None
+
+
+def test_memory_eviction_is_least_recently_used():
+    store = MemoryStore(2)
+    store.put("a", {"v": 1})
+    store.put("b", {"v": 2})
+    store.get("a")  # freshen a, making b the LRU entry
+    store.put("c", {"v": 3})
+    assert store.get("b") is None
+    assert store.get("a") == {"v": 1}
+    assert store.get("c") == {"v": 3}
+    assert len(store) == 2
+
+
+def test_memory_rejects_useless_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        MemoryStore(0)
+
+
+# ---------------------------------------------------------------------------
+# DiskStore
+# ---------------------------------------------------------------------------
+def test_disk_roundtrip(tmp_path):
+    store = DiskStore(tmp_path / "c")
+    store.put("k", {"v": 1})
+    assert store.get("k") == {"v": 1}
+    # One JSON file per key, valid on its own.
+    [path] = (tmp_path / "c").glob("*.json")
+    assert json.loads(path.read_text()) == {"v": 1}
+
+
+def test_disk_corrupt_entry_reads_as_miss_and_is_dropped(tmp_path):
+    store = DiskStore(tmp_path / "c")
+    store.put("k", {"v": 1})
+    path = store._path("k")
+    path.write_text(path.read_text()[:5])  # torn write
+    assert store.get("k") is None
+    assert not path.exists()
+
+
+def test_disk_non_dict_entry_reads_as_miss(tmp_path):
+    store = DiskStore(tmp_path / "c")
+    store._path("k").write_text("[1, 2, 3]")
+    assert store.get("k") is None
+
+
+def test_disk_eviction_trims_oldest_first(tmp_path):
+    pad = "x" * 200
+    store = DiskStore(tmp_path / "c", max_bytes=500)
+    store.put("old", {"pad": pad})
+    store.put("mid", {"pad": pad})
+    # Backdate so mtime order is unambiguous regardless of clock
+    # granularity.
+    import os
+
+    os.utime(store._path("old"), (1, 1))
+    os.utime(store._path("mid"), (2, 2))
+    store.put("new", {"pad": pad})  # 3 * ~215 bytes > 500 -> evict
+    assert store.get("old") is None
+    assert store.get("mid") is not None
+    assert store.get("new") is not None
+
+
+def test_disk_clear_and_stats(tmp_path):
+    store = DiskStore(tmp_path / "c")
+    store.put("a", {"v": 1})
+    store.put("b", {"v": 2})
+    stats = store.stats()
+    assert stats["entries"] == 2
+    assert stats["bytes"] > 0
+    assert stats["directory"] == str(tmp_path / "c")
+    assert store.clear() == 2
+    assert len(store) == 0
+    assert store.get("a") is None
+
+
+# ---------------------------------------------------------------------------
+# TieredStore
+# ---------------------------------------------------------------------------
+def test_tiered_disk_hits_promote_to_memory(tmp_path):
+    disk = DiskStore(tmp_path / "c")
+    disk.put("k", {"v": 1})
+    tiered = TieredStore(MemoryStore(4), DiskStore(tmp_path / "c"))
+    assert tiered.get("k") == {"v": 1}
+    assert tiered.memory.get("k") == {"v": 1}
+    # A second hit no longer needs the disk at all.
+    tiered.disk.invalidate("k")
+    assert tiered.get("k") == {"v": 1}
+
+
+def test_tiered_put_writes_through_and_invalidate_clears_both(tmp_path):
+    tiered = TieredStore(MemoryStore(4), DiskStore(tmp_path / "c"))
+    tiered.put("k", {"v": 1})
+    assert tiered.memory.get("k") == {"v": 1}
+    assert tiered.disk.get("k") == {"v": 1}
+    tiered.invalidate("k")
+    assert tiered.memory.get("k") is None
+    assert tiered.disk.get("k") is None
+
+
+def test_tiered_without_disk_is_memory_only():
+    tiered = TieredStore(MemoryStore(4), None)
+    tiered.put("k", {"v": 1})
+    assert tiered.get("k") == {"v": 1}
+    tiered.clear()
+    assert tiered.get("k") is None

@@ -37,7 +37,7 @@ def test_roundtrip_preserves_everything(setup):
 def test_json_is_plain_and_versioned(setup):
     _, _, mapping = setup
     doc = json.loads(mapping_to_json(mapping))
-    assert doc["format"] == 1
+    assert doc["format"] == 2
     assert doc["kind"] == "modulo"
     assert isinstance(doc["binding"], dict)
 
@@ -58,6 +58,22 @@ def test_fingerprint_stable(setup):
     assert fingerprint(dfg, cgra) == fingerprint(dfg, cgra)
     assert fingerprint(dfg, cgra) != fingerprint(
         dfg, presets.simple_cgra(2, 2)
+    )
+
+
+def test_fingerprint_covers_context_depth_and_rf(setup):
+    """Format 1 hashed rendered text and collided on presets that
+    differ only in context depth or RF size; format 2 must not."""
+    dfg, _, _ = setup
+    base = fingerprint(dfg, presets.simple_cgra(4, 4, n_contexts=32))
+    assert base != fingerprint(
+        dfg, presets.simple_cgra(4, 4, n_contexts=8)
+    )
+    assert base != fingerprint(
+        dfg, presets.simple_cgra(4, 4, rf_size=2)
+    )
+    assert base != fingerprint(
+        dfg, presets.simple_cgra(4, 4, mem_cells="left")
     )
 
 

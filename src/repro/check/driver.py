@@ -1,0 +1,413 @@
+"""The conformance fuzz driver.
+
+:func:`run_case` pushes one generated problem through the full oracle
+chain; :func:`run_fuzz` sweeps a seed range (optionally over a process
+pool) and aggregates a :class:`FuzzReport`.  Per case:
+
+1. build the random DFG, input series, and target fabric;
+2. interpret the DFG for the reference output series (a reference
+   ``ZeroDivisionError`` aborts the case as *skipped* — the program
+   itself faults, there is nothing to map against);
+3. metamorphic invariants on the problem: isomorphic relabeling and
+   the standard pass pipeline must preserve the interpreted semantics;
+4. map with the case's mapper (``MapFailure`` is a legitimate outcome
+   — *unmapped* — and a wall-clock overrun is *timeout*; any other
+   exception is a ``map-crash`` divergence);
+5. oracle chain on the result: ``Mapping.validate`` must be clean and,
+   for modulo mappings, cycle-accurate simulation must equal the
+   reference series;
+6. mode invariants: on even seeds the relabeled twin is mapped and
+   checked too; cases with ``cache_mode == "on"`` assert cached replay
+   is byte-identical to a cold solve; every 16th seed asserts fork
+   workers return the in-process bytes;
+7. every divergence is delta-debugged by :mod:`repro.check.shrink`
+   down to a small reproducer and emitted as a pytest module.
+
+Known, documented failures are pinned in :data:`PINNED`: they are
+reported (and land in the JSONL log) but do not fail the sweep.  The
+policy is the issue's: a divergence is either fixed or pinned with a
+tracking note — never silently tolerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check import oracles
+from repro.check.metamorphic import (
+    cached_replay_difference,
+    fork_replay_difference,
+    pipeline_difference,
+    relabel,
+    relabel_difference,
+)
+from repro.check.problems import (
+    DEFAULT_ARCHS,
+    Case,
+    case_cgra,
+    case_dfg,
+    case_inputs,
+    generate_case,
+    restrict_inputs,
+)
+from repro.check.report import (
+    Divergence,
+    emit_pytest,
+    renumber,
+    write_failure_log,
+)
+from repro.check.shrink import ShrinkBudget, shrink_dfg
+from repro.core.exceptions import MapFailure
+from repro.ir.dfg import DFG
+from repro.obs.tracer import (
+    CHECK_CASES,
+    CHECK_DIVERGENCES,
+    get_tracer,
+)
+from repro.parallel import TaskTimeout, time_limit
+
+__all__ = ["FuzzReport", "PINNED", "run_case", "run_fuzz"]
+
+#: Documented known failures: (mapper, phase) -> tracking note.  A
+#: divergence matching an entry is reported as *pinned* instead of
+#: failing the sweep.  Keep this empty unless a fix genuinely cannot
+#: land in the same change; every entry must name an issue.
+PINNED: dict[tuple[str, str], str] = {}
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a seed sweep."""
+
+    cases: int = 0
+    mapped: int = 0
+    unmapped: int = 0
+    timeouts: int = 0
+    skipped: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def unexplained(self) -> list[Divergence]:
+        return [d for d in self.divergences if not d.pinned]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unexplained
+
+    def merge(self, other: "FuzzReport") -> None:
+        self.cases += other.cases
+        self.mapped += other.mapped
+        self.unmapped += other.unmapped
+        self.timeouts += other.timeouts
+        self.skipped += other.skipped
+        self.divergences.extend(other.divergences)
+
+    def summary(self) -> str:
+        pinned = len(self.divergences) - len(self.unexplained)
+        return (
+            f"{self.cases} cases: {self.mapped} mapped,"
+            f" {self.unmapped} unmapped, {self.timeouts} timeouts,"
+            f" {self.skipped} skipped,"
+            f" {len(self.unexplained)} divergences"
+            f" ({pinned} pinned)"
+        )
+
+
+def _divergence(case: Case, phase: str, detail: str, **kw) -> Divergence:
+    return Divergence(
+        seed=case.seed,
+        family=case.family,
+        arch=case.arch,
+        mapper=case.mapper,
+        cache_mode=case.cache_mode,
+        phase=phase,
+        detail=detail,
+        n_iters=case.n_iters,
+        pinned=(case.mapper, phase) in PINNED,
+        **kw,
+    )
+
+
+def _map_case(case: Case, dfg: DFG, cgra, timeout: float | None):
+    """Run the case's mapper; returns (mapping | None, outcome)."""
+    from repro.core.registry import create
+
+    mapper = create(case.mapper, seed=case.seed)
+    try:
+        with time_limit(timeout):
+            return mapper.map(dfg, cgra), "mapped"
+    except MapFailure:
+        return None, "unmapped"
+    except TaskTimeout:
+        return None, "timeout"
+    except Exception as ex:
+        return None, f"crash: {type(ex).__name__}: {ex}"
+
+
+def _oracle_failure(
+    case: Case, dfg: DFG, inputs, cgra, timeout: float | None
+) -> tuple[str, str] | None:
+    """(phase, detail) of the first oracle-chain failure, else None.
+
+    This is the *re-check* the shrinker drives: any failure counts, so
+    a divergence may legally morph into a related one while shrinking
+    (standard delta-debugging behaviour).
+    """
+    try:
+        reference = oracles.reference_outputs(dfg, case.n_iters, inputs)
+    except Exception:
+        return None  # graph no longer interprets: not a mapper failure
+    mapping, outcome = _map_case(case, dfg, cgra, timeout)
+    if mapping is None:
+        if outcome.startswith("crash"):
+            return "map-crash", outcome
+        return None
+    violations = oracles.mapping_violations(mapping)
+    if violations:
+        return "validate", "; ".join(violations[:4])
+    if mapping.kind == "modulo":
+        try:
+            delta = oracles.sim_disagreement(
+                mapping, case.n_iters, inputs, reference
+            )
+        except Exception as ex:
+            return "sim-crash", f"{type(ex).__name__}: {ex}"
+        if delta:
+            return "sim", delta
+    return None
+
+
+def _shrunk(case: Case, dfg: DFG, inputs, cgra, timeout) -> DFG:
+    def still_fails(candidate: DFG) -> bool:
+        sub = restrict_inputs(inputs, candidate)
+        return (
+            _oracle_failure(case, candidate, sub, cgra, timeout)
+            is not None
+        )
+
+    return shrink_dfg(dfg, still_fails, budget=ShrinkBudget())
+
+
+def run_case(
+    case: Case,
+    *,
+    shrink: bool = True,
+    timeout: float | None = None,
+    metamorphic: bool = True,
+) -> FuzzReport:
+    """Push one case through the oracle chain; report its outcome."""
+    tracer = get_tracer()
+    report = FuzzReport(cases=1)
+    with tracer.span(
+        "check_case", seed=case.seed, mapper=case.mapper, arch=case.arch
+    ):
+        tracer.count(CHECK_CASES)
+        dfg = case_dfg(case)
+        inputs = case_inputs(case, dfg)
+        cgra = case_cgra(case)
+
+        def diverge(phase: str, detail: str, graph: DFG | None = None):
+            tracer.count(CHECK_DIVERGENCES)
+            d = _divergence(
+                case, phase, detail,
+                dfg_pretty=dfg.pretty(),
+                inputs=dict(inputs),
+            )
+            if graph is not None:
+                graph = renumber(graph)
+                d.shrunk_pretty = graph.pretty()
+                d.reproducer = emit_pytest(d, graph)
+            report.divergences.append(d)
+
+        # 2. Reference semantics.
+        try:
+            reference = oracles.reference_outputs(
+                dfg, case.n_iters, inputs
+            )
+        except ZeroDivisionError:
+            report.skipped += 1
+            return report
+        except Exception as ex:
+            diverge("interp-crash", f"{type(ex).__name__}: {ex}")
+            return report
+
+        # 3. Problem-level metamorphic invariants.
+        if metamorphic:
+            delta = relabel_difference(
+                dfg, case.n_iters, inputs, seed=case.seed
+            )
+            if delta:
+                diverge("relabel", delta)
+            delta = pipeline_difference(dfg, case.n_iters, inputs)
+            if delta:
+                diverge("passes", delta)
+
+        # 4. Map.
+        with tracer.span("map_attempt"):
+            mapping, outcome = _map_case(case, dfg, cgra, timeout)
+        if mapping is None:
+            if outcome == "unmapped":
+                report.unmapped += 1
+            elif outcome == "timeout":
+                report.timeouts += 1
+            else:
+                graph = (
+                    _shrunk(case, dfg, inputs, cgra, timeout)
+                    if shrink else None
+                )
+                diverge("map-crash", outcome, graph)
+            return report
+        report.mapped += 1
+
+        # 5. Oracle chain on the result.
+        violations = oracles.mapping_violations(mapping)
+        if violations:
+            graph = (
+                _shrunk(case, dfg, inputs, cgra, timeout)
+                if shrink else None
+            )
+            diverge("validate", "; ".join(violations[:4]), graph)
+            return report
+        if mapping.kind == "modulo":
+            try:
+                delta = oracles.sim_disagreement(
+                    mapping, case.n_iters, inputs, reference
+                )
+            except Exception as ex:
+                delta = None
+                graph = (
+                    _shrunk(case, dfg, inputs, cgra, timeout)
+                    if shrink else None
+                )
+                diverge(
+                    "sim-crash", f"{type(ex).__name__}: {ex}", graph
+                )
+                return report
+            if delta:
+                graph = (
+                    _shrunk(case, dfg, inputs, cgra, timeout)
+                    if shrink else None
+                )
+                diverge("sim", delta, graph)
+                return report
+
+        # 6. Mode invariants.
+        if metamorphic and case.seed % 2 == 0:
+            twin, _ = relabel(dfg, case.seed)
+            t_mapping, t_outcome = _map_case(case, twin, cgra, timeout)
+            if t_mapping is not None:
+                t_viol = oracles.mapping_violations(t_mapping)
+                if t_viol:
+                    diverge(
+                        "relabel-map",
+                        "relabeled twin fails validation: "
+                        + "; ".join(t_viol[:4]),
+                    )
+                elif t_mapping.kind == "modulo":
+                    t_delta = oracles.sim_disagreement(
+                        t_mapping, case.n_iters, inputs, reference
+                    )
+                    if t_delta:
+                        diverge(
+                            "relabel-map",
+                            f"relabeled twin diverges: {t_delta}",
+                        )
+            elif t_outcome.startswith("crash"):
+                diverge(
+                    "relabel-map", f"relabeled twin: {t_outcome}"
+                )
+        if case.cache_mode == "on":
+            try:
+                with time_limit(timeout):
+                    delta = cached_replay_difference(
+                        dfg, cgra, case.mapper, seed=case.seed
+                    )
+            except TaskTimeout:
+                delta = None
+            if delta:
+                diverge("cache-replay", delta)
+        if metamorphic and case.seed % 16 == 3:
+            delta = fork_replay_difference(
+                dfg, cgra, case.mapper, seed=case.seed, timeout=timeout
+            )
+            if delta:
+                diverge("fork-replay", delta)
+    return report
+
+
+# ---------------------------------------------------------------------------
+def _case_worker(payload) -> FuzzReport:
+    """Module-level pmap body: run one case in a fork worker."""
+    case, shrink, timeout, metamorphic = payload
+    return run_case(
+        case, shrink=shrink, timeout=timeout, metamorphic=metamorphic
+    )
+
+
+def run_fuzz(
+    seeds,
+    mappers: list[str] | None = None,
+    archs: list[str] | None = None,
+    *,
+    n_iters: int = 4,
+    shrink: bool = True,
+    timeout: float | None = None,
+    log: str | None = None,
+    fail_fast: bool = False,
+    jobs: int = 1,
+    metamorphic: bool = True,
+) -> FuzzReport:
+    """Sweep ``seeds``; return the aggregated :class:`FuzzReport`.
+
+    Args:
+        seeds: iterable of integer seeds (e.g. ``range(0, 200)``).
+        mappers: registry names to rotate through (default: all).
+        archs: preset names to rotate through (default:
+            :data:`repro.check.problems.DEFAULT_ARCHS`).
+        n_iters: iterations the semantic oracle observes per case.
+        shrink: delta-debug failures down to small reproducers.
+        timeout: per-map wall-clock budget in seconds (SIGALRM-based,
+            like the bench harness; None = unbounded).
+        log: append divergences to this JSONL file.
+        fail_fast: stop at the first unexplained divergence.
+        jobs: fork workers for the sweep itself (1 = serial).
+        metamorphic: also check relabel / pass-pipeline / fork-replay
+            invariants (on by default; the CLI's ``--oracle-only``
+            switches them off for bisecting).
+    """
+    from repro.core.registry import names
+
+    mappers = list(mappers or names())
+    archs = list(archs or DEFAULT_ARCHS)
+    cases = [
+        generate_case(s, mappers, archs, n_iters=n_iters) for s in seeds
+    ]
+    total = FuzzReport()
+    if jobs > 1 and not fail_fast:
+        from repro.parallel import pmap
+
+        payloads = [(c, shrink, timeout, metamorphic) for c in cases]
+        # The per-map timeout is enforced inside the worker; give the
+        # whole case a generous multiple before the pool declares it
+        # wedged (shrinking re-runs the mapper many times).
+        case_budget = None if timeout is None else timeout * 40
+        for r in pmap(_case_worker, payloads, jobs=jobs,
+                      timeout=case_budget):
+            if r.ok:
+                total.merge(r.value)
+            else:
+                total.cases += 1
+                total.timeouts += 1
+    else:
+        for case in cases:
+            total.merge(
+                run_case(
+                    case, shrink=shrink, timeout=timeout,
+                    metamorphic=metamorphic,
+                )
+            )
+            if fail_fast and not total.ok:
+                break
+    if log and total.divergences:
+        write_failure_log(log, total.divergences)
+    return total

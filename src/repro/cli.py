@@ -15,6 +15,9 @@ a tool::
     python -m repro timeline
     python -m repro dse --cache
     python -m repro cache stats --dir ~/.cache/repro-mappings
+    python -m repro fuzz --seeds 0:200 --jobs 4 --timeout 15
+    python -m repro fuzz --seeds 0:50 --mapper sat --arch hetero4x4 \\
+                         --log failures.jsonl --emit-dir repros/
 
 Every subcommand prints plain text and exits non-zero on failure, so
 the CLI scripts cleanly.  ``--profile`` prints the per-phase
@@ -297,6 +300,91 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _parse_seeds(spec: str) -> range:
+    """``A:B`` -> range(A, B); a bare ``N`` -> range(0, N)."""
+    try:
+        if ":" in spec:
+            lo_s, hi_s = spec.split(":", 1)
+            lo, hi = int(lo_s or 0), int(hi_s)
+        else:
+            lo, hi = 0, int(spec)
+    except ValueError:
+        raise SystemExit(f"bad --seeds {spec!r}; expected N or A:B")
+    if hi <= lo:
+        raise SystemExit(f"empty seed range {spec!r}")
+    return range(lo, hi)
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.check import run_fuzz
+    from repro.core.registry import names
+
+    seeds = _parse_seeds(args.seeds)
+    mappers = None
+    if args.mapper:
+        mappers = [
+            _resolve_mapper(m)
+            for spec in args.mapper
+            for m in spec.split(",")
+        ]
+    archs = None
+    if args.arch:
+        archs = [
+            _resolve_arch(a)
+            for spec in args.arch
+            for a in spec.split(",")
+        ]
+    tracer = None
+    with _obs_context(args) as ctx:
+        if ctx is not None:
+            tracer = ctx
+        report = run_fuzz(
+            seeds,
+            mappers,
+            archs,
+            n_iters=args.iters,
+            shrink=not args.no_shrink,
+            timeout=args.timeout,
+            log=args.log,
+            fail_fast=args.fail_fast,
+            jobs=args.jobs,
+            metamorphic=not args.oracle_only,
+        )
+    n_mappers = len(mappers or names())
+    print(
+        f"fuzz: seeds {seeds.start}:{seeds.stop} rotating over"
+        f" {n_mappers} mapper(s)"
+    )
+    print(f"fuzz: {report.summary()}")
+    for d in report.divergences:
+        print(f"  {d.headline()}")
+        if d.shrunk_pretty:
+            indented = "\n".join(
+                "    " + line for line in d.shrunk_pretty.splitlines()
+            )
+            print(f"    shrunk to:\n{indented}")
+    if args.emit_dir and report.divergences:
+        import os
+
+        os.makedirs(args.emit_dir, exist_ok=True)
+        written = 0
+        for d in report.divergences:
+            if not d.reproducer:
+                continue
+            path = os.path.join(
+                args.emit_dir,
+                f"test_repro_seed{d.seed}_{d.mapper}.py",
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(d.reproducer)
+            written += 1
+        print(f"fuzz: wrote {written} reproducer(s) to {args.emit_dir}")
+    if args.log and report.divergences:
+        print(f"fuzz: appended failure log to {args.log}")
+    _emit_obs(args, tracer)
+    return 0 if report.ok else 1
+
+
 def _cmd_table1(args) -> int:
     from repro.survey.taxonomy import (
         executable_table1,
@@ -436,6 +524,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: REPRO_CACHE_DIR / REPRO_CACHE)",
     )
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzz: mappers vs the interpreter",
+    )
+    p.add_argument(
+        "--seeds", default="0:50", metavar="A:B",
+        help="seed range (half-open; a bare N means 0:N; default 0:50)",
+    )
+    p.add_argument(
+        "--mapper", action="append", default=None, metavar="NAME",
+        help="restrict to these mappers (repeatable / comma lists;"
+             " default: every registered mapper, rotating with the seed)",
+    )
+    p.add_argument(
+        "--arch", action="append", default=None, metavar="NAME",
+        help="restrict to these presets (default: simple4x4, adres4x4,"
+             " hycube4x4)",
+    )
+    p.add_argument(
+        "--iters", type=int, default=4, metavar="N",
+        help="iterations the semantic oracle observes (default 4)",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures raw instead of delta-debugging them",
+    )
+    p.add_argument(
+        "--oracle-only", action="store_true",
+        help="skip metamorphic invariants (relabel/passes/fork replay)",
+    )
+    p.add_argument(
+        "--log", metavar="FILE", default=None,
+        help="append divergences to FILE as JSONL",
+    )
+    p.add_argument(
+        "--emit-dir", metavar="DIR", default=None,
+        help="write shrunk pytest reproducers into DIR",
+    )
+    p.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop at the first unexplained divergence",
+    )
+    _add_parallel_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser("table1", help="regenerate the survey's Table I")
     p.set_defaults(fn=_cmd_table1)

@@ -27,11 +27,22 @@ from typing import Any, Mapping, Sequence
 
 from repro.ir.dfg import DFG, DFGError, Edge, Op
 
-__all__ = ["DFGInterpreter", "evaluate"]
+__all__ = [
+    "DFGInterpreter",
+    "apply_op",
+    "broadcast_series",
+    "evaluate",
+    "trunc_div",
+]
 
 
-def _as_series(value: Any, n: int, name: str) -> list[int]:
-    """Broadcast a scalar to ``n`` iterations, or validate a sequence."""
+def broadcast_series(value: Any, n: int, name: str) -> list[int]:
+    """Broadcast a scalar to ``n`` iterations, or validate a sequence.
+
+    Public contract shared by the interpreter and the cycle-accurate
+    machine (:mod:`repro.sim.machine`): both feeds must agree on how an
+    input specification becomes a per-iteration series.
+    """
     if isinstance(value, (int, float)):
         return [int(value)] * n
     seq = list(value)
@@ -42,8 +53,24 @@ def _as_series(value: Any, n: int, name: str) -> list[int]:
     return [int(v) for v in seq[:n]]
 
 
-def _apply(op: Op, args: list[int]) -> int:
-    """Evaluate a non-memory, non-pseudo op on integer arguments."""
+def trunc_div(a: int, b: int) -> int:
+    """C-style integer division: truncate toward zero, exact at any width.
+
+    Implemented purely on integers — ``int(a / b)`` goes through a
+    float and silently loses precision once the quotient exceeds 2**53.
+    """
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def apply_op(op: Op, args: list[int]) -> int:
+    """Evaluate a non-memory, non-pseudo op on integer arguments.
+
+    This function *is* the operator semantics of the package: the
+    sequential interpreter, the cycle-accurate machine and the
+    constant folder all evaluate through it, so they cannot disagree
+    on a single opcode.
+    """
     a = args
     if op is Op.ADD:
         return a[0] + a[1]
@@ -54,11 +81,11 @@ def _apply(op: Op, args: list[int]) -> int:
     if op is Op.DIV:
         if a[1] == 0:
             raise ZeroDivisionError("DFG DIV by zero")
-        return int(a[0] / a[1])  # C-style truncation toward zero
+        return trunc_div(a[0], a[1])  # C-style truncation toward zero
     if op is Op.MOD:
         if a[1] == 0:
             raise ZeroDivisionError("DFG MOD by zero")
-        return a[0] - int(a[0] / a[1]) * a[1]
+        return a[0] - trunc_div(a[0], a[1]) * a[1]  # sign of the dividend
     if op is Op.NEG:
         return -a[0]
     if op is Op.ABS:
@@ -96,6 +123,12 @@ def _apply(op: Op, args: list[int]) -> int:
     if op is Op.ROUTE:
         return a[0]
     raise DFGError(f"cannot interpret op {op}")
+
+
+# Compatibility aliases: the helpers were underscore-private before the
+# conformance harness promoted them to the public surface.
+_apply = apply_op
+_as_series = broadcast_series
 
 
 class DFGInterpreter:
@@ -145,7 +178,7 @@ class DFGInterpreter:
         """
         dfg = self.dfg
         ins = {
-            name: _as_series(v, n_iters, name)
+            name: broadcast_series(v, n_iters, name)
             for name, v in (inputs or {}).items()
         }
         for node in dfg.nodes():

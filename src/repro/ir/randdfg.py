@@ -18,14 +18,26 @@ All generators are deterministic given ``seed``.
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
 from repro.ir.dfg import DFG, Op
 
-__all__ = ["layered", "series_parallel", "with_recurrences"]
+__all__ = ["ALU_POOL", "layered", "series_parallel", "with_recurrences"]
 
 # Binary ops a random interior node may take.
 _BINOPS = [Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.MIN, Op.MAX]
 _UNOPS = [Op.NEG, Op.ABS, Op.NOT]
+
+# The full single-cycle ALU vocabulary (any arity) — what the
+# conformance fuzzer feeds through :func:`layered`'s ``ops=`` hook.
+# DIV/MOD are excluded on purpose: a random denominator hitting zero
+# aborts the reference run, so the differential harness covers them
+# with directed cases instead of noise-prone random ones.
+ALU_POOL = _BINOPS + _UNOPS + [
+    Op.SHL, Op.SHR,
+    Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE,
+    Op.SELECT,
+]
 
 
 def layered(
@@ -35,6 +47,7 @@ def layered(
     max_skip: int = 2,
     seed: int = 0,
     n_inputs: int = 2,
+    ops: Sequence[Op] | None = None,
 ) -> DFG:
     """A layered random DAG with ``n_ops`` compute nodes.
 
@@ -44,6 +57,9 @@ def layered(
         max_skip: edges may span up to this many ranks.
         seed: RNG seed (generation is deterministic).
         n_inputs: number of streaming live-ins.
+        ops: opcode pool interior nodes draw from (uniformly, honouring
+            each opcode's arity).  None keeps the historical mix of 80%
+            binary / 20% unary arithmetic, byte-for-byte.
     """
     if n_ops < 1:
         raise ValueError("n_ops must be >= 1")
@@ -57,7 +73,12 @@ def layered(
         k = min(remaining, rng.randint(1, width))
         rank: list[int] = []
         for _ in range(k):
-            op = rng.choice(_BINOPS if rng.random() < 0.8 else _UNOPS)
+            if ops is not None:
+                op = rng.choice(list(ops))
+            else:
+                op = rng.choice(
+                    _BINOPS if rng.random() < 0.8 else _UNOPS
+                )
             # Pick producers from the previous `max_skip` ranks.
             pool: list[int] = []
             for r in ranks[-max_skip:]:

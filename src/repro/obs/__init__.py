@@ -37,12 +37,15 @@ from repro.obs.tracer import (
     CACHE_MISSES,
     CACHE_VALIDATION_FAILURES,
     CANDIDATES_EXPLORED,
+    CHECK_CASES,
+    CHECK_DIVERGENCES,
     COUNTERS,
     II_ATTEMPTS,
     NULL_SPAN,
     NULL_TRACER,
     NullTracer,
     ROUTING_ATTEMPTS,
+    SHRINK_ROUNDS,
     SOLVER_CLAUSES,
     SOLVER_CONFLICTS,
     SOLVER_DECISIONS,
@@ -60,12 +63,15 @@ __all__ = [
     "CACHE_MISSES",
     "CACHE_VALIDATION_FAILURES",
     "CANDIDATES_EXPLORED",
+    "CHECK_CASES",
+    "CHECK_DIVERGENCES",
     "COUNTERS",
     "II_ATTEMPTS",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
     "ROUTING_ATTEMPTS",
+    "SHRINK_ROUNDS",
     "SOLVER_CLAUSES",
     "SOLVER_CONFLICTS",
     "SOLVER_DECISIONS",

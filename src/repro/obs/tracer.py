@@ -43,6 +43,8 @@ __all__ = [
     "CACHE_MISSES",
     "CACHE_VALIDATION_FAILURES",
     "CANDIDATES_EXPLORED",
+    "CHECK_CASES",
+    "CHECK_DIVERGENCES",
     "COUNTERS",
     "II_ATTEMPTS",
     "NULL_SPAN",
@@ -52,6 +54,7 @@ __all__ = [
     "SOLVER_CLAUSES",
     "SOLVER_CONFLICTS",
     "SOLVER_DECISIONS",
+    "SHRINK_ROUNDS",
     "SOLVER_NODES",
     "SOLVER_RESTARTS",
     "Span",
@@ -76,6 +79,9 @@ SOLVER_RESTARTS = "solver_restarts"          #: CDCL restarts
 CACHE_HITS = "cache_hits"                    #: mapping cache hits
 CACHE_MISSES = "cache_misses"                #: mapping cache misses
 CACHE_VALIDATION_FAILURES = "cache_validation_failures"  #: poisoned entries
+CHECK_CASES = "check_cases"                  #: conformance cases executed
+CHECK_DIVERGENCES = "check_divergences"      #: oracle-chain failures found
+SHRINK_ROUNDS = "shrink_rounds"              #: accepted shrink mutations
 
 COUNTERS = (
     CANDIDATES_EXPLORED,
@@ -90,6 +96,9 @@ COUNTERS = (
     CACHE_HITS,
     CACHE_MISSES,
     CACHE_VALIDATION_FAILURES,
+    CHECK_CASES,
+    CHECK_DIVERGENCES,
+    SHRINK_ROUNDS,
 )
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.ir.dfg import DFG, Op
-from repro.ir.interp import _apply
+from repro.ir.interp import apply_op
 
 __all__ = ["constant_fold"]
 
@@ -50,7 +50,7 @@ def constant_fold(dfg: DFG) -> DFG:
                 if not ok:
                     continue
                 try:
-                    val = _apply(node.op, srcs)
+                    val = apply_op(node.op, srcs)
                 except ZeroDivisionError:
                     continue  # preserve the runtime fault
             else:

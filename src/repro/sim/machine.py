@@ -23,7 +23,7 @@ from typing import Any, Mapping as TMapping, Sequence
 
 from repro.core.mapping import Mapping
 from repro.ir.dfg import DFGError, Op
-from repro.ir.interp import _apply, _as_series
+from repro.ir.interp import apply_op, broadcast_series
 
 __all__ = ["SimResult", "simulate_mapping"]
 
@@ -76,7 +76,7 @@ def simulate_mapping(
     ii = mapping.ii or 1
 
     ins = {
-        name: _as_series(v, n_iters, name)
+        name: broadcast_series(v, n_iters, name)
         for name, v in (inputs or {}).items()
     }
     for node in dfg.nodes():
@@ -165,20 +165,28 @@ def simulate_mapping(
             raise DFGError(
                 "PHI nodes must be lowered before machine simulation"
             )
-        values[(nid, k)] = _apply(node.op, args)
+        values[(nid, k)] = apply_op(node.op, args)
 
     # Collect OUTPUT series (pseudo: read their operand's value).
+    # Mirror operand(): the producer may be a CONST or INPUT pseudo,
+    # which never writes into `values`.
     outputs: dict[str, list[int]] = {}
     for node in dfg.nodes():
         if node.op is not Op.OUTPUT:
             continue
         e = dfg.operand(node.nid, 0)
+        src = dfg.node(e.src)
         series = []
         for k in range(n_iters):
             kk = k - e.dist
-            series.append(
-                init.get(e.src, 0) if kk < 0 else values[(e.src, kk)]
-            )
+            if src.op is Op.CONST:
+                series.append(int(src.value))
+            elif kk < 0:
+                series.append(init.get(e.src, 0))
+            elif src.op is Op.INPUT:
+                series.append(ins[src.name][kk])
+            else:
+                series.append(values[(e.src, kk)])
         outputs[node.name or f"out{node.nid}"] = series
 
     route_events = sum(

@@ -1,0 +1,69 @@
+"""Regression: DIV/MOD lost precision past 2**53.
+
+``apply_op`` used to compute DIV as ``int(a / b)`` — float division —
+so any quotient whose intermediate float exceeded 53 bits of mantissa
+came back rounded, and MOD (derived from that quotient) drifted with
+it.  Found by the conformance fuzzer's large-magnitude input samples;
+fixed by :func:`repro.ir.interp.trunc_div` (pure-integer truncation
+toward zero, the C convention every CGRA datapath implements).
+"""
+
+from repro.arch import presets
+from repro.core.registry import create
+from repro.ir.dfg import DFG, Op
+from repro.ir.interp import apply_op, evaluate, trunc_div
+from repro.sim.machine import simulate_mapping
+
+BIG = (1 << 60) + 1  # int(BIG / 3) == 384307168202282325 != BIG // 3
+
+
+def test_div_exact_beyond_float_mantissa():
+    assert apply_op(Op.DIV, [BIG, 3]) == BIG // 3
+    assert apply_op(Op.DIV, [(1 << 62) - 1, 7]) == ((1 << 62) - 1) // 7
+    # The old float path is provably wrong on this operand pair.
+    assert int(BIG / 3) != BIG // 3
+
+
+def test_mod_exact_beyond_float_mantissa():
+    assert apply_op(Op.MOD, [BIG, 3]) == 2  # 2**60 % 3 == 1, so BIG % 3 == 2
+    assert apply_op(Op.MOD, [(1 << 54) + 5, 1 << 10]) == 5
+
+
+def test_div_mod_truncate_toward_zero():
+    # C semantics, not Python floor semantics.
+    assert apply_op(Op.DIV, [-7, 2]) == -3
+    assert apply_op(Op.DIV, [7, -2]) == -3
+    assert apply_op(Op.DIV, [-7, -2]) == 3
+    assert apply_op(Op.MOD, [-7, 2]) == -1
+    assert apply_op(Op.MOD, [7, -2]) == 1
+    # Invariant: a == b * (a trunc-div b) + (a trunc-mod b).
+    for a in (-9, -1, 0, 5, BIG, -BIG):
+        for b in (-4, -1, 2, 3, 1 << 30):
+            q = apply_op(Op.DIV, [a, b])
+            r = apply_op(Op.MOD, [a, b])
+            assert a == b * q + r
+            assert q == trunc_div(a, b)
+
+
+def test_div_end_to_end_through_interp_and_sim():
+    g = DFG("divmod_big")
+    x = g.input("x")
+    c = g.const(3)
+    q = g.add(Op.DIV, x, c)
+    r = g.add(Op.MOD, x, c)
+    g.output(q, "q")
+    g.output(r, "r")
+    g.check()
+
+    inputs = {"x": [BIG, -BIG, (1 << 58) + 2, 9]}
+    reference = evaluate(g, 4, inputs)
+    assert reference["q"][0] == BIG // 3
+    assert reference["r"][0] == 2
+    assert reference["q"][1] == -(BIG // 3)
+
+    cgra = presets.simple_cgra(4, 4)
+    mapping = create("list_sched", seed=0).map(g, cgra)
+    assert mapping.validate(raise_on_error=False) == []
+    if mapping.kind == "modulo":
+        sim = simulate_mapping(mapping, 4, inputs)
+        assert sim.outputs == reference

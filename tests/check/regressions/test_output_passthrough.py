@@ -1,0 +1,49 @@
+"""Regression: simulator crashed on OUTPUT fed directly by a pseudo.
+
+Found by the conformance shrinker: minimizing an unrelated divergence
+bypassed every compute node, leaving a bare ``input -> output`` graph
+— and ``simulate_mapping`` raised ``KeyError`` collecting the output
+series.  The OUTPUT-collection loop read ``values[(src, k)]``
+unconditionally, but CONST and INPUT producers are pseudos that never
+write into ``values``; only the ``operand()`` helper knew that.  The
+sequential interpreter handled both fine, so this was a pure
+simulator/interpreter divergence.
+"""
+
+from repro.api import map_dfg
+from repro.arch import presets
+from repro.ir.dfg import DFG, Op
+from repro.ir.interp import evaluate
+from repro.sim.machine import simulate_mapping
+
+
+def _check(g: DFG, inputs: dict[str, list[int]]) -> None:
+    g.check()
+    reference = evaluate(g, 4, inputs)
+    mapping = map_dfg(g, presets.simple_cgra(4, 4), mapper="list_sched", seed=0)
+    assert mapping.validate(raise_on_error=False) == []
+    if mapping.kind == "modulo":
+        sim = simulate_mapping(mapping, 4, inputs)
+        assert sim.outputs == reference
+
+
+def test_output_of_input():
+    g = DFG("passthrough")
+    g.output(g.input("x"), "y")
+    _check(g, {"x": [5, 6, 7, 8]})
+
+
+def test_output_of_const():
+    g = DFG("const_out")
+    g.output(g.const(42), "y")
+    _check(g, {})
+
+
+def test_mixed_passthrough_and_compute():
+    g = DFG("mixed")
+    x = g.input("x")
+    c = g.const(-3)
+    g.output(x, "raw")          # pseudo-fed output
+    g.output(c, "k")            # pseudo-fed output
+    g.output(g.add(Op.MUL, x, c), "scaled")  # compute-fed output
+    _check(g, {"x": [1, -2, 9, 0]})

@@ -1,0 +1,55 @@
+"""Regression: cache-replay oracle on ROUTE-split rewrites.
+
+Found by ``repro fuzz`` at seed 364 (series_parallel on hetero4x4 via
+the SAT mapper, cache on).  hetero4x4's route-only checkerboard forces
+the mapper to insert ROUTE nodes, so the produced mapping is over a
+*rewrite* of the caller's graph; the cache declines (by documented
+contract) to store such a mapping, both solves run cold, and no cache
+hit ever happens.  The harness used to treat the missing hit as a
+divergence — the correct invariant is byte-identity of every solve,
+with a hit owed only when a store actually happened.
+"""
+
+from repro.arch import presets
+from repro.cache import cache_disabled, mapping_cache, reset_cache
+from repro.check.metamorphic import cached_replay_difference
+from repro.core.serialize import mapping_to_json
+from repro.api import map_dfg
+from repro.ir import randdfg
+from repro.ir.dfg import Op
+
+
+def _problem():
+    # The shrunk seed-364 case: depth-2 series-parallel block on the
+    # route-only checkerboard.
+    return randdfg.series_parallel(2, seed=364), presets.by_name("hetero4x4")
+
+
+def test_sat_route_splits_on_hetero4x4():
+    dfg, cgra = _problem()
+    with cache_disabled():
+        mapping = map_dfg(dfg, cgra, mapper="sat", seed=364)
+    # The precondition of the whole scenario: a genuine rewrite.
+    assert mapping.dfg is not dfg
+    assert any(n.op is Op.ROUTE for n in mapping.dfg.nodes())
+
+
+def test_route_split_store_is_declined_but_replay_is_pure():
+    reset_cache()
+    dfg, cgra = _problem()
+    with cache_disabled():
+        cold = mapping_to_json(map_dfg(dfg, cgra, mapper="sat", seed=364))
+    with mapping_cache() as cache:
+        first = mapping_to_json(map_dfg(dfg, cgra, mapper="sat", seed=364))
+        warm = mapping_to_json(map_dfg(dfg, cgra, mapper="sat", seed=364))
+        assert cache.stats.stores == 0  # declined by contract
+        assert cache.stats.hits == 0
+    assert first == cold == warm  # the invariant that must hold anyway
+    reset_cache()
+
+
+def test_oracle_accepts_declined_store():
+    reset_cache()
+    dfg, cgra = _problem()
+    assert cached_replay_difference(dfg, cgra, "sat", seed=364) is None
+    reset_cache()

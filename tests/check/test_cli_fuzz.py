@@ -1,0 +1,46 @@
+"""`repro fuzz` CLI: seed specs, sweep exit codes, logs, reproducers."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_seeds, main
+
+
+def test_parse_seeds_specs():
+    assert list(_parse_seeds("0:5")) == [0, 1, 2, 3, 4]
+    assert list(_parse_seeds("7")) == list(range(7))
+    assert list(_parse_seeds("10:12")) == [10, 11]
+
+
+@pytest.mark.parametrize("bad", ["", "5:2", "a:b", "1:1", "-3"])
+def test_parse_seeds_rejects(bad):
+    with pytest.raises(SystemExit):
+        _parse_seeds(bad)
+
+
+def test_fuzz_smoke_exits_clean(capsys):
+    rc = main([
+        "fuzz", "--seeds", "0:4", "--mapper", "list_sched",
+        "--no-shrink", "--oracle-only",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "4 cases" in out
+
+
+def test_fuzz_writes_failure_log(tmp_path, capsys):
+    log = tmp_path / "failures.jsonl"
+    rc = main([
+        "fuzz", "--seeds", "0:3", "--mapper", "list_sched",
+        "--no-shrink", "--oracle-only", "--log", str(log),
+    ])
+    assert rc == 0
+    if log.exists():  # only written when divergences occur
+        for line in log.read_text().splitlines():
+            json.loads(line)
+
+
+def test_fuzz_unknown_mapper_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--seeds", "0:2", "--mapper", "no_such_mapper"])

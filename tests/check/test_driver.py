@@ -1,0 +1,143 @@
+"""The fuzz driver: clean mappers pass, corrupted mappers get caught,
+failures shrink into runnable reproducers."""
+
+import pytest
+
+from repro.check import PINNED, run_case, run_fuzz
+from repro.check.problems import Case, generate_case
+from repro.check.report import dfg_builder_source
+from repro.core import registry
+from repro.ir.dfg import DFG, Op
+
+
+def _case_for(mapper: str, seed: int = 0, **kw) -> Case:
+    return generate_case(seed, [mapper], **kw)
+
+
+def test_clean_case_produces_no_divergence():
+    report = run_case(_case_for("list_sched", seed=2), shrink=False)
+    assert report.ok
+    assert report.cases == 1
+    assert report.mapped + report.unmapped + report.timeouts == 1
+
+
+def test_run_fuzz_aggregates_and_rotates():
+    report = run_fuzz(
+        range(0, 6),
+        mappers=["list_sched", "edge_centric"],
+        shrink=False,
+        metamorphic=False,
+    )
+    assert report.cases == 6
+    assert report.ok
+    assert "6 cases" in report.summary()
+
+
+# ---------------------------------------------------------------------------
+# A deliberately corrupted mapper must be convicted and shrunk.
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def corrupted_list_sched(monkeypatch):
+    """list_sched whose mapping silently computes the wrong values.
+
+    The mapping stays structurally valid (an ADD cell executes SUB just
+    fine), so only the differential oracle can catch it — exactly the
+    bug class the harness exists for.
+    """
+    base = registry.get("list_sched")
+
+    class Corrupted(base):  # type: ignore[misc,valid-type]
+        def _map(self, dfg, cgra, ii):
+            mapping = super()._map(dfg.copy(), cgra, ii)
+            for node in mapping.dfg.nodes():
+                if node.op is Op.ADD:
+                    node.op = Op.SUB
+                    break
+            return mapping
+
+    monkeypatch.setitem(registry._REGISTRY, "list_sched", Corrupted)
+    return "list_sched"
+
+
+def _seed_with_add(mapper: str) -> Case:
+    from repro.check.problems import case_dfg
+
+    for seed in range(0, 200):
+        case = generate_case(seed, [mapper])
+        if any(n.op is Op.ADD for n in case_dfg(case).nodes()):
+            return case
+    raise AssertionError("no seed produced an ADD node")
+
+
+def test_corrupted_mapper_is_convicted(corrupted_list_sched):
+    case = _seed_with_add(corrupted_list_sched)
+    report = run_case(case, shrink=False, metamorphic=False)
+    assert not report.ok
+    phases = {d.phase for d in report.divergences}
+    assert "sim" in phases
+
+
+def test_conviction_shrinks_and_emits_reproducer(corrupted_list_sched):
+    case = _seed_with_add(corrupted_list_sched)
+    report = run_case(case, shrink=True, metamorphic=False)
+    assert not report.ok
+    d = next(d for d in report.divergences if d.phase == "sim")
+    assert d.shrunk_pretty
+    assert d.reproducer
+    # The reproducer must be compilable, self-contained Python whose
+    # builder reconstructs exactly the shrunk graph.
+    namespace: dict = {}
+    exec(compile(d.reproducer, "<reproducer>", "exec"), namespace)
+    rebuilt = namespace["build_dfg"]()
+    assert rebuilt.pretty().splitlines()[1:] == (
+        d.shrunk_pretty.splitlines()[1:]
+    )  # same nodes/edges (name line differs only in graph name)
+    # And smaller than what the generator produced.
+    from repro.check.problems import case_dfg
+
+    assert len(rebuilt) <= len(case_dfg(case))
+
+
+def test_pinned_failures_do_not_fail_the_sweep(
+    corrupted_list_sched, monkeypatch
+):
+    case = _seed_with_add(corrupted_list_sched)
+    monkeypatch.setitem(
+        PINNED, ("list_sched", "sim"), "tracking: synthetic test pin"
+    )
+    report = run_case(case, shrink=False, metamorphic=False)
+    assert report.divergences  # still reported...
+    assert report.ok  # ...but explained
+    assert all(d.pinned for d in report.divergences if d.phase == "sim")
+
+
+def test_crashing_mapper_is_a_divergence(monkeypatch):
+    base = registry.get("list_sched")
+
+    class Crashing(base):  # type: ignore[misc,valid-type]
+        def _map(self, dfg, cgra, ii):
+            raise RuntimeError("kaboom")
+
+    monkeypatch.setitem(registry._REGISTRY, "list_sched", Crashing)
+    report = run_case(
+        _case_for("list_sched", seed=1), shrink=False, metamorphic=False
+    )
+    assert not report.ok
+    assert report.divergences[0].phase == "map-crash"
+    assert "kaboom" in report.divergences[0].detail
+
+
+def test_builder_source_round_trips_carried_edges():
+    g = DFG("carried")
+    x = g.input("x")
+    a = g.add(Op.ADD, x, x)
+    m = g.add(Op.MAX, a, a)
+    e = g.operand(m, 1)
+    g.remove_edge(e)
+    g.connect(a, m, port=1, dist=2)
+    g.output(m, "y")
+    g.check()
+    namespace: dict = {"DFG": DFG, "Op": Op}
+    exec(dfg_builder_source(g), namespace)
+    rebuilt = namespace["g"]
+    assert rebuilt.pretty() == g.pretty()

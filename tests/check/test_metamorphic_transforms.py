@@ -1,0 +1,85 @@
+"""Metamorphic transforms: relabeling, pass pipeline, replay purity."""
+
+import pytest
+
+from repro.arch import presets
+from repro.check.metamorphic import (
+    cached_replay_difference,
+    pipeline_difference,
+    relabel,
+    relabel_difference,
+)
+from repro.ir import kernels, randdfg
+from repro.ir.dfg import Op
+from repro.ir.interp import evaluate
+
+KERNELS = ["vector_add", "dot_product", "if_select", "horner", "fir4"]
+
+
+def _inputs(dfg, n):
+    return {
+        node.name: [(3 * i + 1) % 7 - 3 for i in range(n)]
+        for node in dfg.nodes()
+        if node.op is Op.INPUT
+    }
+
+
+def test_relabel_is_a_permutation():
+    dfg = randdfg.layered(10, seed=1)
+    twin, perm = relabel(dfg, seed=42)
+    assert sorted(perm) == sorted(perm.values()) == dfg.node_ids()
+    assert len(twin) == len(dfg)
+    assert twin.num_edges() == dfg.num_edges()
+    # Node payloads survive the renumbering.
+    for old, new in perm.items():
+        a, b = dfg.node(old), twin.node(new)
+        assert (a.op, a.name, a.value) == (b.op, b.name, b.value)
+
+
+def test_relabel_round_trips():
+    dfg = randdfg.layered(8, seed=2)
+    twin, perm = relabel(dfg, seed=9)
+    back, perm2 = relabel(twin, seed=0)  # any second permutation
+    composed = {old: perm2[new] for old, new in perm.items()}
+    assert sorted(composed) == dfg.node_ids()
+    # Semantics survive arbitrary chained relabelings.
+    ins = _inputs(dfg, 3)
+    assert evaluate(back, 3, ins) == evaluate(dfg, 3, ins)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_relabel_preserves_interpretation_random(seed):
+    dfg = randdfg.layered(9, seed=seed, ops=randdfg.ALU_POOL)
+    assert relabel_difference(dfg, 4, _inputs(dfg, 4), seed=seed) is None
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_relabel_preserves_interpretation_kernels(kernel):
+    dfg = kernels.kernel(kernel)
+    if dfg.memory_ops():
+        pytest.skip("interp needs array contents for memory kernels")
+    assert relabel_difference(dfg, 4, _inputs(dfg, 4), seed=5) is None
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_pipeline_preserves_semantics_kernels(kernel):
+    dfg = kernels.kernel(kernel)
+    if dfg.memory_ops():
+        pytest.skip("interp needs array contents for memory kernels")
+    assert pipeline_difference(dfg, 4, _inputs(dfg, 4)) is None
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_pipeline_preserves_semantics_random(seed):
+    dfg = randdfg.layered(8, seed=seed, ops=randdfg.ALU_POOL)
+    assert pipeline_difference(dfg, 4, _inputs(dfg, 4)) is None
+
+
+def test_cached_replay_is_byte_identical():
+    from repro.cache import reset_cache
+
+    reset_cache()
+    dfg = kernels.dot_product()
+    cgra = presets.simple_cgra(4, 4)
+    assert cached_replay_difference(dfg, cgra, "list_sched") is None
+    reset_cache()

@@ -1,0 +1,96 @@
+"""Case generation: deterministic, well-formed, full coverage."""
+
+import pytest
+
+from repro.check.problems import (
+    DEFAULT_ARCHS,
+    GENERATOR_FAMILIES,
+    case_cgra,
+    case_dfg,
+    case_inputs,
+    generate_case,
+    restrict_inputs,
+)
+from repro.core.registry import names
+from repro.ir.dfg import Op
+
+
+def test_case_is_deterministic():
+    mappers = names()
+    for seed in range(20):
+        a = generate_case(seed, mappers)
+        b = generate_case(seed, mappers)
+        assert a == b
+        assert case_dfg(a).pretty() == case_dfg(b).pretty()
+        assert case_inputs(a, case_dfg(a)) == case_inputs(b, case_dfg(b))
+
+
+def test_seed_range_covers_every_mapper():
+    mappers = names()
+    seen = {
+        generate_case(s, mappers).mapper
+        for s in range(len(mappers) * 2)
+    }
+    assert seen == set(mappers)
+
+
+def test_seed_range_covers_archs_and_families():
+    mappers = names()
+    cases = [generate_case(s, mappers) for s in range(120)]
+    assert {c.arch for c in cases} == set(DEFAULT_ARCHS)
+    assert {c.family for c in cases} == set(GENERATOR_FAMILIES)
+    assert any(c.cache_mode == "on" for c in cases)
+
+
+def test_generated_graphs_are_well_formed():
+    mappers = names()
+    for seed in range(60):
+        case = generate_case(seed, mappers)
+        dfg = case_dfg(case)
+        dfg.check()  # raises on malformation
+        assert dfg.op_count() >= 1
+        inputs = case_inputs(case, dfg)
+        input_names = {
+            n.name for n in dfg.nodes() if n.op is Op.INPUT
+        }
+        assert set(inputs) == input_names
+        for series in inputs.values():
+            assert len(series) == case.n_iters
+
+
+def test_exact_mappers_get_small_instances():
+    # CDCL/B&B solvers must not be handed 12-op graphs.  The budget is
+    # 6 interior ops; layered() may append up to width-1 XOR combiners
+    # to keep every sink live, so the hard ceiling is budget + 3.
+    for seed in range(40):
+        case = generate_case(seed, ["sat"])
+        assert case_dfg(case).op_count() <= 9
+
+
+def test_large_magnitude_samples_appear():
+    mappers = names()
+    big = 0
+    for seed in range(200):
+        case = generate_case(seed, mappers)
+        for series in case_inputs(case, case_dfg(case)).values():
+            big += sum(1 for v in series if abs(v) > (1 << 53))
+    assert big > 0  # the float-precision trap is actually exercised
+
+
+def test_case_cgra_resolves_presets():
+    case = generate_case(0, names())
+    assert case_cgra(case).name.startswith(case.arch[:5])
+
+
+def test_restrict_inputs_drops_removed_names():
+    case = generate_case(3, names())
+    dfg = case_dfg(case)
+    inputs = dict(case_inputs(case, dfg))
+    inputs["ghost"] = [1] * case.n_iters
+    kept = restrict_inputs(inputs, dfg)
+    assert "ghost" not in kept
+
+
+def test_empty_mapper_list_rejected():
+    with pytest.raises(ValueError):
+        generate_case(0, [])

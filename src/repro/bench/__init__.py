@@ -3,9 +3,34 @@
 :func:`run_matrix` sweeps mapper x kernel grids and collects the
 metrics the survey's quality criteria name (II, utilisation, mapping
 time, success); :func:`ascii_table` renders result rows the way the
-paper prints its tables.
+paper prints its tables.  :mod:`repro.bench.history` is the
+perf-regression ledger behind ``repro bench record`` / ``compare``.
 """
 
 from repro.bench.harness import MatrixResult, ascii_table, run_matrix
+from repro.bench.history import (
+    DEFAULT_HISTORY_DIR,
+    DEFAULT_SLICE,
+    append_entry,
+    compare_entries,
+    load_entries,
+    render_comparison,
+    render_entries,
+    run_slice,
+    select_baseline,
+)
 
-__all__ = ["MatrixResult", "ascii_table", "run_matrix"]
+__all__ = [
+    "DEFAULT_HISTORY_DIR",
+    "DEFAULT_SLICE",
+    "MatrixResult",
+    "append_entry",
+    "ascii_table",
+    "compare_entries",
+    "load_entries",
+    "render_comparison",
+    "render_entries",
+    "run_matrix",
+    "run_slice",
+    "select_baseline",
+]

@@ -24,6 +24,7 @@ from repro.core.exceptions import MapFailure
 from repro.core.metrics import metrics_of
 from repro.core.registry import create
 from repro.ir import kernels as kernel_lib
+from repro.obs.metrics import MATRIX_CELLS_TOTAL, get_metrics
 from repro.obs.tracer import Span, Tracer, tracing
 from repro.parallel import TaskTimeout, pmap, time_limit
 
@@ -87,14 +88,20 @@ def _run_cell(
     timeout: float | None = None,
 ) -> MatrixResult:
     """One (mapper, kernel) cell — shared by the serial and pool paths."""
+    get_metrics().counter(MATRIX_CELLS_TOTAL).inc()
     dfg = kernel_lib.kernel(kname)
+    # Built outside the timed region: the first create() of a process
+    # triggers the registry's lazy mapper/solver imports, and an alarm
+    # landing mid-import corrupts the half-imported modules instead of
+    # timing out the cell.  The budget covers the mapping run only.
+    mapper = create(mname, **opts)
     tracer = Tracer() if trace else None
     ctx = tracing(tracer) if trace else nullcontext()
     t0 = time.perf_counter()
     try:
         with ctx:
             with time_limit(timeout):
-                mapping = create(mname, **opts).map(dfg, cgra, ii=ii)
+                mapping = mapper.map(dfg, cgra, ii=ii)
         total_ms = 1000 * (time.perf_counter() - t0)
         met = metrics_of(mapping)
         return MatrixResult(

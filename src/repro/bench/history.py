@@ -1,0 +1,340 @@
+"""The perf-regression ledger: record benchmark runs, diff them later.
+
+A *ledger entry* is one JSON line: the run's provenance manifest
+(:func:`repro.obs.manifest.run_manifest` — git sha, seed, python,
+wall-clock anchor, architecture fingerprint), the median-of-k timing
+of a small fixed slice of (mapper, kernel) cells, and the metrics
+snapshot the slice produced (:mod:`repro.obs.metrics`).  ``repro bench
+record`` appends one entry per architecture file under
+``benchmarks/history/``; ``repro bench compare BASELINE`` re-runs the
+slice and diffs it against a recorded entry.
+
+Comparison is **noise-aware**: timings are medians of ``repeats``
+runs and judged against a per-class relative tolerance plus an
+absolute floor (sub-millisecond cells jitter by large factors), while
+deterministic work counts (counters, histogram event counts, cell II)
+get a tight tolerance — an II regression or a 2x blowup in explored
+candidates is a real regression even when the wall-clock got lucky.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.arch.cgra import CGRA
+from repro.bench.harness import MatrixResult, _run_cell, ascii_table
+from repro.obs.manifest import run_manifest
+from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+__all__ = [
+    "DEFAULT_HISTORY_DIR",
+    "DEFAULT_REPEATS",
+    "DEFAULT_SLICE",
+    "Comparison",
+    "append_entry",
+    "compare_entries",
+    "load_entries",
+    "render_comparison",
+    "render_entries",
+    "run_slice",
+    "select_baseline",
+]
+
+#: Ledger entry schema version (bump on incompatible shape changes).
+ENTRY_SCHEMA = 1
+
+DEFAULT_HISTORY_DIR = os.path.join("benchmarks", "history")
+
+#: The fixed slice: cheap, deterministic cells covering a constructive
+#: heuristic, a routing-aware method, and an annealer — enough signal
+#: to catch a hot-path regression without a minutes-long sweep.
+DEFAULT_SLICE = (
+    ("list_sched", "dot_product"),
+    ("edge_centric", "sobel_x"),
+    ("dresc", "dot_product"),
+)
+
+DEFAULT_REPEATS = 3
+
+#: (relative tolerance, absolute floor) per metric class.  Timings are
+#: noisy — medians still wobble under machine load — so the bar is
+#: high; event counts are deterministic, so it is tight.
+TOLERANCES = {
+    "time": (0.75, 10.0),
+    "count": (0.02, 0.0),
+}
+
+
+def _metric_class(name: str) -> str:
+    return "time" if name.endswith("_ms") or name.endswith("_sum") else "count"
+
+
+# ---------------------------------------------------------------------------
+def run_slice(
+    cgra: CGRA,
+    *,
+    cells: Sequence[tuple[str, str]] = DEFAULT_SLICE,
+    repeats: int = DEFAULT_REPEATS,
+    label: str | None = None,
+) -> dict[str, Any]:
+    """Run the slice and build one (not yet appended) ledger entry.
+
+    Each cell runs ``repeats`` times; the entry records the median
+    mapper wall-clock per cell, and the metrics snapshot of the whole
+    slice (every repeat counted — comparisons normalise by
+    ``repeats``).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    registry = MetricsRegistry()
+    rows: list[dict[str, Any]] = []
+    with metrics_scope(registry):
+        for mname, kname in cells:
+            runs: list[MatrixResult] = [
+                _run_cell(mname, kname, cgra, None, {}, False)
+                for _ in range(repeats)
+            ]
+            times = sorted(r.time_ms for r in runs)
+            rep = runs[0]
+            rows.append(
+                {
+                    "mapper": mname,
+                    "kernel": kname,
+                    "ok": all(r.ok for r in runs),
+                    "ii": rep.ii,
+                    "time_ms": round(statistics.median(times), 3),
+                    "time_ms_min": round(times[0], 3),
+                }
+            )
+    entry: dict[str, Any] = {
+        "schema": ENTRY_SCHEMA,
+        "manifest": run_manifest(cgra=cgra, label=label),
+        "repeats": repeats,
+        "cells": rows,
+        "metrics": registry.snapshot(),
+    }
+    return entry
+
+
+# ---------------------------------------------------------------------------
+def append_entry(entry: dict[str, Any], path: str) -> None:
+    """Append one entry to the JSONL ledger at ``path`` (dirs created)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_entries(path: str) -> list[dict[str, Any]]:
+    """All ledger entries at ``path`` (oldest first; [] when absent)."""
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def select_baseline(
+    entries: Sequence[dict[str, Any]], spec: str = "last"
+) -> dict[str, Any]:
+    """Pick a baseline entry: ``"last"``, an integer index (negative
+    counts from the end), or a git-sha prefix (newest match wins)."""
+    if not entries:
+        raise ValueError("ledger is empty — run `repro bench record` first")
+    if spec == "last":
+        return entries[-1]
+    try:
+        return entries[int(spec)]
+    except (ValueError, IndexError) as ex:
+        if isinstance(ex, IndexError):
+            raise ValueError(
+                f"ledger has {len(entries)} entries, no index {spec}"
+            ) from None
+    for entry in reversed(entries):
+        sha = (entry.get("manifest") or {}).get("git_sha") or ""
+        if sha.startswith(spec):
+            return entry
+    raise ValueError(f"no ledger entry with git sha prefix {spec!r}")
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class Comparison:
+    """One compared quantity; ``regressed`` drives the exit code."""
+
+    metric: str
+    cls: str  #: tolerance class, "time" or "count"
+    base: float
+    new: float
+    regressed: bool
+
+    @property
+    def delta_pct(self) -> float:
+        if self.base == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return 100.0 * (self.new - self.base) / self.base
+
+    def row(self) -> dict[str, Any]:
+        pct = self.delta_pct
+        return {
+            "metric": self.metric,
+            "class": self.cls,
+            "base": round(self.base, 3),
+            "new": round(self.new, 3),
+            "delta": "inf" if pct == float("inf") else f"{pct:+.1f}%",
+            "verdict": "REGRESSED" if self.regressed else "ok",
+        }
+
+
+def _exceeds(new: float, base: float, tol: tuple[float, float]) -> bool:
+    rtol, atol = tol
+    return new > base * (1.0 + rtol) + atol
+
+
+def _flat_metrics(
+    metrics: dict[str, Any], repeats: int
+) -> dict[str, tuple[str, float]]:
+    """Snapshot -> {flat name: (class, per-repeat value)} for diffing.
+
+    Counters and histogram event counts are deterministic per repeat;
+    histogram sums of ``*_ms`` metrics are timings.  Gauges are
+    point-in-time readings, not work, and are skipped.
+    """
+    flat: dict[str, tuple[str, float]] = {}
+    scale = 1.0 / max(1, repeats)
+    for name, data in (metrics or {}).items():
+        kind = data.get("type")
+        if kind == "counter":
+            flat[name] = (_metric_class(name), data["value"] * scale)
+        elif kind == "histogram":
+            flat[f"{name}.count"] = ("count", data["count"] * scale)
+            flat[f"{name}.sum"] = (
+                _metric_class(f"{name}_sum" if not name.endswith("_ms") else name),
+                data["sum"] * scale,
+            )
+    return flat
+
+
+def compare_entries(
+    base: dict[str, Any],
+    new: dict[str, Any],
+    *,
+    tolerances: dict[str, tuple[float, float]] | None = None,
+) -> list[Comparison]:
+    """Diff two ledger entries; returns one :class:`Comparison` per
+    quantity, regressions flagged per the class tolerances.
+
+    Compared: per-cell median time (time class), per-cell II and
+    success (exact — a lost mapping or a worse II always regresses),
+    and the per-repeat metric totals (count class, except ``*_ms``
+    histogram sums).  Cells or metrics present on only one side are
+    reported with the other side as 0.
+    """
+    tol = dict(TOLERANCES)
+    tol.update(tolerances or {})
+    out: list[Comparison] = []
+
+    base_cells = {
+        (c["mapper"], c["kernel"]): c for c in base.get("cells", [])
+    }
+    new_cells = {
+        (c["mapper"], c["kernel"]): c for c in new.get("cells", [])
+    }
+    for key in sorted(base_cells.keys() | new_cells.keys()):
+        b, n = base_cells.get(key), new_cells.get(key)
+        cell = f"{key[0]}/{key[1]}"
+        if b is None or n is None:
+            out.append(
+                Comparison(
+                    f"{cell}.present", "count",
+                    float(b is not None), float(n is not None),
+                    regressed=n is None,
+                )
+            )
+            continue
+        out.append(
+            Comparison(
+                f"{cell}.ok", "count",
+                float(b["ok"]), float(n["ok"]),
+                regressed=bool(b["ok"]) and not n["ok"],
+            )
+        )
+        if b.get("ii") is not None or n.get("ii") is not None:
+            bii = float(b.get("ii") or 0)
+            nii = float(n.get("ii") or 0)
+            out.append(
+                Comparison(
+                    f"{cell}.ii", "count", bii, nii,
+                    regressed=nii > bii,
+                )
+            )
+        out.append(
+            Comparison(
+                f"{cell}.time_ms", "time",
+                b["time_ms"], n["time_ms"],
+                regressed=_exceeds(n["time_ms"], b["time_ms"], tol["time"]),
+            )
+        )
+
+    base_flat = _flat_metrics(base.get("metrics"), base.get("repeats", 1))
+    new_flat = _flat_metrics(new.get("metrics"), new.get("repeats", 1))
+    for name in sorted(base_flat.keys() | new_flat.keys()):
+        cls, bval = base_flat.get(name, (None, 0.0))
+        ncls, nval = new_flat.get(name, (None, 0.0))
+        cls = cls or ncls or "count"
+        out.append(
+            Comparison(
+                name, cls, bval, nval,
+                regressed=_exceeds(nval, bval, tol[cls]),
+            )
+        )
+    return out
+
+
+def render_comparison(
+    comparisons: Iterable[Comparison], *, all_rows: bool = False
+) -> str:
+    """ASCII report; by default only regressions plus a one-line tally."""
+    comparisons = list(comparisons)
+    regressed = [c for c in comparisons if c.regressed]
+    shown = comparisons if all_rows else regressed
+    parts = []
+    if shown:
+        parts.append(
+            ascii_table([c.row() for c in shown], title="bench compare")
+        )
+    parts.append(
+        f"{len(regressed)} regression(s) across"
+        f" {len(comparisons)} compared quantities"
+    )
+    return "\n".join(parts)
+
+
+def render_entries(entries: Sequence[dict[str, Any]]) -> str:
+    """One ledger line per entry: index, sha, time, slice summary."""
+    rows = []
+    for i, entry in enumerate(entries):
+        manifest = entry.get("manifest") or {}
+        cells = entry.get("cells", [])
+        total = sum(c.get("time_ms", 0.0) for c in cells)
+        rows.append(
+            {
+                "idx": i,
+                "git_sha": (manifest.get("git_sha") or "?")[:12],
+                "unix_time": int(manifest.get("unix_time") or 0),
+                "label": manifest.get("label") or "",
+                "cells": len(cells),
+                "ok": sum(1 for c in cells if c.get("ok")),
+                "total_ms": round(total, 1),
+            }
+        )
+    return ascii_table(rows, title="bench history")

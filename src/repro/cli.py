@@ -18,12 +18,19 @@ a tool::
     python -m repro fuzz --seeds 0:200 --jobs 4 --timeout 15
     python -m repro fuzz --seeds 0:50 --mapper sat --arch hetero4x4 \\
                          --log failures.jsonl --emit-dir repros/
+    python -m repro bench record --note "before refactor"
+    python -m repro bench compare last
 
 Every subcommand prints plain text and exits non-zero on failure, so
 the CLI scripts cleanly.  ``--profile`` prints the per-phase
-time/counter breakdown recorded by :mod:`repro.obs`; ``--trace FILE``
-writes the same spans as JSONL.  ``-v``/``--verbose`` turns on DEBUG
-logging for the ``repro.*`` hierarchy (WARNING otherwise).
+time/counter breakdown recorded by :mod:`repro.obs` (plus ASCII
+convergence plots when the run emitted progress series); ``--trace
+FILE`` writes the spans as JSONL with a provenance manifest on line 0;
+``--metrics`` collects process metrics and prints the Prometheus text
+exposition.  ``bench record``/``bench compare`` drive the
+perf-regression ledger (:mod:`repro.bench.history`).  ``-v``/
+``--verbose`` turns on DEBUG logging for the ``repro.*`` hierarchy
+(WARNING otherwise).
 
 Kernel, architecture, and mapper names resolve leniently: exact name
 first, then case/underscore-insensitive, then unique prefix (the
@@ -125,7 +132,27 @@ def _write_trace(source, path: str) -> str:
         n = write_jsonl(source, path)
     except OSError as ex:
         raise SystemExit(f"error: cannot write trace {path!r}: {ex}")
-    return f"trace: wrote {n} spans to {path}"
+    return f"trace: wrote {n} records to {path}"
+
+
+def _metrics_context(args):
+    """A ``metrics_scope()`` context when ``--metrics`` asks for it."""
+    from repro.obs import metrics_scope
+
+    if getattr(args, "metrics", False):
+        return metrics_scope()
+    return nullcontext()
+
+
+def _emit_metrics(registry) -> None:
+    """Print the Prometheus exposition of a collected registry."""
+    if registry is None:
+        return
+    from repro.obs import render_prometheus
+
+    text = render_prometheus(registry)
+    if text:
+        print("\n" + text)
 
 
 def _cache_option(args):
@@ -196,7 +223,7 @@ def _cmd_map(args) -> int:
     tracer = None
     with _obs_context(args) as ctx, cache_scope(
         _cache_option(args)
-    ) as cache:
+    ) as cache, _metrics_context(args) as reg:
         if ctx is not None:
             tracer = ctx
         try:
@@ -215,6 +242,7 @@ def _cmd_map(args) -> int:
         except MapFailure as ex:
             print(f"mapping failed: {ex}", file=sys.stderr)
             _emit_obs(args, tracer)
+            _emit_metrics(reg)
             return 1
     print(mapping.describe())
     print(f"\nmetrics: {metrics_of(mapping).row()}")
@@ -224,6 +252,7 @@ def _cmd_map(args) -> int:
         print("\n" + render_contexts(mapping))
     _emit_cache_stats(cache)
     _emit_obs(args, tracer)
+    _emit_metrics(reg)
     return 0
 
 
@@ -237,7 +266,9 @@ def _cmd_compare(args) -> int:
     kernels = [_resolve_kernel(k) for k in args.kernels.split(",")]
     cgra = presets.by_name(arch)
     want_obs = bool(args.trace or args.profile)
-    with cache_scope(_cache_option(args)) as cache:
+    with cache_scope(_cache_option(args)) as cache, _metrics_context(
+        args
+    ) as reg:
         results = run_matrix(
             mappers, kernels, cgra, trace=want_obs,
             jobs=args.jobs, timeout=args.timeout,
@@ -252,7 +283,7 @@ def _cmd_compare(args) -> int:
     if want_obs:
         roots = [r.trace for r in results if r.trace is not None]
         if args.profile:
-            from repro.obs import render_summary
+            from repro.obs import render_convergence, render_summary
 
             print()
             print(
@@ -260,8 +291,13 @@ def _cmd_compare(args) -> int:
                     roots, title="per-phase summary (all cells)"
                 )
             )
+            convergence = render_convergence(roots)
+            if convergence:
+                print()
+                print(convergence)
         if args.trace:
             print("\n" + _write_trace(roots, args.trace))
+    _emit_metrics(reg)
     return 0 if all(r.ok for r in results) else 1
 
 
@@ -413,7 +449,7 @@ def _cmd_dse(args) -> int:
     tracer = None
     with _obs_context(args) as ctx, cache_scope(
         _cache_option(args)
-    ) as cache:
+    ) as cache, _metrics_context(args) as reg:
         if ctx is not None:
             tracer = ctx
         points = explore(
@@ -435,6 +471,60 @@ def _cmd_dse(args) -> int:
     for p in pareto_front(points):
         print(f"  {p.label():30s} perf={p.performance:.3f} cost={p.cost:.0f}")
     _emit_obs(args, tracer)
+    _emit_metrics(reg)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.arch import presets
+    from repro.bench import history
+
+    arch = _resolve_arch(args.arch)
+    path = os.path.join(args.history_dir, f"{arch}.jsonl")
+    if args.action == "list":
+        entries = history.load_entries(path)
+        if not entries:
+            print(f"no ledger at {path}", file=sys.stderr)
+            return 1
+        print(history.render_entries(entries))
+        return 0
+
+    cgra = presets.by_name(arch)
+    if args.action == "record":
+        entry = history.run_slice(
+            cgra, repeats=args.repeats, label=args.note
+        )
+        history.append_entry(entry, path)
+        print(history.render_entries(history.load_entries(path)))
+        print(f"\nrecorded entry -> {path}")
+        return 0
+
+    # compare: fresh slice vs a recorded baseline.
+    try:
+        base = history.select_baseline(
+            history.load_entries(path), args.baseline
+        )
+    except ValueError as ex:
+        print(f"error: {ex}", file=sys.stderr)
+        return 2
+    fresh = history.run_slice(cgra, repeats=args.repeats)
+    tolerances = {}
+    if args.time_tolerance is not None:
+        tolerances["time"] = (
+            args.time_tolerance, history.TOLERANCES["time"][1]
+        )
+    if args.count_tolerance is not None:
+        tolerances["count"] = (
+            args.count_tolerance, history.TOLERANCES["count"][1]
+        )
+    comparisons = history.compare_entries(
+        base, fresh, tolerances=tolerances
+    )
+    print(history.render_comparison(comparisons, all_rows=args.all))
+    if any(c.regressed for c in comparisons) and not args.warn_only:
+        return 3
     return 0
 
 
@@ -472,7 +562,12 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--profile", action="store_true",
-        help="print the per-phase time/counter breakdown",
+        help="print the per-phase time/counter breakdown and"
+             " convergence plots",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect process metrics; print the Prometheus exposition",
     )
 
 
@@ -570,6 +665,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "bench",
+        help="perf-regression ledger: record runs, diff against them",
+    )
+    p.add_argument("action", choices=["record", "compare", "list"])
+    p.add_argument(
+        "baseline", nargs="?", default="last",
+        help="for compare: 'last' (default), an entry index, or a"
+             " git-sha prefix",
+    )
+    p.add_argument("--arch", default="simple4x4")
+    p.add_argument(
+        "--history-dir", metavar="DIR",
+        default="benchmarks/history",
+        help="ledger directory (one JSONL file per architecture)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, metavar="K",
+        help="runs per cell; the ledger records the median (default 3)",
+    )
+    p.add_argument(
+        "--note", default=None, metavar="TEXT",
+        help="label stored in the recorded entry's manifest",
+    )
+    p.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI soft mode)",
+    )
+    p.add_argument(
+        "--all", action="store_true",
+        help="show every compared quantity, not just regressions",
+    )
+    p.add_argument(
+        "--time-tolerance", type=float, default=None, metavar="RTOL",
+        help="relative tolerance for timing metrics (default 0.75)",
+    )
+    p.add_argument(
+        "--count-tolerance", type=float, default=None, metavar="RTOL",
+        help="relative tolerance for work counts (default 0.02)",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("table1", help="regenerate the survey's Table I")
     p.set_defaults(fn=_cmd_table1)

@@ -25,6 +25,12 @@ from repro.core.exceptions import MapFailure
 from repro.core.mapping import Mapping
 from repro.core.problem import MappingProblem
 from repro.ir.dfg import DFG
+from repro.obs.metrics import (
+    MAP_FAILURES_TOTAL,
+    MAP_LATENCY_MS,
+    MAPS_TOTAL,
+    get_metrics,
+)
 from repro.obs.tracer import II_ATTEMPTS, Tracer, get_tracer
 
 __all__ = ["Mapper", "MapperInfo"]
@@ -110,29 +116,38 @@ class Mapper(abc.ABC):
 
         dfg.check()
         tracer = get_tracer()
+        metrics = get_metrics()
         cache = get_cache()
         t0 = time.perf_counter()
         key = None
-        with tracer.span(
-            "map", mapper=self.info.name, dfg=dfg.name, cgra=cgra.name
-        ) as root:
-            if cache is not None:
-                key = cache.key(
-                    dfg, cgra, mapper=self.info.name, seed=self.seed,
-                    ii=ii, token=self.cache_token(),
-                )
-                with tracer.span("cache_lookup", key=key):
-                    hit = cache.get(key, dfg, cgra)
-                if hit is not None:
-                    hit.mapper = self.info.name
-                    hit.map_time = time.perf_counter() - t0
-                    if tracer.enabled:
-                        root.tag(
-                            ii=hit.ii, kind=hit.kind, cached=True
+        try:
+            with tracer.span(
+                "map", mapper=self.info.name, dfg=dfg.name, cgra=cgra.name
+            ) as root:
+                if cache is not None:
+                    key = cache.key(
+                        dfg, cgra, mapper=self.info.name, seed=self.seed,
+                        ii=ii, token=self.cache_token(),
+                    )
+                    with tracer.span("cache_lookup", key=key):
+                        hit = cache.get(key, dfg, cgra)
+                    if hit is not None:
+                        hit.mapper = self.info.name
+                        hit.map_time = time.perf_counter() - t0
+                        if tracer.enabled:
+                            root.tag(
+                                ii=hit.ii, kind=hit.kind, cached=True
+                            )
+                            hit.trace = root
+                        metrics.counter(MAPS_TOTAL).inc()
+                        metrics.histogram(MAP_LATENCY_MS).observe(
+                            1000 * hit.map_time
                         )
-                        hit.trace = root
-                    return hit
-            mapping = self._map(dfg, cgra, ii)
+                        return hit
+                mapping = self._map(dfg, cgra, ii)
+        except MapFailure:
+            metrics.counter(MAP_FAILURES_TOTAL).inc()
+            raise
         mapping.mapper = self.info.name
         mapping.map_time = time.perf_counter() - t0
         if tracer.enabled:
@@ -140,6 +155,10 @@ class Mapper(abc.ABC):
             mapping.trace = root
         if cache is not None:
             cache.put(key, mapping)
+        metrics.counter(MAPS_TOTAL).inc()
+        metrics.histogram(MAP_LATENCY_MS).observe(
+            1000 * mapping.map_time
+        )
         return mapping
 
     @abc.abstractmethod

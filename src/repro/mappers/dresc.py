@@ -137,6 +137,8 @@ class DRESCMapper(Mapper):
         window = self.window if self.window is not None else 2 * ii + 2
         nodes = list(state.binding)
         cost = self._cost(state)
+        best = cost
+        tracer.progress("dresc.best_cost", best)
         temp = self.t_start
         # Rejected moves roll back through the delta-undo journal —
         # rerouted edges may claim the vacated slot, so "move back" is
@@ -165,6 +167,9 @@ class DRESCMapper(Mapper):
                 if delta <= 0 or rng.random() < math.exp(-delta / temp):
                     cost = new_cost
                     state.commit()
+                    if cost < best:
+                        best = cost
+                        tracer.progress("dresc.best_cost", best)
                 else:
                     tracer.count(BACKTRACKS)
                     state.undo_to(start)

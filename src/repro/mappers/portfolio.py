@@ -147,18 +147,26 @@ class PortfolioMapper(Mapper):
     ) -> Mapping:
         """Entrants in priority order, in-process, under the caller's
         tracer (spans nest naturally)."""
+        tracer = get_tracer()
         finished: list[tuple[int, Mapping]] = []
+        best_ii: int | None = None
         for idx, mname in enumerate(self.mappers):
+            # Construction stays off the clock — the entrant's budget
+            # covers its mapping run, not the registry's lazy imports.
+            entrant = create(mname, seed=self.seed)
             try:
                 with time_limit(self.timeout):
-                    mapping = create(mname, seed=self.seed).map(
-                        dfg, cgra, ii=ii
-                    )
+                    mapping = entrant.map(dfg, cgra, ii=ii)
             except (MapFailure, TaskTimeout) as ex:
                 _log.debug("portfolio: %s lost: %s", mname, ex)
                 continue
+            if mapping.ii is not None and (
+                best_ii is None or mapping.ii < best_ii
+            ):
+                best_ii = mapping.ii
+                tracer.progress("portfolio.best_ii", best_ii)
             if self.policy == "first":
-                get_tracer().tag(winner=mname)
+                tracer.tag(winner=mname)
                 return mapping
             finished.append((idx, mapping))
         best = self._pick_best(finished)
@@ -214,6 +222,8 @@ class PortfolioMapper(Mapper):
             )
         # Graft the winner's worker-side trace under our root span so
         # --profile sees inside the child process.
+        if winner.ii is not None:
+            tracer.progress("portfolio.best_ii", winner.ii)
         if tracer.enabled:
             tracer.tag(winner=winner.mapper)
             if winner.trace is not None and tracer.current is not None:

@@ -25,6 +25,7 @@ from repro.mappers.spatial_common import (
     route_spatial,
     spatial_cost,
 )
+from repro.obs.tracer import get_tracer
 
 __all__ = ["QEAMapper"]
 
@@ -115,6 +116,7 @@ class QEAMapper(Mapper):
             seen[key] = cost
             return cost
 
+        tracer = get_tracer()
         best: tuple[float, dict[int, int]] | None = None
         for gen in range(self.generations):
             for _ in range(self.observations):
@@ -124,6 +126,7 @@ class QEAMapper(Mapper):
                 f = fitness(b)
                 if best is None or f < best[0]:
                     best = (f, dict(b))
+                    tracer.progress("qea.best_fitness", f)
             if best is None:
                 continue
             if best[0] == 0.0:

@@ -97,6 +97,8 @@ class SimulatedAnnealingSpatialMapper(Mapper):
             return total
 
         used = set(binding.values())
+        best = cost
+        tracer.progress("sa_spatial.best_cost", best)
         temp = self.t_start
         while temp > self.t_end:
             for _ in range(self.moves_per_temp):
@@ -124,6 +126,9 @@ class SimulatedAnnealingSpatialMapper(Mapper):
                     if swap_with is None:
                         used.discard(old_cell)
                         used.add(target)
+                    if cost < best:
+                        best = cost
+                        tracer.progress("sa_spatial.best_cost", best)
                 else:  # revert
                     tracer.count(BACKTRACKS)
                     binding[nid] = old_cell

@@ -1,17 +1,30 @@
 """JSONL trace export / import.
 
-One span per line, pre-order, with explicit ``id``/``parent``/``depth``
-so a trace survives as a flat stream (greppable, appendable, loadable
-by any JSONL reader) yet rebuilds into the original span tree.
+One record per line.  Line 0 is normally a **manifest** — the
+provenance header (:func:`repro.obs.manifest.run_manifest`) carrying a
+wall-clock anchor, git sha, python/platform, and (when known) problem
+fingerprints — followed by one span record per span, pre-order, with
+explicit ``id``/``parent``/``depth`` so a trace survives as a flat
+stream (greppable, appendable, loadable by any JSONL reader) yet
+rebuilds into the original span tree.  Counters recorded while no span
+was open are emitted as one trailing synthetic record, so nothing the
+tracer saw is dropped from the export.
 
-Record shape::
+Record shapes::
 
+    {"type": "manifest", "format": 2, "unix_time": ..., "perf_anchor":
+     ..., "git_sha": ..., ...}
     {"id": 0, "parent": null, "depth": 0, "name": "map",
      "start": 12.345, "end": 12.456, "dur_ms": 111.0,
-     "tags": {"mapper": "dresc"}, "counters": {"ii_attempts": 3}}
+     "tags": {"mapper": "dresc"}, "counters": {"ii_attempts": 3},
+     "progress": {"dresc.best_cost": {"name": ..., "samples": ...}}}
+    {"type": "counters", "counters": {"check_cases": 7}}
 
-``start``/``end`` are ``time.perf_counter`` readings — meaningful as
-differences within one trace, not as absolute timestamps.
+``start``/``end`` are ``time.perf_counter`` readings; the manifest's
+``perf_anchor``/``unix_time`` pair converts them to absolute time
+(``unix_time + reading - perf_anchor``).  Readers accept files with
+*or* without the header — format-1 traces (bare span records) keep
+loading.
 """
 
 from __future__ import annotations
@@ -19,12 +32,16 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable, Sequence
 
+from repro.obs.manifest import run_manifest
+from repro.obs.progress import ProgressSeries
 from repro.obs.tracer import Span, Tracer
 
 __all__ = [
+    "manifest_of",
     "read_jsonl",
     "spans_from_records",
     "to_records",
+    "untraced_counters_of",
     "write_jsonl",
 ]
 
@@ -39,37 +56,62 @@ def _roots_of(source: Tracer | Span | Sequence[Span]) -> list[Span]:
 
 
 def to_records(source: Tracer | Span | Sequence[Span]) -> list[dict[str, Any]]:
-    """Flatten a tracer / span tree / list of roots into JSONL records."""
+    """Flatten a tracer / span tree / list of roots into JSONL records.
+
+    Span records come first (pre-order, ``id``/``parent`` linked); a
+    tracer's loose counters — recorded while no span was open — follow
+    as one ``{"type": "counters"}`` record so they survive the export.
+    """
     records: list[dict[str, Any]] = []
 
     def emit(span: Span, parent: int | None, depth: int) -> None:
         sid = len(records)
-        records.append(
-            {
-                "id": sid,
-                "parent": parent,
-                "depth": depth,
-                "name": span.name,
-                "start": span.t_start,
-                "end": span.t_end,
-                "dur_ms": round(span.dur_ms, 3),
-                "tags": dict(span.tags),
-                "counters": dict(span.counters),
+        rec = {
+            "id": sid,
+            "parent": parent,
+            "depth": depth,
+            "name": span.name,
+            "start": span.t_start,
+            "end": span.t_end,
+            "dur_ms": round(span.dur_ms, 3),
+            "tags": dict(span.tags),
+            "counters": dict(span.counters),
+        }
+        if span.progress:
+            rec["progress"] = {
+                name: series.to_dict()
+                for name, series in sorted(span.progress.items())
             }
-        )
+        records.append(rec)
         for child in span.children:
             emit(child, sid, depth + 1)
 
     for root in _roots_of(source):
         emit(root, None, 0)
+    loose = dict(getattr(source, "counters", None) or {})
+    if loose:
+        records.append({"type": "counters", "counters": loose})
     return records
 
 
 def write_jsonl(
-    source: Tracer | Span | Sequence[Span], path: str
+    source: Tracer | Span | Sequence[Span],
+    path: str,
+    *,
+    manifest: dict[str, Any] | bool = True,
 ) -> int:
-    """Write every span of ``source`` to ``path``; returns the span count."""
+    """Write ``source`` to ``path``; returns the record count.
+
+    ``manifest=True`` (default) writes a freshly built provenance
+    header as line 0; pass a dict to use a caller-built manifest (one
+    with problem fingerprints, say), or ``False`` to write a bare
+    format-1 trace.
+    """
     records = to_records(source)
+    if manifest is True:
+        records.insert(0, run_manifest())
+    elif manifest:
+        records.insert(0, manifest)
     with open(path, "w") as fh:
         for rec in records:
             fh.write(json.dumps(rec, sort_keys=True) + "\n")
@@ -87,15 +129,49 @@ def read_jsonl(path: str) -> list[dict[str, Any]]:
     return records
 
 
+def manifest_of(
+    records: Iterable[dict[str, Any]]
+) -> dict[str, Any] | None:
+    """The provenance header of a record stream, or None (format 1)."""
+    for rec in records:
+        if rec.get("type") == "manifest":
+            return rec
+    return None
+
+
+def untraced_counters_of(
+    records: Iterable[dict[str, Any]]
+) -> dict[str, int]:
+    """Counters recorded outside any span, folded over the stream."""
+    out: dict[str, int] = {}
+    for rec in records:
+        if rec.get("type") == "counters":
+            for name, n in (rec.get("counters") or {}).items():
+                out[name] = out.get(name, 0) + n
+    return out
+
+
 def spans_from_records(records: Iterable[dict[str, Any]]) -> list[Span]:
-    """Rebuild the span forest from flat records; returns the roots."""
+    """Rebuild the span forest from flat records; returns the roots.
+
+    Non-span records — the manifest header, untraced-counter records,
+    any future typed record — are skipped, so format-1 and format-2
+    files both round-trip.
+    """
     by_id: dict[int, Span] = {}
     roots: list[Span] = []
     for rec in records:
+        if rec.get("type") not in (None, "span") or "name" not in rec:
+            continue
         span = Span(rec["name"], rec.get("tags") or {})
         span.counters = dict(rec.get("counters") or {})
         span.t_start = float(rec.get("start", 0.0))
         span.t_end = float(rec.get("end", 0.0))
+        if rec.get("progress"):
+            span.progress = {
+                name: ProgressSeries.from_dict(data)
+                for name, data in rec["progress"].items()
+            }
         by_id[rec["id"]] = span
         parent = rec.get("parent")
         if parent is None:

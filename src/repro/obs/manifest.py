@@ -1,0 +1,112 @@
+"""Run manifests: the provenance header of every traced run.
+
+A trace whose timestamps are raw ``perf_counter`` readings is only
+meaningful to the process that wrote it; a benchmark number without
+the git revision, seed, and architecture that produced it cannot gate
+a regression.  :func:`run_manifest` assembles the provenance record
+that fixes both:
+
+* **wall-clock anchor** — ``unix_time`` (``time.time()``) captured at
+  the same instant as ``perf_anchor`` (``time.perf_counter()``), so
+  any perf-counter reading in the same process converts to an
+  absolute timestamp: ``unix_time + (reading - perf_anchor)``;
+* **code provenance** — package version and git revision (best
+  effort: absent outside a checkout);
+* **environment** — python version, platform, machine;
+* **problem identity** — the isomorphism-invariant DFG and
+  architecture fingerprints from :mod:`repro.cache.fingerprint`, when
+  a problem is in scope.
+
+The manifest is line 0 of trace JSONL files
+(:func:`repro.obs.export.write_jsonl`) and is embedded in every
+perf-ledger entry (:mod:`repro.bench.history`).  The record carries
+``{"type": "manifest", "format": TRACE_FORMAT}``; readers must treat
+files *without* a header as format 1 (pre-manifest) and keep parsing.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import time
+from typing import Any
+
+from repro._version import __version__
+
+__all__ = ["TRACE_FORMAT", "git_revision", "run_manifest"]
+
+#: Trace JSONL schema version.  1 = bare span records (PR 1);
+#: 2 = manifest header + typed non-span records (this module).
+TRACE_FORMAT = 2
+
+_GIT_UNSET = "\0unset"
+_git_sha: str | None = _GIT_UNSET  # type: ignore[assignment]
+
+
+def git_revision() -> str | None:
+    """The current checkout's HEAD sha, or None outside a repo.
+
+    Cached per process — provenance does not change mid-run, and the
+    subprocess is too slow for per-trace use otherwise.
+    """
+    global _git_sha
+    if _git_sha != _GIT_UNSET:
+        return _git_sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+        _git_sha = out.stdout.strip() if out.returncode == 0 else None
+    except (OSError, subprocess.SubprocessError):
+        _git_sha = None
+    return _git_sha
+
+
+def run_manifest(
+    *,
+    dfg: Any = None,
+    cgra: Any = None,
+    seed: int | None = None,
+    label: str | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build the provenance record for one run.
+
+    ``dfg``/``cgra`` add content-addressed problem fingerprints (the
+    same digests the mapping cache keys on, so a ledger entry and a
+    cache entry for the same problem agree by construction).
+    """
+    rec: dict[str, Any] = {
+        "type": "manifest",
+        "format": TRACE_FORMAT,
+        "unix_time": time.time(),
+        "perf_anchor": time.perf_counter(),
+        "version": __version__,
+        "git_sha": git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+    if seed is not None:
+        rec["seed"] = seed
+    if label is not None:
+        rec["label"] = label
+    if dfg is not None:
+        # Imported lazily: repro.cache pulls in repro.core, which
+        # imports repro.obs — a module-level import would be circular.
+        from repro.cache.fingerprint import dfg_fingerprint
+
+        rec["dfg"] = getattr(dfg, "name", None)
+        rec["dfg_fingerprint"] = dfg_fingerprint(dfg)
+    if cgra is not None:
+        from repro.cache.fingerprint import arch_fingerprint
+
+        rec["arch"] = getattr(cgra, "name", None)
+        rec["arch_fingerprint"] = arch_fingerprint(cgra)
+    if extra:
+        for key, value in extra.items():
+            rec.setdefault(key, value)
+    return rec

@@ -1,0 +1,109 @@
+"""Convergence telemetry: thinned time-series of search progress.
+
+The exact-method papers the repo reproduces (SAT-MapIt, Tirelli et
+al.'s SAT-based exact modulo scheduling) report *convergence data* —
+conflicts, restarts, time-to-best-II — not single wall-clock numbers,
+and the survey's anytime methods (DRESC's annealer, the QEA) are
+characterised by how fast their best cost falls.  A
+:class:`ProgressSeries` records exactly that: time-stamped
+``(t_rel, value)`` samples of one quantity ("best cost", "conflicts")
+with deterministic reservoir-style thinning, so a runaway search can
+emit millions of events and the series stays bounded.
+
+Emission goes through :meth:`repro.obs.tracer.Tracer.progress` — a
+no-op on the disabled :data:`~repro.obs.tracer.NULL_TRACER` — and the
+series attach to the *root span* of the run, so they travel with
+:attr:`Mapping.trace` across fork workers and into the JSONL export.
+:func:`repro.obs.render.render_convergence` draws them as ASCII plots
+under ``--profile``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["DEFAULT_MAX_SAMPLES", "ProgressSeries"]
+
+#: Sample cap per series; on overflow every second old sample is
+#: dropped (endpoints kept), halving resolution instead of growing.
+DEFAULT_MAX_SAMPLES = 512
+
+
+class ProgressSeries:
+    """One named, bounded, time-stamped sample stream."""
+
+    __slots__ = ("name", "samples", "max_samples", "t0")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> None:
+        if max_samples < 4:
+            raise ValueError("max_samples must be at least 4")
+        self.name = name
+        self.max_samples = max_samples
+        #: ``perf_counter`` reading of the first sample; sample times
+        #: are relative to it (comparable within one run — absolute
+        #: anchoring is the trace manifest's job).
+        self.t0: float | None = None
+        self.samples: list[tuple[float, float]] = []
+
+    def note(self, value: float, *, t: float | None = None) -> None:
+        """Record one sample (``t``: perf_counter override for tests)."""
+        now = time.perf_counter() if t is None else t
+        if self.t0 is None:
+            self.t0 = now
+        self.samples.append((now - self.t0, float(value)))
+        if len(self.samples) > self.max_samples:
+            self._thin()
+
+    def _thin(self) -> None:
+        # Deterministic decimation: keep every second old sample plus
+        # the newest, preserving both endpoints and the overall shape.
+        last = self.samples[-1]
+        kept = self.samples[:-1:2]
+        kept.append(last)
+        self.samples = kept
+
+    # -- readouts ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def final(self) -> float | None:
+        return self.samples[-1][1] if self.samples else None
+
+    @property
+    def best(self) -> float | None:
+        """The minimum value seen (progress values are costs)."""
+        return min((v for _, v in self.samples), default=None)
+
+    @property
+    def duration(self) -> float:
+        return self.samples[-1][0] if self.samples else 0.0
+
+    # -- (de)serialization --------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "samples": [[round(t, 6), v] for t, v in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProgressSeries":
+        series = cls(data["name"])
+        series.samples = [
+            (float(t), float(v)) for t, v in data.get("samples", [])
+        ]
+        if series.samples:
+            series.t0 = 0.0
+        return series
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgressSeries({self.name!r}, n={len(self.samples)},"
+            f" {self.duration:.3f}s)"
+        )

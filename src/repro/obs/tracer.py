@@ -37,6 +37,8 @@ from contextlib import contextmanager
 from types import MappingProxyType
 from typing import Any, Iterator
 
+from repro.obs.progress import ProgressSeries
+
 __all__ = [
     "BACKTRACKS",
     "CACHE_HITS",
@@ -106,7 +108,10 @@ COUNTERS = (
 class Span:
     """One timed, tagged, counted region of a trace."""
 
-    __slots__ = ("name", "tags", "counters", "children", "t_start", "t_end")
+    __slots__ = (
+        "name", "tags", "counters", "children", "t_start", "t_end",
+        "progress",
+    )
 
     def __init__(self, name: str, tags: dict[str, Any] | None = None) -> None:
         self.name = name
@@ -115,6 +120,9 @@ class Span:
         self.children: list[Span] = []
         self.t_start = 0.0
         self.t_end = 0.0
+        #: convergence telemetry attached to this span (root spans
+        #: carry the run's series); None until the first sample.
+        self.progress: dict[str, ProgressSeries] | None = None
 
     # -- accounting ----------------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
@@ -213,6 +221,8 @@ class Tracer:
         self._stack: list[Span] = []
         #: counters recorded while no span was open
         self.counters: dict[str, int] = {}
+        #: progress series recorded while no span was open
+        self.series: dict[str, ProgressSeries] = {}
 
     def span(self, name: str, **tags: Any) -> _SpanCtx:
         """``with tracer.span("phase", key=val) as sp:`` — a child span."""
@@ -240,6 +250,28 @@ class Tracer:
         if self._stack:
             self._stack[-1].tags.update(tags)
 
+    def progress(self, name: str, value: float) -> None:
+        """Record one convergence sample on series ``name``.
+
+        Series attach to the *root* of the currently open span stack
+        (so they travel with ``Mapping.trace`` across workers and into
+        the JSONL export); with no span open they live on the tracer,
+        like loose counters.  Samples are time-stamped and the series
+        thins itself (:class:`~repro.obs.progress.ProgressSeries`), so
+        emission sites need no rate limiting of their own.
+        """
+        if self._stack:
+            root = self._stack[0]
+            if root.progress is None:
+                root.progress = {}
+            store = root.progress
+        else:
+            store = self.series
+        series = store.get(name)
+        if series is None:
+            series = store[name] = ProgressSeries(name)
+        series.note(value)
+
 
 # ---------------------------------------------------------------------------
 class _NullSpan:
@@ -253,6 +285,7 @@ class _NullSpan:
     tags: Any = MappingProxyType({})
     counters: Any = MappingProxyType({})
     children: tuple = ()
+    progress = None
     t_start = 0.0
     t_end = 0.0
     duration = 0.0
@@ -301,6 +334,7 @@ class NullTracer:
     enabled = False
     roots: tuple = ()
     counters: Any = MappingProxyType({})
+    series: Any = MappingProxyType({})
     current = None
     root = None
 
@@ -313,6 +347,9 @@ class NullTracer:
         pass
 
     def tag(self, **tags: Any) -> None:
+        pass
+
+    def progress(self, name: str, value: float) -> None:
         pass
 
     def __repr__(self) -> str:

@@ -21,6 +21,13 @@ mapper (racing several mappers on one kernel).  The contract:
 * **Traces travel** — values are pickled back whole, including any
   :class:`repro.obs.Span` trees a task attached, so ``--profile``
   aggregates child work in the parent.
+* **Metrics merge exactly** — when a metrics registry is active
+  (:func:`repro.obs.metrics.metrics_scope`), each forked worker ships
+  the snapshot *delta* it accrued back in its :class:`PMapResult` and
+  the parent folds the deltas in, in submission order (the same
+  pattern as the mapping cache's stats-delta merge), so a ``jobs=N``
+  sweep reports the same counter totals and histogram counts as the
+  serial run.
 
 Workers are forked (POSIX), so an architecture or registry built in
 the parent is visible in the children without re-imports.
@@ -37,6 +44,8 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
+
+from repro.obs.metrics import get_metrics
 
 __all__ = [
     "PMapResult",
@@ -55,8 +64,15 @@ BACKSTOP_SLACK = 10.0
 _IN_WORKER = False
 
 
-class TaskTimeout(Exception):
-    """A task exceeded its wall-clock budget."""
+class TaskTimeout(BaseException):
+    """A task exceeded its wall-clock budget.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so an
+    ``except Exception`` on the interrupted path — a logging handler's
+    emit guard, an import hook, a library's defensive catch — cannot
+    swallow the one-shot alarm and let the task run on unbounded.
+    Catch it by name.
+    """
 
 
 def in_worker() -> bool:
@@ -108,6 +124,9 @@ class PMapResult:
     raised exception (``timed_out`` distinguishes budget overruns from
     genuine errors, so harnesses can turn the former into failure rows
     and re-raise the latter like their serial paths would).
+    ``metrics`` is the worker's metrics-snapshot delta for this task
+    (None when no registry was active or the task ran in-process);
+    the parent folds it into its own registry.
     """
 
     index: int
@@ -116,35 +135,67 @@ class PMapResult:
     error: BaseException | None = None
     timed_out: bool = False
     elapsed: float = 0.0
+    metrics: dict | None = None
 
 
 def _run_task(payload: tuple) -> PMapResult:
-    """Worker body: apply fn under the task's time budget."""
+    """Worker body: apply fn under the task's time budget.
+
+    In a forked worker with a metrics registry active, the snapshot
+    delta accrued by the task (on success *and* failure — partial work
+    counts) rides back on the result; in-process runs ship nothing,
+    since their metrics already landed in the live registry.
+    """
     fn, item, index, timeout = payload
+    registry = get_metrics()
+    before = (
+        registry.snapshot()
+        if in_worker() and registry.enabled
+        else None
+    )
+
+    def delta() -> dict | None:
+        return (
+            registry.delta_since(before) if before is not None else None
+        )
+
     t0 = time.perf_counter()
     try:
         with time_limit(timeout):
             value = fn(item)
         return PMapResult(
             index=index, ok=True, value=value,
-            elapsed=time.perf_counter() - t0,
+            elapsed=time.perf_counter() - t0, metrics=delta(),
         )
     except TaskTimeout as ex:
         return PMapResult(
             index=index, ok=False, error=ex, timed_out=True,
-            elapsed=time.perf_counter() - t0,
+            elapsed=time.perf_counter() - t0, metrics=delta(),
         )
     except BaseException as ex:  # pickled back; parent decides
         try:
             return PMapResult(
                 index=index, ok=False, error=ex,
-                elapsed=time.perf_counter() - t0,
+                elapsed=time.perf_counter() - t0, metrics=delta(),
             )
         except Exception:  # unpicklable exception: degrade to repr
             return PMapResult(
                 index=index, ok=False, error=RuntimeError(repr(ex)),
-                elapsed=time.perf_counter() - t0,
+                elapsed=time.perf_counter() - t0, metrics=delta(),
             )
+
+
+def _fold_worker_metrics(
+    results: Sequence[PMapResult | None],
+) -> None:
+    """Merge worker metric deltas into the parent registry, in
+    submission order (deterministic regardless of completion order)."""
+    registry = get_metrics()
+    if not registry.enabled:
+        return
+    for res in results:
+        if res is not None and res.metrics:
+            registry.merge(res.metrics)
 
 
 def pmap(
@@ -217,6 +268,7 @@ def pmap(
                 poisoned = True
     finally:
         executor.shutdown(wait=not poisoned, cancel_futures=True)
+    _fold_worker_metrics(results)
     return results  # type: ignore[return-value]
 
 
@@ -285,6 +337,7 @@ def race(
             # Every entrant examined, none accepted: clean finish.
             executor.shutdown(wait=True, cancel_futures=True)
             torn_down = True
+            _fold_worker_metrics(results)
             return results
         # A winner (or a broken pool): cancel losers, stop their work.
         for fut in futures:
@@ -293,6 +346,10 @@ def race(
             p.terminate()
         executor.shutdown(wait=False, cancel_futures=True)
         torn_down = True
+        # Only examined entrants' metrics merge; cancelled losers'
+        # partial work is discarded with them (deterministic either
+        # way — the examined prefix is fixed by submission order).
+        _fold_worker_metrics(results)
         return results
     finally:
         if not torn_down:

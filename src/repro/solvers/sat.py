@@ -27,6 +27,7 @@ import heapq
 from dataclasses import dataclass
 from itertools import combinations
 
+from repro.obs.metrics import SAT_CONFLICTS, get_metrics
 from repro.obs.tracer import (
     SOLVER_CLAUSES,
     SOLVER_CONFLICTS,
@@ -429,7 +430,9 @@ class SatSolver:
         """
         tracer = get_tracer()
         if not tracer.enabled:
-            return self._solve_impl(assumptions, conflict_limit)
+            result = self._solve_impl(assumptions, conflict_limit)
+            get_metrics().histogram(SAT_CONFLICTS).observe(result.conflicts)
+            return result
         with tracer.span(
             "sat_solve", vars=self.cnf.n_vars, clauses=len(self.cnf.clauses)
         ) as span:
@@ -439,6 +442,10 @@ class SatSolver:
             span.count(SOLVER_DECISIONS, result.decisions)
             span.count(SOLVER_RESTARTS, result.restarts)
             span.tag(sat=result.sat, limit_reached=result.limit_reached)
+            # Close the conflict curve on the final tally — a run that
+            # never restarts still gets a (single-point) series.
+            tracer.progress("sat.conflicts", result.conflicts)
+            get_metrics().histogram(SAT_CONFLICTS).observe(result.conflicts)
             return result
 
     def _solve_impl(
@@ -464,6 +471,8 @@ class SatSolver:
         for lit in assume:
             if lit == 0 or abs(lit) > self.n:
                 raise ValueError(f"assumption literal {lit} out of range")
+        tracer = get_tracer()
+        db0 = len(self._clauses)  # learned-clause baseline for telemetry
         conflicts = decisions = restarts = 0
         conflict_budget = _LUBY_UNIT * _luby(0)
         since_restart = 0
@@ -540,6 +549,13 @@ class SatSolver:
                 since_restart = 0
                 conflict_budget = _LUBY_UNIT * _luby(restarts)
                 self._cancel_until(0)
+                # Restart boundaries are the natural sampling points
+                # for the conflict/learning curves: Luby-spaced, so the
+                # series stays sparse even on hard formulas.
+                tracer.progress("sat.conflicts", conflicts)
+                tracer.progress(
+                    "sat.learned_clauses", len(self._clauses) - db0
+                )
 
 
 class DPLLSolver:
@@ -558,7 +574,9 @@ class DPLLSolver:
         """Run DPLL; returns a :class:`SatResult` (see :class:`SatSolver`)."""
         tracer = get_tracer()
         if not tracer.enabled:
-            return self._solve_impl(conflict_limit=conflict_limit)
+            result = self._solve_impl(conflict_limit=conflict_limit)
+            get_metrics().histogram(SAT_CONFLICTS).observe(result.conflicts)
+            return result
         with tracer.span(
             "sat_solve", vars=self.n, clauses=len(self.cnf.clauses)
         ) as span:
@@ -567,6 +585,7 @@ class DPLLSolver:
             span.count(SOLVER_CONFLICTS, result.conflicts)
             span.count(SOLVER_DECISIONS, result.decisions)
             span.tag(sat=result.sat, limit_reached=result.limit_reached)
+            get_metrics().histogram(SAT_CONFLICTS).observe(result.conflicts)
             return result
 
     def _solve_impl(self, *, conflict_limit: int | None = None) -> SatResult:

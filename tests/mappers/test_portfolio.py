@@ -62,8 +62,10 @@ def test_winner_trace_grafted_in_parallel_run(cgra):
 
 def test_all_entrants_failing_raises_mapfailure(cgra):
     dfg = kernel_lib.kernel("sobel_x")
+    # Budget well below dresc/sobel_x's warm runtime (~50 ms), so the
+    # entrant always times out instead of racing the alarm.
     mapper = create(
-        "portfolio", mappers=("dresc",), jobs=1, timeout=0.05
+        "portfolio", mappers=("dresc",), jobs=1, timeout=0.02
     )
     with pytest.raises(MapFailure):
         mapper.map(dfg, cgra)

@@ -3,6 +3,7 @@
 import json
 
 from repro.obs.export import (
+    manifest_of,
     read_jsonl,
     spans_from_records,
     to_records,
@@ -41,14 +42,16 @@ def test_jsonl_roundtrip(tmp_path):
     tr = _sample_tracer()
     path = tmp_path / "trace.jsonl"
     n = write_jsonl(tr, path)
-    assert n == 3
+    assert n == 4  # manifest header + 3 spans
     # Every line is standalone JSON.
     lines = path.read_text().splitlines()
-    assert len(lines) == 3
+    assert len(lines) == 4
     for line in lines:
         json.loads(line)
     recs = read_jsonl(path)
-    assert recs == to_records(tr)
+    assert manifest_of(recs) is not None
+    assert recs[0]["type"] == "manifest"
+    assert recs[1:] == to_records(tr)
     # And the tree rebuilds.
     roots = spans_from_records(recs)
     assert len(roots) == 1
@@ -64,7 +67,8 @@ def test_export_accepts_span_and_list(tmp_path):
     root = tr.root
     assert to_records(root) == to_records(tr)
     assert to_records([root]) == to_records(tr)
-    assert write_jsonl([root, root], tmp_path / "two.jsonl") == 6
+    assert write_jsonl([root, root], tmp_path / "two.jsonl") == 7
+    assert write_jsonl([root, root], tmp_path / "v1.jsonl", manifest=False) == 6
 
 
 def test_render_flame_shows_tree_and_counters():

@@ -1,0 +1,168 @@
+"""Run manifests and format-2 trace files: headers, round-trips,
+untraced-counter preservation."""
+
+import json
+
+from repro.arch import presets
+from repro.ir import kernels
+from repro.obs.export import (
+    manifest_of,
+    read_jsonl,
+    spans_from_records,
+    to_records,
+    untraced_counters_of,
+    write_jsonl,
+)
+from repro.obs.manifest import TRACE_FORMAT, git_revision, run_manifest
+from repro.obs.render import render_profile
+from repro.obs.tracer import Tracer, tracing
+
+
+# ---------------------------------------------------------------------------
+# The manifest record
+def test_manifest_basic_fields():
+    rec = run_manifest(seed=42, label="smoke")
+    assert rec["type"] == "manifest"
+    assert rec["format"] == TRACE_FORMAT
+    assert rec["seed"] == 42
+    assert rec["label"] == "smoke"
+    assert rec["python"]
+    assert rec["version"]
+    # The wall-clock anchor pair: both captured, both floats.
+    assert isinstance(rec["unix_time"], float)
+    assert isinstance(rec["perf_anchor"], float)
+    assert rec["unix_time"] > 1e9  # an actual unix timestamp
+
+
+def test_manifest_problem_fingerprints():
+    cgra = presets.by_name("simple4x4")
+    dfg = kernels.kernel("dot_product")
+    rec = run_manifest(dfg=dfg, cgra=cgra)
+    assert rec["dfg"] == "dot_product"
+    assert rec["arch"] == "simple4x4"
+    assert rec["dfg_fingerprint"]
+    assert rec["arch_fingerprint"]
+    # Fingerprints are content-addressed: same problem, same digest.
+    again = run_manifest(dfg=dfg, cgra=cgra)
+    assert again["dfg_fingerprint"] == rec["dfg_fingerprint"]
+    assert again["arch_fingerprint"] == rec["arch_fingerprint"]
+
+
+def test_manifest_extra_does_not_override():
+    rec = run_manifest(extra={"type": "evil", "note": "hi"})
+    assert rec["type"] == "manifest"  # setdefault only
+    assert rec["note"] == "hi"
+
+
+def test_manifest_is_json_clean():
+    rec = run_manifest(cgra=presets.by_name("simple4x4"))
+    assert json.loads(json.dumps(rec)) == rec
+
+
+def test_git_revision_cached_and_stable():
+    assert git_revision() == git_revision()
+
+
+# ---------------------------------------------------------------------------
+# Files with and without the header both round-trip
+def _sample_tracer():
+    tr = Tracer()
+    with tracing(tr):
+        with tr.span("map", mapper="demo"):
+            tr.count("ii_attempts")
+            with tr.span("route"):
+                tr.count("routing_attempts", 3)
+    return tr
+
+
+def test_write_jsonl_header_roundtrip(tmp_path):
+    tr = _sample_tracer()
+    path = tmp_path / "t.jsonl"
+    n = write_jsonl(tr, str(path))
+    recs = read_jsonl(str(path))
+    assert len(recs) == n
+    header = manifest_of(recs)
+    assert header is not None
+    assert recs[0] is header
+    assert header["format"] == TRACE_FORMAT
+    (root,) = spans_from_records(recs)
+    assert root.name == "map"
+    assert root.children[0].counters["routing_attempts"] == 3
+
+
+def test_write_jsonl_headerless_roundtrip(tmp_path):
+    tr = _sample_tracer()
+    path = tmp_path / "bare.jsonl"
+    n = write_jsonl(tr, str(path), manifest=False)
+    recs = read_jsonl(str(path))
+    assert len(recs) == n
+    assert manifest_of(recs) is None  # a format-1 file
+    (root,) = spans_from_records(recs)
+    assert root.name == "map"
+
+
+def test_write_jsonl_caller_built_manifest(tmp_path):
+    tr = _sample_tracer()
+    header = run_manifest(seed=7)
+    path = tmp_path / "m.jsonl"
+    write_jsonl(tr, str(path), manifest=header)
+    recs = read_jsonl(str(path))
+    assert manifest_of(recs)["seed"] == 7
+
+
+def test_reader_skips_unknown_record_types(tmp_path):
+    tr = _sample_tracer()
+    path = tmp_path / "f.jsonl"
+    write_jsonl(tr, str(path))
+    with open(path, "a") as fh:
+        fh.write(json.dumps({"type": "future_thing", "x": 1}) + "\n")
+    (root,) = spans_from_records(read_jsonl(str(path)))
+    assert root.name == "map"
+
+
+# ---------------------------------------------------------------------------
+# Untraced counters must not vanish (regression: Tracer.count with no
+# open span used to be dropped by both the export and --profile).
+def _loose_tracer():
+    tr = Tracer()
+    tr.count("check_cases", 7)
+    tr.count("check_divergences")
+    with tracing(tr):
+        with tr.span("work"):
+            tr.count("candidates_explored", 2)
+    tr.count("check_cases", 3)
+    return tr
+
+
+def test_untraced_counters_survive_export(tmp_path):
+    tr = _loose_tracer()
+    records = to_records(tr)
+    synthetic = [r for r in records if r.get("type") == "counters"]
+    assert len(synthetic) == 1
+    assert untraced_counters_of(records) == {
+        "check_cases": 10,
+        "check_divergences": 1,
+    }
+    path = tmp_path / "loose.jsonl"
+    write_jsonl(tr, str(path))
+    assert untraced_counters_of(read_jsonl(str(path)))["check_cases"] == 10
+
+
+def test_untraced_counters_render_in_profile():
+    out = render_profile(_loose_tracer())
+    assert "counters (untraced):" in out
+    assert "check_cases=10" in out
+    # Span-attached counters keep their own line.
+    assert "candidates_explored=2" in out
+
+
+def test_profile_with_only_loose_counters():
+    tr = Tracer()
+    tr.count("check_cases", 4)
+    out = render_profile(tr)
+    assert "counters (untraced): check_cases=4" in out
+
+
+def test_no_counters_record_when_none_loose():
+    tr = _sample_tracer()
+    assert all(r.get("type") != "counters" for r in to_records(tr))

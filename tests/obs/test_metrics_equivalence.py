@@ -1,0 +1,71 @@
+"""Observability must not perturb results: the mapping produced with
+metrics + tracing enabled is identical to the one produced with both
+disabled (the null-object path).  "Identical" is checked on a
+canonical JSON document of every deterministic mapping field."""
+
+import json
+
+import pytest
+
+from repro.arch import presets
+from repro.core.registry import create
+from repro.ir import kernels
+from repro.obs.metrics import metrics_scope
+from repro.obs.tracer import tracing
+
+
+def _doc(mapping):
+    """Canonical JSON of the result fields (wall-clock and trace are
+    observational by definition and excluded)."""
+    return json.dumps(
+        {
+            "kind": mapping.kind,
+            "ii": mapping.ii,
+            "mapper": mapping.mapper,
+            "binding": {str(k): v for k, v in sorted(mapping.binding.items())},
+            "schedule": {
+                str(k): v for k, v in sorted(mapping.schedule.items())
+            },
+            "routes": sorted(
+                f"{e}:{steps}" for e, steps in mapping.routes.items()
+            ),
+            "coexec": sorted(sorted(pair) for pair in mapping.coexec),
+        },
+        sort_keys=True,
+    )
+
+
+@pytest.mark.parametrize(
+    "mapper,kernel",
+    [
+        ("list_sched", "dot_product"),
+        ("edge_centric", "fir4"),
+        ("dresc", "dot_product"),
+        ("sa_spatial", "fir4"),
+    ],
+)
+def test_mapping_identical_with_and_without_observability(mapper, kernel):
+    cgra = presets.by_name("simple4x4")
+    dfg = kernels.kernel(kernel)
+
+    plain = create(mapper, seed=0).map(dfg, cgra)
+    with metrics_scope() as reg, tracing() as tr:
+        observed = create(mapper, seed=0).map(dfg, cgra)
+
+    assert _doc(observed) == _doc(plain)
+    # And observability actually ran: the run was recorded, not skipped.
+    assert tr.root is not None
+    assert "maps_total" in reg
+    # The plain run left no trace behind.
+    assert plain.trace is None
+    assert observed.trace is tr.root
+
+
+def test_metrics_alone_do_not_attach_traces():
+    cgra = presets.by_name("simple4x4")
+    dfg = kernels.kernel("dot_product")
+    with metrics_scope() as reg:
+        mapping = create("list_sched", seed=0).map(dfg, cgra)
+    assert mapping.trace is None
+    assert reg.counter("maps_total").value == 1
+    assert reg.histogram("map_latency_ms").count == 1

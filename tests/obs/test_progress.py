@@ -1,0 +1,182 @@
+"""Convergence telemetry: ProgressSeries, tracer emission, rendering."""
+
+import pytest
+
+from repro.arch import presets
+from repro.core.registry import create
+from repro.ir import kernels
+from repro.obs.export import spans_from_records, to_records
+from repro.obs.progress import DEFAULT_MAX_SAMPLES, ProgressSeries
+from repro.obs.render import render_convergence, render_profile
+from repro.obs.tracer import NULL_TRACER, Tracer, tracing
+
+
+# ---------------------------------------------------------------------------
+# The series itself
+def test_series_records_relative_times():
+    s = ProgressSeries("cost")
+    s.note(10.0, t=100.0)
+    s.note(8.0, t=100.5)
+    s.note(5.0, t=101.0)
+    assert s.samples == [(0.0, 10.0), (0.5, 8.0), (1.0, 5.0)]
+    assert s.final == 5.0
+    assert s.best == 5.0
+    assert s.duration == 1.0
+    assert len(s) == 3
+
+
+def test_series_thinning_bounds_and_keeps_endpoints():
+    s = ProgressSeries("cost", max_samples=16)
+    for i in range(10_000):
+        s.note(float(10_000 - i), t=float(i))
+    assert len(s) <= 16
+    assert s.samples[0] == (0.0, 10_000.0)  # first sample survives
+    assert s.final == 1.0                   # newest sample survives
+    # Monotone input stays monotone after decimation.
+    values = [v for _, v in s.samples]
+    assert values == sorted(values, reverse=True)
+
+
+def test_series_default_cap():
+    s = ProgressSeries("x")
+    for i in range(5 * DEFAULT_MAX_SAMPLES):
+        s.note(float(i), t=float(i))
+    assert len(s) <= DEFAULT_MAX_SAMPLES
+
+
+def test_series_rejects_tiny_cap():
+    with pytest.raises(ValueError):
+        ProgressSeries("x", max_samples=2)
+
+
+def test_series_dict_roundtrip():
+    s = ProgressSeries("cost")
+    for i, v in enumerate([9.0, 4.0, 2.0]):
+        s.note(v, t=float(i))
+    back = ProgressSeries.from_dict(s.to_dict())
+    assert back.name == "cost"
+    assert back.samples == s.samples
+    assert back.final == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Emission through the tracer
+def test_progress_attaches_to_root_span():
+    tr = Tracer()
+    with tracing(tr):
+        with tr.span("map"):
+            with tr.span("anneal"):
+                tr.progress("best_cost", 12.0)
+                tr.progress("best_cost", 7.0)
+    root = tr.root
+    assert root.progress is not None
+    series = root.progress["best_cost"]
+    assert [v for _, v in series.samples] == [12.0, 7.0]
+    # The inner span carries nothing — series live on the root.
+    assert root.children[0].progress is None
+
+
+def test_progress_without_open_span_lands_on_tracer():
+    tr = Tracer()
+    tr.progress("loose", 3.0)
+    assert "loose" in tr.series
+    assert tr.series["loose"].final == 3.0
+    assert tr.roots == []
+
+
+def test_null_tracer_progress_is_noop():
+    NULL_TRACER.progress("anything", 1.0)  # must not raise or record
+    assert dict(NULL_TRACER.series) == {}
+
+
+def test_progress_survives_export_roundtrip():
+    tr = Tracer()
+    with tracing(tr):
+        with tr.span("map"):
+            for i, v in enumerate([30.0, 20.0, 15.0]):
+                tr.progress("dresc.best_cost", v)
+    records = to_records(tr)
+    (root,) = spans_from_records(records)
+    series = root.progress["dresc.best_cost"]
+    assert [v for _, v in series.samples] == [30.0, 20.0, 15.0]
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+def _traced_series(values):
+    tr = Tracer()
+    with tracing(tr):
+        with tr.span("map"):
+            for i, v in enumerate(values):
+                tr.progress("best_cost", v)
+    return tr
+
+
+def test_render_convergence_plots_series():
+    tr = _traced_series([100.0, 60.0, 30.0, 10.0])
+    out = render_convergence(tr)
+    assert "convergence:" in out
+    assert "best_cost" in out
+    assert "n=4" in out
+    assert "final=10" in out
+    assert "*" in out  # the staircase canvas
+
+
+def test_render_convergence_flat_series():
+    tr = _traced_series([5.0, 5.0, 5.0])
+    out = render_convergence(tr)
+    assert "(flat at 5)" in out
+
+
+def test_render_convergence_empty_source():
+    assert render_convergence(Tracer()) == ""
+
+
+def test_render_convergence_caps_plot_count():
+    tr = Tracer()
+    with tracing(tr):
+        with tr.span("map"):
+            for k in range(9):
+                for v in (2.0, 1.0):
+                    tr.progress(f"series_{k}", v)
+    out = render_convergence(tr, max_plots=2)
+    # Two full plots, the remaining seven as one-line summaries.
+    assert out.count("|") >= 2
+    assert "series_8" in out
+
+
+def test_render_profile_includes_convergence():
+    tr = _traced_series([9.0, 3.0])
+    out = render_profile(tr)
+    assert "convergence:" in out
+    assert "best_cost" in out
+
+
+def test_render_convergence_includes_loose_series():
+    tr = Tracer()
+    tr.progress("loose_metric", 4.0)
+    tr.progress("loose_metric", 2.0)
+    assert "loose_metric" in render_convergence(tr)
+
+
+# ---------------------------------------------------------------------------
+# Mappers actually emit series
+@pytest.mark.parametrize(
+    "mapper,series_name",
+    [
+        ("dresc", "dresc.best_cost"),
+        ("sa_spatial", "sa_spatial.best_cost"),
+    ],
+)
+def test_annealers_emit_best_cost_series(mapper, series_name):
+    cgra = presets.by_name("simple4x4")
+    dfg = kernels.kernel("fir4")
+    with tracing() as tr:
+        create(mapper, seed=0).map(dfg, cgra)
+    root = tr.root
+    assert root.progress is not None
+    series = root.progress[series_name]
+    assert len(series) >= 1
+    # Best cost is monotonically non-increasing: only improvements emit.
+    values = [v for _, v in series.samples]
+    assert values == sorted(values, reverse=True)

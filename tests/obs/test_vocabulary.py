@@ -1,0 +1,61 @@
+"""The counter/instrument vocabularies stay live: every name defined
+in the tracer/metrics modules must be emitted by at least one
+instrumentation site.  A constant nothing references is either dead
+vocabulary or an instrumentation site that silently lost its hook —
+both are bugs this test turns into a named failure."""
+
+import re
+from pathlib import Path
+
+import repro.obs.metrics as metrics_mod
+import repro.obs.tracer as tracer_mod
+from repro.obs.metrics import INSTRUMENTS
+from repro.obs.tracer import COUNTERS
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _constant_names(module, values):
+    """Map each vocabulary value back to its constant's identifier."""
+    names = {}
+    for attr, val in vars(module).items():
+        if attr.isupper() and val in values:
+            names[val] = attr
+    assert set(names) == set(values)
+    return names
+
+
+def _sources_excluding(defining_file):
+    for path in sorted(SRC.rglob("*.py")):
+        if path.resolve() == Path(defining_file).resolve():
+            continue
+        yield path, path.read_text()
+
+
+def _used_somewhere(identifier, sources):
+    pattern = re.compile(rf"\b{identifier}\b")
+    return [path for path, text in sources if pattern.search(text)]
+
+
+def test_every_trace_counter_has_an_emission_site():
+    names = _constant_names(tracer_mod, COUNTERS)
+    sources = list(_sources_excluding(tracer_mod.__file__))
+    unused = [
+        ident for ident in names.values()
+        if not _used_somewhere(ident, sources)
+    ]
+    assert not unused, f"COUNTERS with no instrumentation site: {unused}"
+
+
+def test_every_metric_instrument_has_an_emission_site():
+    names = _constant_names(metrics_mod, INSTRUMENTS)
+    sources = list(_sources_excluding(metrics_mod.__file__))
+    unused = [
+        ident for ident in names.values()
+        if not _used_somewhere(ident, sources)
+    ]
+    assert not unused, f"INSTRUMENTS with no instrumentation site: {unused}"
+
+
+def test_vocabularies_do_not_collide():
+    assert not set(COUNTERS) & set(INSTRUMENTS)

@@ -112,8 +112,9 @@ def test_map_trace_writes_jsonl(tmp_path, capsys):
     assert "wrote" in capsys.readouterr().out
     recs = [json.loads(l) for l in path.read_text().splitlines()]
     assert recs
-    assert recs[0]["name"] == "map"
-    assert any(r["depth"] > 0 for r in recs)  # nested spans
+    assert recs[0]["type"] == "manifest"  # provenance header first
+    assert recs[1]["name"] == "map"
+    assert any(r.get("depth", 0) > 0 for r in recs)  # nested spans
 
 
 def test_compare_trace_smoke(tmp_path, capsys):
@@ -129,8 +130,10 @@ def test_compare_trace_smoke(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "per-phase summary" in out
     recs = [json.loads(l) for l in path.read_text().splitlines()]
-    # One root span per (mapper, kernel) cell.
-    assert sum(1 for r in recs if r["parent"] is None) == 4
+    # One root span per (mapper, kernel) cell (plus the manifest line).
+    assert sum(
+        1 for r in recs if "name" in r and r.get("parent") is None
+    ) == 4
 
 
 def test_verbose_flag_sets_debug_level():

@@ -5,8 +5,10 @@ fan out over :func:`repro.parallel.pmap` — deterministic row order,
 per-cell ``timeout`` overruns surfacing as failure rows, and traces
 pickled back from the workers.  ``cache`` opts a sweep into the
 content-addressed mapping cache (:mod:`repro.cache`): repeated cells
-hit instead of re-mapping, workers share the disk tier, and their
-hit/miss deltas are folded back into the parent's stats.
+hit instead of re-mapping, workers share the disk tier, their
+hit/miss deltas are folded back into the parent's stats, and
+identical cells *within* one parallel batch dedupe onto a single
+execution (keyed by the cache's content address).
 """
 
 from __future__ import annotations
@@ -132,15 +134,19 @@ def _run_cell(
         )
 
 
-def _cell_task(task: tuple) -> tuple[MatrixResult, dict | None]:
+def _cell_task(
+    cgra: CGRA, task: tuple
+) -> tuple[MatrixResult, dict | None]:
     """pmap payload: unpack one cell (module-level for pickling).
 
-    Returns the result plus this cell's cache-stats delta so the
-    parent can fold worker hits/misses into its own totals (the
-    worker inherited the active cache over fork; only the disk tier
-    is shared, the counters are not).
+    The architecture rides in as the batch-``shared`` value — shipped
+    to each worker once per batch instead of once per cell.  Returns
+    the result plus this cell's cache-stats delta so the parent can
+    fold worker hits/misses into its own totals (workers get a fresh
+    per-batch cache; only the disk tier is shared, the counters are
+    not).
     """
-    mname, kname, cgra, ii, opts, trace = task
+    mname, kname, ii, opts, trace = task
     cache = get_cache()
     before = cache.stats.snapshot() if cache is not None else None
     result = _run_cell(mname, kname, cgra, ii, opts, trace)
@@ -148,6 +154,41 @@ def _cell_task(task: tuple) -> tuple[MatrixResult, dict | None]:
         cache.stats.delta_since(before) if cache is not None else None
     )
     return result, delta
+
+
+def _cell_keys(
+    cells: Sequence[tuple], cgra: CGRA, active: MappingCache | None
+) -> list[str | None] | None:
+    """Content-addressed dedup keys for a parallel sweep's cells.
+
+    Only computed when the mapping cache is on — the cache key *is*
+    the content address (canonical DFG + arch digests, mapper name,
+    seed, requested II, config token), so two cells with equal keys
+    would produce byte-identical mappings and in-batch dedup is safe.
+    With caching off every cell runs, keeping parallel work (and so
+    metrics totals) exactly equal to the serial sweep's.  A cell whose
+    key cannot be computed (unknown kernel, bad opts) gets None and
+    runs normally — its error surfaces from the worker like any other.
+    """
+    if active is None:
+        return None
+    keys: list[str | None] = []
+    for mname, kname, ii, opts, _trace in cells:
+        try:
+            mapper = create(mname, **opts)
+            keys.append(
+                active.key(
+                    kernel_lib.kernel(kname),
+                    cgra,
+                    mapper=mapper.info.name,
+                    seed=mapper.seed,
+                    ii=ii,
+                    token=mapper.cache_token(),
+                )
+            )
+        except Exception:
+            keys.append(None)
+    return keys
 
 
 def run_matrix(
@@ -177,22 +218,30 @@ def run_matrix(
     """
     opts = mapper_opts or {}
     cells = [
-        (mname, kname, cgra, ii, opts.get(mname, {}), trace)
+        (mname, kname, ii, opts.get(mname, {}), trace)
         for mname in mappers
         for kname in kernels
     ]
     with cache_scope(cache) as active:
         if jobs <= 1:
             return [
-                _run_cell(*cell, timeout=timeout) for cell in cells
+                _run_cell(
+                    mname, kname, cgra, c_ii, c_opts, c_trace,
+                    timeout=timeout,
+                )
+                for mname, kname, c_ii, c_opts, c_trace in cells
             ]
         out: list[MatrixResult] = []
         for res, cell in zip(
-            pmap(_cell_task, cells, jobs=jobs, timeout=timeout), cells
+            pmap(
+                _cell_task, cells, jobs=jobs, timeout=timeout,
+                shared=cgra, keys=_cell_keys(cells, cgra, active),
+            ),
+            cells,
         ):
             if res.ok:
                 row, delta = res.value
-                if active is not None:
+                if active is not None and not res.deduped:
                     active.stats.merge(delta)
                 out.append(row)
                 continue

@@ -29,6 +29,7 @@ from repro.arch.cgra import CGRA
 from repro.bench.harness import MatrixResult, _run_cell, ascii_table
 from repro.obs.manifest import run_manifest
 from repro.obs.metrics import MetricsRegistry, metrics_scope
+from repro.parallel import pmap, warm_pool
 
 __all__ = [
     "DEFAULT_HISTORY_DIR",
@@ -74,12 +75,19 @@ def _metric_class(name: str) -> str:
 
 
 # ---------------------------------------------------------------------------
+def _slice_cell(cgra: CGRA, cell: tuple[str, str]) -> MatrixResult:
+    """pmap payload for the parallel slice (module-level for pickling)."""
+    mname, kname = cell
+    return _run_cell(mname, kname, cgra, None, {}, False)
+
+
 def run_slice(
     cgra: CGRA,
     *,
     cells: Sequence[tuple[str, str]] = DEFAULT_SLICE,
     repeats: int = DEFAULT_REPEATS,
     label: str | None = None,
+    jobs: int = 1,
 ) -> dict[str, Any]:
     """Run the slice and build one (not yet appended) ledger entry.
 
@@ -87,17 +95,35 @@ def run_slice(
     mapper wall-clock per cell, and the metrics snapshot of the whole
     slice (every repeat counted — comparisons normalise by
     ``repeats``).
+
+    ``jobs > 1`` runs each repeat's cells over the persistent worker
+    pool (warmed *before* the timed region, so the entry measures the
+    steady state this ledger slice exists to guard).  Work counts stay
+    identical to the serial slice; only the timings reflect the pool.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if jobs > 1:
+        warm_pool(jobs)
     registry = MetricsRegistry()
     rows: list[dict[str, Any]] = []
     with metrics_scope(registry):
-        for mname, kname in cells:
-            runs: list[MatrixResult] = [
-                _run_cell(mname, kname, cgra, None, {}, False)
-                for _ in range(repeats)
-            ]
+        cells = list(cells)
+        per_cell: list[list[MatrixResult]] = [[] for _ in cells]
+        for _ in range(repeats):
+            if jobs > 1:
+                for ci, res in enumerate(
+                    pmap(_slice_cell, cells, jobs=jobs, shared=cgra)
+                ):
+                    if not res.ok:
+                        raise res.error
+                    per_cell[ci].append(res.value)
+            else:
+                for ci, (mname, kname) in enumerate(cells):
+                    per_cell[ci].append(
+                        _run_cell(mname, kname, cgra, None, {}, False)
+                    )
+        for (mname, kname), runs in zip(cells, per_cell):
             times = sorted(r.time_ms for r in runs)
             rep = runs[0]
             rows.append(
@@ -114,6 +140,7 @@ def run_slice(
         "schema": ENTRY_SCHEMA,
         "manifest": run_manifest(cgra=cgra, label=label),
         "repeats": repeats,
+        "jobs": jobs,
         "cells": rows,
         "metrics": registry.snapshot(),
     }

@@ -482,7 +482,12 @@ def _cmd_bench(args) -> int:
     from repro.bench import history
 
     arch = _resolve_arch(args.arch)
-    path = os.path.join(args.history_dir, f"{arch}.jsonl")
+    # The parallel slice keeps its own ledger file: its timings measure
+    # the pool's steady state, not the mappers, and must never be
+    # diffed against serial entries.
+    suffix = "-parallel" if args.slice == "parallel" else ""
+    jobs = args.jobs if args.slice == "parallel" else 1
+    path = os.path.join(args.history_dir, f"{arch}{suffix}.jsonl")
     if args.action == "list":
         entries = history.load_entries(path)
         if not entries:
@@ -494,7 +499,7 @@ def _cmd_bench(args) -> int:
     cgra = presets.by_name(arch)
     if args.action == "record":
         entry = history.run_slice(
-            cgra, repeats=args.repeats, label=args.note
+            cgra, repeats=args.repeats, label=args.note, jobs=jobs
         )
         history.append_entry(entry, path)
         print(history.render_entries(history.load_entries(path)))
@@ -509,7 +514,7 @@ def _cmd_bench(args) -> int:
     except ValueError as ex:
         print(f"error: {ex}", file=sys.stderr)
         return 2
-    fresh = history.run_slice(cgra, repeats=args.repeats)
+    fresh = history.run_slice(cgra, repeats=args.repeats, jobs=jobs)
     tolerances = {}
     if args.time_tolerance is not None:
         tolerances["time"] = (
@@ -685,6 +690,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--repeats", type=int, default=3, metavar="K",
         help="runs per cell; the ledger records the median (default 3)",
+    )
+    p.add_argument(
+        "--slice", choices=["default", "parallel"], default="default",
+        help="'parallel' runs the slice over the pre-warmed worker"
+             " pool and keeps its own per-arch ledger file, so pool"
+             " regressions are tracked separately from mapper ones",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes for --slice parallel (default 2)",
     )
     p.add_argument(
         "--note", default=None, metavar="TEXT",

@@ -189,14 +189,17 @@ def _fallback_point(params: dict, suite: Sequence[str]) -> DesignPoint:
     )
 
 
-def _point_task(task: tuple) -> tuple[DesignPoint, dict | None]:
+def _point_task(
+    suite: tuple, task: tuple
+) -> tuple[DesignPoint, dict | None]:
     """pmap payload: one design point (module-level for pickling).
 
-    Returns the point plus the cache-stats delta accrued while
+    The kernel suite is batch-constant and rides in as the ``shared``
+    value.  Returns the point plus the cache-stats delta accrued while
     evaluating it, so the parent can fold worker hits/misses into its
     own totals.
     """
-    params, suite, mapper = task
+    params, mapper = task
     c = get_cache()
     before = c.stats.snapshot() if c is not None else None
     point = evaluate_point(params, suite, mapper=mapper)
@@ -228,7 +231,7 @@ def explore(
     """
     kernels = suite or ["dot_product", "fir4", "sobel_x", "if_select"]
     points = list(space if space is not None else default_space())
-    tasks = [(params, tuple(kernels), mapper) for params in points]
+    tasks = [(params, mapper) for params in points]
     pts: list[DesignPoint] = []
     with cache_scope(cache) as active:
         if jobs <= 1:
@@ -236,7 +239,7 @@ def explore(
                 try:
                     with time_limit(timeout):
                         pts.append(evaluate_point(
-                            task[0], task[1], mapper=task[2]
+                            task[0], kernels, mapper=task[1]
                         ))
                 except TaskTimeout as ex:
                     _log.warning(
@@ -247,13 +250,24 @@ def explore(
                     )
                     pts.append(_fallback_point(task[0], kernels))
         else:
+            # Identical (params, mapper) points in one sweep do the
+            # same work; with the cache on they dedupe in-batch (the
+            # point key is the whole solver-visible identity).
+            keys = (
+                [f"pt-{_params_key(p)}-{m}" for p, m in tasks]
+                if active is not None
+                else None
+            )
             for res, task in zip(
-                pmap(_point_task, tasks, jobs=jobs, timeout=timeout),
+                pmap(
+                    _point_task, tasks, jobs=jobs, timeout=timeout,
+                    shared=tuple(kernels), keys=keys,
+                ),
                 tasks,
             ):
                 if res.ok:
                     point, delta = res.value
-                    if active is not None:
+                    if active is not None and not res.deduped:
                         active.stats.merge(delta)
                     pts.append(point)
                 elif res.timed_out:

@@ -48,9 +48,15 @@ _log = logging.getLogger("repro.mappers.portfolio")
 DEFAULT_ENTRANTS = ("list_sched", "edge_centric", "spr", "dresc")
 
 
-def _entrant_task(payload: tuple) -> Mapping:
-    """One entrant's full mapping run (module-level for pickling)."""
-    mname, seed, dfg, cgra, ii, trace = payload
+def _entrant_task(shared: tuple, payload: tuple) -> Mapping:
+    """One entrant's full mapping run (module-level for pickling).
+
+    The problem ``(dfg, cgra)`` is race-constant and ships once per
+    batch as the ``shared`` value; the payload is just the entrant's
+    identity.
+    """
+    dfg, cgra = shared
+    mname, seed, ii, trace = payload
     if not trace:
         return create(mname, seed=seed).map(dfg, cgra, ii=ii)
     with tracing():
@@ -185,17 +191,20 @@ class PortfolioMapper(Mapper):
             return self._map_serial(dfg, cgra, ii)
 
         tracer = get_tracer()
+        shared = (dfg, cgra)
         tasks = [
-            (mname, self.seed, dfg, cgra, ii, tracer.enabled)
+            (mname, self.seed, ii, tracer.enabled)
             for mname in self.mappers
         ]
         if self.policy == "first":
             results = race(
-                _entrant_task, tasks, jobs=jobs, timeout=self.timeout
+                _entrant_task, tasks, jobs=jobs,
+                timeout=self.timeout, shared=shared,
             )
         else:
             results = pmap(
-                _entrant_task, tasks, jobs=jobs, timeout=self.timeout
+                _entrant_task, tasks, jobs=jobs,
+                timeout=self.timeout, shared=shared,
             )
         finished = [
             (i, r.value)

@@ -58,6 +58,8 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
+    "POOL_DEDUP_TOTAL",
+    "POOL_RESPAWNS_TOTAL",
     "SAT_CONFLICTS",
     "get_metrics",
     "merge_snapshots",
@@ -74,6 +76,8 @@ MAP_FAILURES_TOTAL = "map_failures_total"  #: Mapper.map MapFailure raises
 MAP_LATENCY_MS = "map_latency_ms"          #: histogram of Mapping.map_time
 MATRIX_CELLS_TOTAL = "matrix_cells_total"  #: run_matrix cells executed
 SAT_CONFLICTS = "sat_conflicts"            #: histogram of conflicts/solve
+POOL_RESPAWNS_TOTAL = "pool_respawns_total"  #: pool workers replaced after a crash/hard timeout
+POOL_DEDUP_TOTAL = "pool_dedup_total"      #: in-batch duplicate tasks collapsed onto a primary
 
 INSTRUMENTS = (
     MAPS_TOTAL,
@@ -81,6 +85,8 @@ INSTRUMENTS = (
     MAP_LATENCY_MS,
     MATRIX_CELLS_TOTAL,
     SAT_CONFLICTS,
+    POOL_RESPAWNS_TOTAL,
+    POOL_DEDUP_TOTAL,
 )
 
 #: Geometric bucket growth factor: 2**(1/4), four buckets per octave,

@@ -1,0 +1,185 @@
+"""Shared parallel-execution layer.
+
+One *persistent* worker-pool abstraction serves every sweep in the
+package: :func:`repro.bench.run_matrix` (mapper x kernel grids),
+:func:`repro.dse.explore` (architecture sweeps), the ``portfolio``
+mapper (racing several mappers on one kernel), and the perf ledger's
+parallel slice.  The contract:
+
+* **Determinism** — results come back in submission order regardless
+  of completion order, and ``jobs=1`` callers keep their exact serial
+  code path (they never enter the pool).
+* **One pool per process** — workers are forked once, pre-warmed
+  (heavy mapper/solver imports done before timing starts), and reused
+  across calls (:mod:`repro.parallel.pool`); fork-per-call overhead no
+  longer eats the parallel speedup of short mapping jobs.
+* **Timeouts are data, not hangs** — every task runs under a
+  SIGALRM-based :func:`time_limit` inside its worker, so a runaway
+  mapper raises :class:`TaskTimeout` in-process and comes back as a
+  failed :class:`PMapResult`; a worker wedged outside the interpreter
+  is killed and respawned by a parent-side backstop, without
+  poisoning the rest of the batch.
+* **No nested pools** — workers are marked (:func:`in_worker`), and
+  parallel entry points degrade to their serial paths inside one, so
+  a ``portfolio`` mapper inside a parallel ``run_matrix`` sweep does
+  not fork a second pool per cell.
+* **Traces travel** — values are pickled back whole, including any
+  :class:`repro.obs.Span` trees a task attached, so ``--profile``
+  aggregates child work in the parent.
+* **Metrics merge exactly** — when a metrics registry is active
+  (:func:`repro.obs.metrics.metrics_scope`), each worker ships the
+  snapshot *delta* it accrued back in its :class:`PMapResult` and the
+  parent folds the deltas in, in submission order (the same pattern
+  as the mapping cache's stats-delta merge), so a ``jobs=N`` sweep
+  reports the same counter totals and histogram counts as the serial
+  run.
+* **Identical work runs once** — callers that can content-address
+  their tasks (the harnesses pass the mapping cache's keys) get
+  in-batch dedup: duplicate tasks collapse onto one execution and the
+  copies are marked ``deduped``.
+
+Workers are forked (POSIX), so an architecture or registry built in
+the parent before pool creation is visible in the children without
+re-imports; ambient state that changes *after* the fork (metrics
+scopes, cache scopes) is shipped per batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.parallel.pool import (
+    WorkerCrash,
+    WorkerPool,
+    get_pool,
+    pool_scope,
+    prewarm,
+    shutdown,
+    warm_pool,
+)
+from repro.parallel.tasks import (
+    BACKSTOP_SLACK,
+    PMapResult,
+    TaskTimeout,
+    fold_worker_metrics as _fold_worker_metrics,
+    in_worker,
+    run_task,
+    time_limit,
+)
+
+__all__ = [
+    "PMapResult",
+    "TaskTimeout",
+    "WorkerCrash",
+    "WorkerPool",
+    "get_pool",
+    "in_worker",
+    "pmap",
+    "pool_scope",
+    "race",
+    "shutdown",
+    "time_limit",
+    "warm_pool",
+]
+
+
+def _task_args(shared: Any, item: Any) -> tuple:
+    return (shared, item) if shared is not None else (item,)
+
+
+def pmap(
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    *,
+    jobs: int,
+    timeout: float | None = None,
+    shared: Any = None,
+    keys: Sequence[Any] | None = None,
+) -> list[PMapResult]:
+    """Apply ``fn`` to every item over the persistent worker pool.
+
+    Args:
+        fn: a picklable (module-level) callable.  Called as
+            ``fn(item)``, or ``fn(shared, item)`` when ``shared`` is
+            given.
+        items: the work list; results come back in this order.
+        jobs: worker processes.  ``jobs <= 1`` (or a call from inside
+            a worker) runs serially in-process — same semantics, no
+            pool.
+        timeout: per-task wall-clock budget in seconds (None = none).
+        shared: a batch-constant value (an architecture, a kernel
+            suite) shipped to each participating worker once per batch
+            instead of once per task.
+        keys: optional per-item dedup keys (None entries never
+            dedupe).  Items with equal keys run once; the duplicates
+            receive deep copies of the primary's result, marked
+            ``deduped``.  Only the pool path dedupes — the serial path
+            is kept byte-for-byte serial.
+
+    Returns:
+        One :class:`PMapResult` per item, submission-ordered.  The
+        call itself only raises for infrastructure failures; task
+        exceptions are returned, not raised.
+    """
+    items = list(items)
+    if keys is not None:
+        keys = list(keys)
+        if len(keys) != len(items):
+            raise ValueError("keys must align one-to-one with items")
+    if jobs <= 1 or in_worker() or len(items) <= 1:
+        return [
+            run_task(fn, _task_args(shared, item), i, timeout)
+            for i, item in enumerate(items)
+        ]
+    pool = get_pool(min(jobs, len(items)))
+    results = pool.run_batch(
+        fn, items, jobs=jobs, timeout=timeout, shared=shared, keys=keys
+    )
+    _fold_worker_metrics(results)
+    return results  # type: ignore[return-value]
+
+
+def race(
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    *,
+    jobs: int,
+    timeout: float | None = None,
+    shared: Any = None,
+    accept: Callable[[PMapResult], bool] | None = None,
+) -> list[PMapResult | None]:
+    """Run items concurrently; the lowest-index accepted result wins.
+
+    Results are examined in submission order, so the winner is
+    deterministic regardless of completion order: the first result
+    ``accept`` approves (default: :attr:`PMapResult.ok`) stops the
+    race.  Losers are cancelled *promptly* — pending entrants are
+    dropped and workers still running losers are killed and respawned
+    the moment the winner is decided, rather than drained on
+    teardown.  Serially (``jobs <= 1``, inside a worker, or one item)
+    losers past the winner are simply never started.
+
+    Returns the submission-ordered result list with ``None`` for every
+    task past the winner (losers whose outcome was discarded).
+    """
+    accept = accept if accept is not None else (lambda r: r.ok)
+    items = list(items)
+    results: list[PMapResult | None] = [None] * len(items)
+    if jobs <= 1 or in_worker() or len(items) <= 1:
+        for i, item in enumerate(items):
+            results[i] = run_task(
+                fn, _task_args(shared, item), i, timeout
+            )
+            if accept(results[i]):
+                break
+        return results
+    pool = get_pool(min(jobs, len(items)))
+    results = pool.run_batch(
+        fn, items, jobs=jobs, timeout=timeout, shared=shared,
+        accept=accept,
+    )
+    # Only examined entrants' metrics merge; cancelled losers' partial
+    # work is discarded with them (deterministic either way — the
+    # examined prefix is fixed by submission order).
+    _fold_worker_metrics(results)
+    return results

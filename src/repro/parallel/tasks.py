@@ -1,0 +1,205 @@
+"""Task primitives shared by the serial path and the pool workers.
+
+Everything here runs identically in-process and inside a persistent
+worker: the :class:`PMapResult` envelope, the SIGALRM-based
+:func:`time_limit`, and :func:`run_task`, which executes one task
+under its budget and (in a worker) collects the task's metrics
+snapshot so the parent can fold ``jobs=N`` totals to exactly the
+``jobs=1`` numbers.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.obs.metrics import MetricsRegistry, get_metrics, metrics_scope
+
+__all__ = [
+    "BACKSTOP_SLACK",
+    "PMapResult",
+    "TaskTimeout",
+    "disarm_alarm",
+    "in_worker",
+    "mark_worker",
+    "run_task",
+    "time_limit",
+]
+
+#: Parent-side backstop slack (seconds) beyond the in-worker alarm —
+#: only reached when a worker hangs outside the interpreter, where
+#: SIGALRM cannot unwind it.
+BACKSTOP_SLACK = 10.0
+
+_IN_WORKER = False
+
+
+class TaskTimeout(BaseException):
+    """A task exceeded its wall-clock budget.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so an
+    ``except Exception`` on the interrupted path — a logging handler's
+    emit guard, an import hook, a library's defensive catch — cannot
+    swallow the one-shot alarm and let the task run on unbounded.
+    Catch it by name.
+    """
+
+
+def in_worker() -> bool:
+    """True inside a :func:`repro.parallel.pmap` worker process."""
+    return _IN_WORKER
+
+
+def mark_worker() -> None:
+    """Flag this process as a pool worker.
+
+    Parallel entry points check :func:`in_worker` and degrade to their
+    serial paths, so a ``portfolio`` mapper inside a parallel
+    ``run_matrix`` sweep never forks a nested pool.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def disarm_alarm() -> None:
+    """Clear any leaked SIGALRM before the next task of a reused worker.
+
+    :func:`time_limit` unwinds its own timer, but a *task* that armed
+    SIGALRM itself and failed to clean up would deliver the stale alarm
+    mid-next-task.  The handler is parked on ``SIG_IGN`` first — not
+    ``SIG_DFL``, whose disposition for SIGALRM kills the process — so
+    even a signal already queued for delivery is discarded, then the
+    timer is cancelled.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+    signal.signal(signal.SIGALRM, signal.SIG_IGN)
+    signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
+@contextmanager
+def time_limit(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`TaskTimeout` in the block after ``seconds``.
+
+    SIGALRM-based, so it interrupts pure-Python compute loops (the
+    usual way a mapper hangs).  A no-op when ``seconds`` is None/0 or
+    when not on the main thread (signals cannot be delivered there);
+    pool workers run tasks on their main thread, so the limit is
+    always live in parallel sweeps.  Do not nest: the inner limit
+    replaces the outer timer.
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TaskTimeout(f"timeout after {seconds:g}s")
+
+    old_handler = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class PMapResult:
+    """Outcome of one :func:`repro.parallel.pmap` task, in submission order.
+
+    ``ok`` tasks carry their return value; failed ones carry the
+    raised exception (``timed_out`` distinguishes budget overruns from
+    genuine errors, so harnesses can turn the former into failure rows
+    and re-raise the latter like their serial paths would).
+    ``metrics`` is the worker's metrics-snapshot delta for this task
+    (None when no registry was active or the task ran in-process);
+    the parent folds it into its own registry.  ``deduped`` marks a
+    result copied from an identical in-flight task in the same batch
+    rather than computed — such a result did no work and therefore
+    ships no metrics.
+    """
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: BaseException | None = None
+    timed_out: bool = False
+    elapsed: float = 0.0
+    metrics: dict | None = None
+    deduped: bool = False
+
+
+def run_task(
+    fn: Callable[..., Any],
+    args: tuple,
+    index: int,
+    timeout: float | None,
+    *,
+    collect_metrics: bool = False,
+) -> PMapResult:
+    """Execute one task under its time budget.
+
+    With ``collect_metrics`` (the persistent-pool workers, when the
+    parent had a registry active at batch start) the task runs under a
+    fresh registry whose snapshot *is* the task's delta — shipped on
+    success and failure alike, since partial work counts.  In-process
+    runs ship nothing: their metrics already landed in the live
+    registry.
+    """
+    if not collect_metrics:
+        return _execute(fn, args, index, timeout, None)
+    registry = MetricsRegistry()
+    with metrics_scope(registry):
+        return _execute(fn, args, index, timeout, registry)
+
+
+def _execute(
+    fn: Callable[..., Any],
+    args: tuple,
+    index: int,
+    timeout: float | None,
+    registry: MetricsRegistry | None,
+) -> PMapResult:
+    def delta() -> dict | None:
+        if registry is None:
+            return None
+        return registry.snapshot() or None
+
+    t0 = time.perf_counter()
+    try:
+        with time_limit(timeout):
+            value = fn(*args)
+        return PMapResult(
+            index=index, ok=True, value=value,
+            elapsed=time.perf_counter() - t0, metrics=delta(),
+        )
+    except TaskTimeout as ex:
+        return PMapResult(
+            index=index, ok=False, error=ex, timed_out=True,
+            elapsed=time.perf_counter() - t0, metrics=delta(),
+        )
+    except BaseException as ex:  # pickled back; parent decides
+        return PMapResult(
+            index=index, ok=False, error=ex,
+            elapsed=time.perf_counter() - t0, metrics=delta(),
+        )
+
+
+def fold_worker_metrics(results: Sequence[PMapResult | None]) -> None:
+    """Merge worker metric deltas into the parent registry, in
+    submission order (deterministic regardless of completion order)."""
+    registry = get_metrics()
+    if not registry.enabled:
+        return
+    for res in results:
+        if res is not None and res.metrics:
+            registry.merge(res.metrics)

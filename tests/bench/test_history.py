@@ -62,6 +62,36 @@ def test_run_slice_rejects_bad_repeats(cgra):
         run_slice(cgra, repeats=0)
 
 
+def test_run_slice_parallel_same_work_counts(cgra, entry):
+    """The parallel slice changes *where* cells run, never the work:
+    its deterministic totals must match the serial entry's exactly."""
+    par = run_slice(cgra, repeats=1, label="test", jobs=2)
+    assert par["jobs"] == 2
+    assert entry["jobs"] == 1
+    assert [
+        (c["mapper"], c["kernel"], c["ok"], c["ii"])
+        for c in par["cells"]
+    ] == [
+        (c["mapper"], c["kernel"], c["ok"], c["ii"])
+        for c in entry["cells"]
+    ]
+
+    def work(metrics):
+        out = {}
+        for name, data in metrics.items():
+            if data["type"] == "counter":
+                out[name] = data["value"]
+            elif data["type"] == "histogram":
+                out[f"{name}.count"] = data["count"]
+        return out
+
+    assert work(par["metrics"]) == work(entry["metrics"])
+    # and the two entries diff cleanly in the ledger's own terms
+    comparisons = compare_entries(entry, par)
+    counts = [c for c in comparisons if c.cls == "count"]
+    assert counts and not any(c.regressed for c in counts)
+
+
 def test_append_and_load_roundtrip(entry, tmp_path):
     path = tmp_path / "history" / "simple4x4.jsonl"
     append_entry(entry, str(path))
@@ -234,3 +264,21 @@ def test_cli_record_compare_and_injected_regression(tmp_path, capsys):
 
     assert main(["bench", "list"] + common) == 0
     assert "bench history" in capsys.readouterr().out
+
+
+def test_cli_parallel_slice_keeps_its_own_ledger(tmp_path, capsys):
+    hist = str(tmp_path / "history")
+    common = [
+        "--arch", "simple4x4", "--history-dir", hist, "--repeats", "1",
+        "--slice", "parallel", "--jobs", "2",
+    ]
+    assert main(["bench", "record", "--note", "pool"] + common) == 0
+    capsys.readouterr()
+    # separate file: pool timings never diff against serial entries
+    path = tmp_path / "history" / "simple4x4-parallel.jsonl"
+    assert path.exists()
+    assert not (tmp_path / "history" / "simple4x4.jsonl").exists()
+    entries = [json.loads(l) for l in path.read_text().splitlines()]
+    assert entries[-1]["jobs"] == 2
+    assert main(["bench", "compare", "last"] + common) == 0
+    assert "0 regression(s)" in capsys.readouterr().out

@@ -1,0 +1,239 @@
+"""The persistent pool's own contracts.
+
+Reuse across calls, crash respawn, leaked-alarm hygiene between tasks
+of one long-lived worker, the ``TaskTimeout``-is-``BaseException``
+guarantee on *reused* workers (the PR 6 tests covered fork-per-call
+workers), the parent-side hard-timeout backstop, in-batch dedup, race
+loser cancellation, and the ``pool_scope`` lifecycle.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.arch import presets
+from repro.bench.harness import run_matrix
+from repro.dse.explorer import explore
+from repro.parallel import (
+    TaskTimeout,
+    WorkerCrash,
+    get_pool,
+    pmap,
+    pool_scope,
+    race,
+    shutdown,
+    warm_pool,
+)
+from repro.parallel import pool as pool_mod
+
+
+@pytest.fixture(scope="module")
+def cgra():
+    return presets.simple_cgra(4, 4)
+
+
+# --- payloads (module-level so workers can unpickle them by name) ----------
+def _double(x):
+    return 2 * x
+
+
+def _pid(_):
+    return os.getpid()
+
+
+def _crash_or_pid(item):
+    if item == "die":
+        os._exit(42)
+    return os.getpid()
+
+
+def _alarm_script(step):
+    """Task k leaks an armed SIGALRM with the *default* disposition —
+    which kills the process on delivery; task k+1 then sleeps past the
+    leaked timer.  Only the pool's between-task disarm keeps the
+    worker alive."""
+    if step == "leak":
+        signal.signal(signal.SIGALRM, signal.SIG_DFL)
+        signal.setitimer(signal.ITIMER_REAL, 0.15)
+        return "leaked"
+    time.sleep(0.4)
+    return "survived"
+
+
+def _swallow_script(step):
+    """A greedy ``except Exception`` guard on the interrupted path:
+    only a ``BaseException`` timeout can escape it."""
+    if step == "swallow":
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            try:
+                time.sleep(0.01)
+            except Exception:
+                pass
+        return "never"
+    return "ok"
+
+
+def _wedge(_):
+    # A worker stuck where SIGALRM cannot reach it (here: the signal is
+    # blocked, standing in for a hung C extension).
+    signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+    time.sleep(60)
+    return "unreachable"
+
+
+def _record_and_tag(path_and_item):
+    path, item = path_and_item
+    with open(path, "a") as fh:
+        fh.write(f"{item}\n")
+    return (item, os.getpid(), os.urandom(8).hex())
+
+
+def _race_script(item):
+    if item == "fast":
+        return "winner"
+    time.sleep(30)
+    return "loser"
+
+
+# ---------------------------------------------------------------------------
+def test_pool_persists_across_pmap_calls():
+    warm_pool(2)
+    first = set(r.value for r in pmap(_pid, [0, 1, 2, 3], jobs=2))
+    second = set(r.value for r in pmap(_pid, [0, 1, 2, 3], jobs=2))
+    pool = get_pool(2)
+    assert first == second  # same processes served both calls
+    assert first <= set(pool.pids())
+    assert os.getpid() not in first
+
+
+def test_pool_reused_across_run_matrix_and_explore_calls(cgra):
+    warm_pool(2)
+    pool = get_pool(2)
+    pids = set(pool.pids())
+    batches = pool.batches
+    run_matrix(["list_sched"], ["dot_product", "fir4"], cgra, jobs=2)
+    run_matrix(["list_sched"], ["dot_product", "fir4"], cgra, jobs=2)
+    space = [
+        {"size": 4, "topology": t, "rf_size": 2, "mem_cells": "left"}
+        for t in ("mesh", "one_hop")
+    ]
+    explore(space, ["dot_product"], jobs=2)
+    assert get_pool(2) is pool
+    assert set(pool.pids()) == pids  # no respawns, no new forks
+    assert pool.batches == batches + 3
+
+
+def test_worker_crash_is_contained_and_respawned():
+    pool = warm_pool(2)
+    respawns = pool.respawns
+    results = pmap(_crash_or_pid, ["ok1", "die", "ok2", "ok3"], jobs=2)
+    crashed = [r for r in results if not r.ok]
+    assert len(crashed) == 1
+    assert isinstance(crashed[0].error, WorkerCrash)
+    assert [r.ok for r in results] == [True, False, True, True]
+    assert pool.respawns > respawns
+    # the pool is not poisoned: the very next batch works
+    after = pmap(_double, [1, 2, 3], jobs=2)
+    assert [r.value for r in after] == [2, 4, 6]
+
+
+def test_leaked_alarm_cleared_between_tasks_of_reused_worker():
+    pool = warm_pool(2)
+    respawns = pool.respawns
+    # jobs=1 pins both tasks to one worker, in order; pmap would take
+    # the serial path, so drive the batch directly.
+    results = pool.run_batch(_alarm_script, ["leak", "sleep"], jobs=1)
+    assert [r.value for r in results] == ["leaked", "survived"]
+    assert pool.respawns == respawns  # the worker outlived the leak
+
+
+def test_timeout_escapes_except_exception_on_reused_worker():
+    pool = warm_pool(2)
+    respawns = pool.respawns
+    pids = set(pool.pids())
+    results = pool.run_batch(
+        _swallow_script, ["swallow", "ok"], jobs=1, timeout=0.3
+    )
+    assert not results[0].ok and results[0].timed_out
+    assert isinstance(results[0].error, TaskTimeout)
+    assert results[1].ok and results[1].value == "ok"
+    # the in-worker alarm unwound the task; the worker itself survived
+    assert pool.respawns == respawns
+    assert set(pool.pids()) == pids
+
+
+def test_hard_timeout_backstop_kills_only_the_wedged_worker(monkeypatch):
+    monkeypatch.setattr(pool_mod, "BACKSTOP_SLACK", 0.5)
+    pool = warm_pool(2)
+    respawns = pool.respawns
+    t0 = time.monotonic()
+    # run_batch directly: pmap's serial gate would wedge the parent
+    results = pool.run_batch(_wedge, [0], jobs=1, timeout=0.2)
+    # well under the 60s wedge: the parent condemned the worker
+    assert time.monotonic() - t0 < 30.0
+    assert not results[0].ok and results[0].timed_out
+    assert isinstance(results[0].error, TaskTimeout)
+    assert pool.respawns > respawns
+    after = pmap(_double, [5], jobs=2)
+    assert after[0].value == 10
+
+
+def test_in_batch_dedup_runs_identical_tasks_once(tmp_path):
+    warm_pool(2)
+    log = tmp_path / "ran.log"
+    items = [(str(log), "a"), (str(log), "a"), (str(log), "b")]
+    results = pmap(
+        _record_and_tag, items, jobs=2, keys=["ka", "ka", "kb"]
+    )
+    ran = log.read_text().splitlines()
+    assert sorted(ran) == ["a", "b"]  # the duplicate never executed
+    assert [r.deduped for r in results] == [False, True, False]
+    # the copy carries the primary's exact value (fresh entropy would
+    # differ had it actually run)
+    assert results[1].value == results[0].value
+    assert results[1].elapsed == 0.0
+
+
+def test_dedup_none_keys_always_run(tmp_path):
+    warm_pool(2)
+    log = tmp_path / "ran.log"
+    items = [(str(log), "a"), (str(log), "a")]
+    results = pmap(_record_and_tag, items, jobs=2, keys=[None, None])
+    assert len(log.read_text().splitlines()) == 2
+    assert not any(r.deduped for r in results)
+
+
+def test_race_cancels_losers_promptly():
+    pool = warm_pool(4)
+    cancels = pool.cancels
+    t0 = time.monotonic()
+    results = race(_race_script, ["fast", "slow", "slow", "slow"], jobs=4)
+    elapsed = time.monotonic() - t0
+    assert elapsed < 20.0  # nowhere near the losers' 30s sleeps
+    assert results[0].ok and results[0].value == "winner"
+    assert results[1:] == [None, None, None]
+    assert pool.cancels > cancels  # losers were killed, not drained
+    after = pmap(_double, [7], jobs=2)
+    assert after[0].value == 14
+
+
+def test_pool_scope_creates_and_tears_down():
+    shutdown()
+    assert pool_mod._POOL is None
+    with pool_scope(2) as pool:
+        assert pool_mod._POOL is pool
+        assert [r.value for r in pmap(_double, [1, 2], jobs=2)] == [2, 4]
+    assert pool_mod._POOL is None
+
+
+def test_pool_scope_leaves_existing_pool_running():
+    outer = warm_pool(2)
+    with pool_scope(2) as pool:
+        assert pool is outer
+    assert pool_mod._POOL is outer
+    assert [r.value for r in pmap(_double, [3], jobs=2)] == [6]

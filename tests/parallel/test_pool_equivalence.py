@@ -1,0 +1,110 @@
+"""``jobs=N`` over the persistent pool == ``jobs=1``, exactly.
+
+Byte-identical mapping rows, exact metrics-fold equivalence (counter
+values and histogram event counts; histogram sums are wall-clock and
+excluded), and in-batch dedup that provably does the work once while
+returning the same rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import presets
+from repro.bench.harness import run_matrix
+from repro.cache import MappingCache
+from repro.dse.explorer import explore
+from repro.obs.metrics import (
+    POOL_DEDUP_TOTAL,
+    MetricsRegistry,
+    metrics_scope,
+)
+from repro.parallel import warm_pool
+
+MAPPERS = ["list_sched", "edge_centric", "dresc"]
+KERNELS = ["dot_product", "fir4", "sobel_x"]
+
+
+@pytest.fixture(scope="module")
+def cgra():
+    return presets.simple_cgra(4, 4)
+
+
+def _row_sig(r):
+    # everything but the wall-clock fields
+    return (
+        r.mapper, r.kernel, r.ok, r.ii, r.schedule_length,
+        round(r.utilization, 12), r.route_steps, r.error,
+    )
+
+
+def _work_sig(registry):
+    """Deterministic work totals: counters + histogram event counts."""
+    sig = {}
+    for name, data in registry.snapshot().items():
+        if data["type"] == "counter":
+            sig[name] = data["value"]
+        elif data["type"] == "histogram":
+            sig[f"{name}.count"] = data["count"]
+    return sig
+
+
+def test_run_matrix_jobs2_equals_jobs1_rows_and_metrics(cgra):
+    warm_pool(2)
+    serial_reg = MetricsRegistry()
+    with metrics_scope(serial_reg):
+        serial = run_matrix(MAPPERS, KERNELS, cgra)
+    parallel_reg = MetricsRegistry()
+    with metrics_scope(parallel_reg):
+        parallel = run_matrix(MAPPERS, KERNELS, cgra, jobs=2)
+    assert [_row_sig(r) for r in serial] == [_row_sig(r) for r in parallel]
+    assert _work_sig(serial_reg) == _work_sig(parallel_reg)
+
+
+def test_explore_jobs2_equals_jobs1_with_metrics():
+    space = [
+        {"size": 4, "topology": t, "rf_size": rf, "mem_cells": "left"}
+        for t in ("mesh", "one_hop")
+        for rf in (2, 8)
+    ]
+    suite = ["dot_product", "fir4"]
+    warm_pool(2)
+    serial_reg = MetricsRegistry()
+    with metrics_scope(serial_reg):
+        serial = explore(space, suite)
+    parallel_reg = MetricsRegistry()
+    with metrics_scope(parallel_reg):
+        parallel = explore(space, suite, jobs=2)
+    assert serial == parallel
+    assert _work_sig(serial_reg) == _work_sig(parallel_reg)
+
+
+def test_run_matrix_dedups_identical_cells_under_cache(cgra, tmp_path):
+    warm_pool(2)
+    store = MappingCache(tmp_path / "cache")
+    registry = MetricsRegistry()
+    with metrics_scope(registry):
+        rows = run_matrix(
+            ["list_sched"], ["dot_product", "dot_product"], cgra,
+            jobs=2, cache=store,
+        )
+    assert len(rows) == 2
+    assert _row_sig(rows[0]) == _row_sig(rows[1])
+    # one execution for the pair: the duplicate was an in-batch dedup
+    # (one cache miss+store, no second run to hit it)
+    snap = registry.snapshot()
+    assert snap[POOL_DEDUP_TOTAL]["value"] == 1
+    assert store.stats.misses == 1
+    assert store.stats.hits == 0
+
+
+def test_run_matrix_no_dedup_without_cache(cgra):
+    warm_pool(2)
+    registry = MetricsRegistry()
+    with metrics_scope(registry):
+        rows = run_matrix(
+            ["list_sched"], ["dot_product", "dot_product"], cgra, jobs=2
+        )
+    assert len(rows) == 2
+    assert _row_sig(rows[0]) == _row_sig(rows[1])
+    assert POOL_DEDUP_TOTAL not in registry.snapshot()

@@ -241,8 +241,16 @@ def run_matrix(
         ):
             if res.ok:
                 row, delta = res.value
-                if active is not None and not res.deduped:
-                    active.stats.merge(delta)
+                if active is not None:
+                    if res.deduped:
+                        # A serial sweep's duplicate cell performs a
+                        # real cache get (a hit, once its primary's
+                        # mapping is stored); book the same hit for the
+                        # deduped copy so hit/miss totals stay equal
+                        # across jobs values.
+                        active.stats.hits += 1
+                    else:
+                        active.stats.merge(delta)
                 out.append(row)
                 continue
             if not res.timed_out:

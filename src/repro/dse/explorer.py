@@ -228,6 +228,14 @@ def explore(
     share a feasibility-equivalent architecture and kernel re-use each
     other's mappings — across points, across repeated sweeps, and
     (with a path argument) across processes via the shared disk tier.
+
+    In-batch dedup of identical ``(params, mapper)`` points preserves
+    the returned points and the mapping-work totals exactly, but not
+    the cache's hit/miss counters: a serial sweep's duplicate point
+    performs one cache get per mapped kernel (and a miss per failed
+    one), while the deduped copy touches the cache not at all — so a
+    parallel sweep with duplicate points reads lower on
+    ``stats.hits``/``stats.misses`` than its serial twin.
     """
     kernels = suite or ["dot_product", "fir4", "sobel_x", "if_select"]
     points = list(space if space is not None else default_space())

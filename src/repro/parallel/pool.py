@@ -31,10 +31,14 @@ process instead:
 * **Crash detection + respawn** — a worker that dies mid-task fails
   that task with :class:`WorkerCrash` (its queued-but-unstarted tasks
   are re-dispatched), is replaced, and the batch continues; a worker
-  wedged beyond ``timeout + BACKSTOP_SLACK`` (stuck outside the
-  interpreter, where SIGALRM cannot unwind it) is killed the same way
-  with a hard :class:`~repro.parallel.tasks.TaskTimeout`.  The pool
-  itself is never poisoned.
+  whose *running* task exceeds ``timeout + BACKSTOP_SLACK`` (stuck
+  outside the interpreter, where SIGALRM cannot unwind it) is killed
+  the same way with a hard
+  :class:`~repro.parallel.tasks.TaskTimeout`.  The backstop clock
+  starts when a task reaches the head of its worker's queue, never
+  while it is merely prefetched — queue wait behind a slow
+  predecessor does not count against the budget.  The pool itself is
+  never poisoned.
 * **In-batch dedup** — when the caller supplies content-addressed
   ``keys``, identical in-flight tasks collapse onto one execution and
   the duplicates receive deep copies of the primary's result (marked
@@ -241,7 +245,11 @@ class _Worker:
         self.proc = proc
         self.conn = conn
         #: task_id -> (item index, hard deadline); insertion order is
-        #: dispatch order, which the worker also completes in.
+        #: dispatch order, which the worker also completes in.  The
+        #: deadline stays ``None`` while the task is merely prefetched
+        #: behind a predecessor — it is stamped only when the task
+        #: becomes the worker's head-of-line (i.e. starts running), so
+        #: queue wait never counts against the backstop budget.
         self.tasks: dict[int, tuple[int, float | None]] = {}
         self.announced = False
 
@@ -359,7 +367,6 @@ class WorkerPool:
             raise ValueError("keys= dedup is not supported under race()")
         items = list(items)
         n = len(items)
-        self.ensure(jobs)
         self.batches += 1
 
         # Dedup plan: the indices that actually run, and who copies whom.
@@ -378,6 +385,10 @@ class WorkerPool:
         else:
             order = list(range(n))
 
+        # Grow only to what this batch can use — never fork workers
+        # that len(order) tasks could not occupy (the pool does not
+        # shrink, so overshoot would idle forever).
+        self.ensure(max(1, min(jobs, len(order))))
         results: list[PMapResult | None] = [None] * n
         workers = self._workers[: max(1, min(jobs, len(order)))]
         for w in self._workers:
@@ -397,25 +408,68 @@ class WorkerPool:
         done = 0
         winner: int | None = None
 
+        def arm_head(w: _Worker) -> None:
+            """Stamp the hard deadline on the worker's head-of-line
+            task if it is still unarmed.
+
+            Deadlines start when a task *starts running* (becomes the
+            earliest in flight), not when it is queued: a task
+            prefetched behind a slow predecessor must get its full
+            ``timeout + BACKSTOP_SLACK`` budget of its own, or long
+            tasks would spuriously hard-fail under ``jobs >= 2`` while
+            succeeding under ``jobs=1``."""
+            if timeout is None or not w.tasks:
+                return
+            head = next(iter(w.tasks))
+            i, dl = w.tasks[head]
+            if dl is None:
+                w.tasks[head] = (
+                    i, time.monotonic() + timeout + BACKSTOP_SLACK
+                )
+
+        def head_overdue(w: _Worker, now: float) -> bool:
+            """Is the worker's earliest in-flight task past its hard
+            deadline?  Later entries are unarmed by construction."""
+            if not w.tasks:
+                return False
+            _i, dl = next(iter(w.tasks.values()))
+            return dl is not None and now > dl
+
         def settle(w: _Worker, task_id: int, res: PMapResult) -> None:
             nonlocal done
             entry = w.tasks.pop(task_id, None)
             if entry is None:
                 return  # already accounted for (killed worker)
+            arm_head(w)  # the next queued task is now running
             i = entry[0]
             if results[i] is None:
                 results[i] = res
                 done += 1
                 self.tasks_run += 1
 
-        def drain(w: _Worker) -> None:
-            """Collect results the worker sent before dying/judgement."""
+        def decode_crash(detail: Any) -> WorkerCrash:
+            return WorkerCrash(
+                f"worker could not decode a task ({detail}); is"
+                " fn a module-level (importable) function?"
+            )
+
+        def drain(w: _Worker) -> WorkerCrash | None:
+            """Collect results the worker sent before dying/judgement.
+
+            Returns the decode-error diagnostic if the worker queued
+            its ``("decode_error", ...)`` sentinel, so the subsequent
+            EOF is not misreported as a generic crash."""
+            derr: WorkerCrash | None = None
             try:
                 while w.conn.poll(0):
                     task_id, res = w.conn.recv()
+                    if task_id == "decode_error":
+                        derr = decode_crash(res)
+                        continue
                     settle(w, task_id, res)
             except (EOFError, OSError):
                 pass
+            return derr
 
         def fail_worker(
             w: _Worker,
@@ -427,7 +481,9 @@ class WorkerPool:
             dispatch order is completion order), re-queue the rest, and
             respawn."""
             nonlocal done
-            drain(w)
+            derr = drain(w)
+            if error is None:
+                error = derr
             remaining = sorted(w.tasks.items())
             w.tasks.clear()
             if remaining:
@@ -478,13 +534,12 @@ class WorkerPool:
                         )
                         done += 1
                     continue
-                w.tasks[self._seq] = (
-                    i,
-                    None
-                    if timeout is None
-                    else time.monotonic() + timeout + BACKSTOP_SLACK,
-                )
+                # Queued unarmed; arm_head stamps the deadline once the
+                # task is actually running (immediately, if the worker
+                # was idle).
+                w.tasks[self._seq] = (i, None)
                 self._seq += 1
+                arm_head(w)
 
         while True:
             if done >= needed and not pending:
@@ -506,30 +561,23 @@ class WorkerPool:
                     # The worker could not unpickle a message (typically
                     # an fn defined in __main__ after the fork) and is
                     # exiting; fail its current task with the real cause.
-                    fail_worker(
-                        w,
-                        WorkerCrash(
-                            f"worker could not decode a task ({res}); is"
-                            " fn a module-level (importable) function?"
-                        ),
-                    )
+                    fail_worker(w, decode_crash(res))
                     continue
                 settle(w, task_id, res)
-            # Hard-timeout backstop: a worker wedged beyond the
-            # in-process alarm is stuck outside the interpreter; kill
-            # just that worker, not the pool.
+            # Hard-timeout backstop: a worker whose *running* task is
+            # past its deadline is wedged beyond the in-process alarm,
+            # stuck outside the interpreter; kill just that worker,
+            # not the pool.  Only the head-of-line task is armed, so
+            # prefetched tasks cannot trip the backstop from queue
+            # wait.
             now = time.monotonic()
             for w in list(workers):
-                if not any(
-                    dl is not None and now > dl
-                    for (_i, dl) in w.tasks.values()
-                ):
+                if not head_overdue(w, now):
                     continue
-                drain(w)  # the task may have finished this tick
-                if any(
-                    dl is not None and now > dl
-                    for (_i, dl) in w.tasks.values()
-                ):
+                derr = drain(w)  # the task may have finished this tick
+                if derr is not None:
+                    fail_worker(w, derr)
+                elif head_overdue(w, now):
                     fail_worker(
                         w,
                         TaskTimeout(

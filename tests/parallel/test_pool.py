@@ -78,6 +78,11 @@ def _swallow_script(step):
     return "ok"
 
 
+def _sleep_for(seconds):
+    time.sleep(seconds)
+    return "done"
+
+
 def _wedge(_):
     # A worker stuck where SIGALRM cannot reach it (here: the signal is
     # blocked, standing in for a hung C extension).
@@ -181,6 +186,39 @@ def test_hard_timeout_backstop_kills_only_the_wedged_worker(monkeypatch):
     assert pool.respawns > respawns
     after = pmap(_double, [5], jobs=2)
     assert after[0].value == 10
+
+
+def test_backstop_clock_starts_at_head_of_line_not_queue(monkeypatch):
+    monkeypatch.setattr(pool_mod, "BACKSTOP_SLACK", 0.2)
+    pool = warm_pool(2)
+    respawns = pool.respawns
+    # Two 0.5s tasks pinned to one worker under timeout=0.7: the second
+    # is prefetched at t~0 and only starts at t~0.5.  A deadline
+    # stamped at queue time (0.7 + 0.2 slack = t=0.9) would condemn it
+    # at 0.4s into its own run, well inside its SIGALRM budget;
+    # head-of-line arming gives it the full budget from t~0.5, so both
+    # tasks succeed exactly as they would under a serial run.
+    results = pool.run_batch(_sleep_for, [0.5, 0.5], jobs=1, timeout=0.7)
+    assert [(r.ok, r.value) for r in results] == [
+        (True, "done"), (True, "done")
+    ]
+    assert not any(r.timed_out for r in results)
+    assert pool.respawns == respawns  # no worker was condemned
+
+
+def test_run_batch_clamps_growth_to_batch_width():
+    shutdown()
+    pool = get_pool(1)
+    # Two items sharing one dedup key: one real task, so jobs=8 must
+    # not fork a single extra worker (the pool never shrinks).
+    results = pool.run_batch(_double, [5, 5], jobs=8, keys=["k", "k"])
+    assert [r.value for r in results] == [10, 10]
+    assert results[1].deduped
+    assert pool.size == 1
+    # Without dedup the batch width is len(items), still not jobs.
+    results = pool.run_batch(_double, [1, 2, 3], jobs=8)
+    assert [r.value for r in results] == [2, 4, 6]
+    assert pool.size == 3
 
 
 def test_in_batch_dedup_runs_identical_tasks_once(tmp_path):

@@ -91,11 +91,21 @@ def test_run_matrix_dedups_identical_cells_under_cache(cgra, tmp_path):
     assert len(rows) == 2
     assert _row_sig(rows[0]) == _row_sig(rows[1])
     # one execution for the pair: the duplicate was an in-batch dedup
-    # (one cache miss+store, no second run to hit it)
+    # (one cache miss+store); the deduped copy books a synthetic hit,
+    # mirroring the cache get a serial sweep's duplicate cell performs
     snap = registry.snapshot()
     assert snap[POOL_DEDUP_TOTAL]["value"] == 1
     assert store.stats.misses == 1
-    assert store.stats.hits == 0
+    assert store.stats.hits == 1
+    # ...so hit/miss totals match a serial run of the same matrix
+    serial_store = MappingCache(tmp_path / "serial_cache")
+    run_matrix(
+        ["list_sched"], ["dot_product", "dot_product"], cgra,
+        cache=serial_store,
+    )
+    assert (serial_store.stats.hits, serial_store.stats.misses) == (
+        store.stats.hits, store.stats.misses
+    )
 
 
 def test_run_matrix_no_dedup_without_cache(cgra):

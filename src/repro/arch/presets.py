@@ -157,10 +157,13 @@ PRESETS = {
     "simple4x4": lambda: simple_cgra(4, 4),
     "simple2x2": lambda: simple_cgra(2, 2),
     "simple8x8": lambda: simple_cgra(8, 8),
+    "simple16x16": lambda: simple_cgra(16, 16),
+    "simple32x32": lambda: simple_cgra(32, 32),
     "adres4x4": lambda: adres_like(4, 4),
     "morphosys8x8": lambda: morphosys_like(8, 8),
     "hycube4x4": lambda: hycube_like(4, 4),
     "hetero4x4": lambda: heterogeneous(4, 4),
+    "hetero16x16": lambda: heterogeneous(16, 16),
 }
 
 

@@ -35,6 +35,7 @@ __all__ = [
     "DEFAULT_HISTORY_DIR",
     "DEFAULT_REPEATS",
     "DEFAULT_SLICE",
+    "PLACE_SLICE",
     "Comparison",
     "append_entry",
     "compare_entries",
@@ -57,6 +58,20 @@ DEFAULT_SLICE = (
     ("list_sched", "dot_product"),
     ("edge_centric", "sobel_x"),
     ("dresc", "dot_product"),
+)
+
+#: The large-fabric placement slice (``repro bench record --slice
+#: place --arch simple16x16``): the clustered two-phase placer on a
+#: 200-op dataflow chain — the scale the flat annealer cannot reach —
+#: plus the flat annealer on the same instance as the contrast cell
+#: (recorded failing; a baseline where it *starts* succeeding is also
+#: a change worth noticing).  Guards the partition -> analytical seed
+#: -> batched-refine pipeline's wall-clock, which no 4x4 cell
+#: exercises.
+PLACE_SLICE = (
+    ("cluster", "layered:200:1:1"),
+    ("cluster", "layered:120:1:7"),
+    ("sa_spatial", "layered:200:1:1"),
 )
 
 DEFAULT_REPEATS = 3

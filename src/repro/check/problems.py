@@ -9,11 +9,13 @@ the driver reports can be regenerated from its seed alone.
 
 The mapper rotates with the seed (``mappers[seed % len(mappers)]``),
 so a contiguous seed range covers every registered mapper evenly —
-``repro fuzz --seeds 0:200`` exercises all 23 mappers ~8 times each
-without paying for the full 200 x 23 product.  Graph sizes scale with
-the selected mapper's technique family: exact methods get the small
-instances their solvers can settle quickly, heuristics get wider and
-deeper graphs.
+``repro fuzz --seeds 0:200`` exercises all 24 mappers ~8 times each
+without paying for the full 200 x 24 product.  Graph sizes scale with
+the selected mapper's technique family *and* the fabric: exact
+methods get the small instances their solvers can settle quickly,
+heuristics get wider and deeper graphs, and fabrics beyond the
+default 4x4s raise the op ceiling so big arrays still see contention
+(:func:`_size_budget`).
 """
 
 from __future__ import annotations
@@ -48,12 +50,36 @@ DEFAULT_ARCHS = ("simple4x4", "adres4x4", "hycube4x4")
 
 # Graph-size budget per technique family: (min_ops, max_ops), before
 # the generators' own bookkeeping nodes (layered() may append up to
-# width-1 XOR combiners so every sink stays live).
+# width-1 XOR combiners so every sink stays live).  Calibrated for the
+# default 4x4 fabrics (16 compute cells); see :func:`_size_budget` for
+# how larger fabrics scale the ceiling.
 _SIZE_BUDGET = {
     "exact": (3, 6),
     "metaheuristic": (3, 8),
     "heuristic": (4, 12),
 }
+
+#: Compute-cell count the ``_SIZE_BUDGET`` tables assume.  Budgets for
+#: fabrics at or below this stay exactly as tabulated, so the historic
+#: 4x4 sweep corpus regenerates byte-identically.
+_BASELINE_CELLS = 16
+
+
+def _size_budget(family: str, n_compute: int) -> tuple[int, int]:
+    """Op-count budget for a technique family on an ``n_compute`` fabric.
+
+    A 12-op graph that stresses a 4x4 array rattles around inside a
+    16x16 one — spatial mappers would never see contention and temporal
+    mappers never see II pressure.  Heuristic and metaheuristic budgets
+    therefore scale with the fabric (to ~40% occupancy at the ceiling,
+    capped so cases stay sub-second); exact solvers keep their small
+    instances regardless — their cost explodes with ops, not cells.
+    """
+    lo, hi = _SIZE_BUDGET[family]
+    if n_compute <= _BASELINE_CELLS or family == "exact":
+        return lo, hi
+    scaled = hi * n_compute // (_BASELINE_CELLS * 2)
+    return lo, min(max(hi, scaled), 96)
 
 
 @dataclass(frozen=True)
@@ -111,7 +137,8 @@ def case_cgra(case: Case) -> CGRA:
 def case_dfg(case: Case) -> DFG:
     """Build the case's application graph (deterministic in the seed)."""
     rng = random.Random(0xD1F6 ^ case.seed)
-    lo, hi = _SIZE_BUDGET[_mapper_family(case.mapper)]
+    n_compute = len(case_cgra(case).compute_cells())
+    lo, hi = _size_budget(_mapper_family(case.mapper), n_compute)
     n_ops = rng.randint(lo, hi)
     if case.family == "layered":
         return randdfg.layered(

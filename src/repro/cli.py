@@ -89,6 +89,12 @@ def resolve_name(name: str, candidates: list[str], what: str) -> str:
 def _resolve_kernel(name: str) -> str:
     from repro.ir import kernels
 
+    if ":" in name:  # generator spec, e.g. layered:200:1:1 — no fuzzing
+        try:
+            kernels.kernel(name)
+        except KeyError as ex:
+            raise SystemExit(str(ex.args[0])) from None
+        return name
     return resolve_name(name, list(kernels.kernel_names()), "kernel")
 
 
@@ -482,11 +488,17 @@ def _cmd_bench(args) -> int:
     from repro.bench import history
 
     arch = _resolve_arch(args.arch)
-    # The parallel slice keeps its own ledger file: its timings measure
-    # the pool's steady state, not the mappers, and must never be
-    # diffed against serial entries.
-    suffix = "-parallel" if args.slice == "parallel" else ""
+    # Non-default slices keep their own ledger files: the parallel
+    # slice's timings measure the pool's steady state and the place
+    # slice runs different cells on a different fabric class; neither
+    # may be diffed against serial default entries.
+    suffix = "" if args.slice == "default" else f"-{args.slice}"
     jobs = args.jobs if args.slice == "parallel" else 1
+    cells = (
+        history.PLACE_SLICE
+        if args.slice == "place"
+        else history.DEFAULT_SLICE
+    )
     path = os.path.join(args.history_dir, f"{arch}{suffix}.jsonl")
     if args.action == "list":
         entries = history.load_entries(path)
@@ -499,7 +511,8 @@ def _cmd_bench(args) -> int:
     cgra = presets.by_name(arch)
     if args.action == "record":
         entry = history.run_slice(
-            cgra, repeats=args.repeats, label=args.note, jobs=jobs
+            cgra, cells=cells, repeats=args.repeats,
+            label=args.note, jobs=jobs,
         )
         history.append_entry(entry, path)
         print(history.render_entries(history.load_entries(path)))
@@ -514,7 +527,9 @@ def _cmd_bench(args) -> int:
     except ValueError as ex:
         print(f"error: {ex}", file=sys.stderr)
         return 2
-    fresh = history.run_slice(cgra, repeats=args.repeats, jobs=jobs)
+    fresh = history.run_slice(
+        cgra, cells=cells, repeats=args.repeats, jobs=jobs
+    )
     tolerances = {}
     if args.time_tolerance is not None:
         tolerances["time"] = (
@@ -692,10 +707,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="runs per cell; the ledger records the median (default 3)",
     )
     p.add_argument(
-        "--slice", choices=["default", "parallel"], default="default",
+        "--slice", choices=["default", "parallel", "place"],
+        default="default",
         help="'parallel' runs the slice over the pre-warmed worker"
              " pool and keeps its own per-arch ledger file, so pool"
-             " regressions are tracked separately from mapper ones",
+             " regressions are tracked separately from mapper ones;"
+             " 'place' runs the large-fabric placement cells (pair"
+             " with --arch simple16x16)",
     )
     p.add_argument(
         "--jobs", type=int, default=2, metavar="N",

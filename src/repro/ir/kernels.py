@@ -57,24 +57,63 @@ _BUILT: dict[str, DFG] = {}
 
 
 def kernel(name: str) -> DFG:
-    """Build a registered kernel by name.
+    """Build a registered kernel by name, or a generator spec.
 
     Construction is memoized per process — the factories are pure and
     the harnesses request the same few kernels over and over — but
     every call returns a fresh :meth:`~repro.ir.dfg.DFG.copy`, so a
     caller that rewrites its graph in place (the pass pipelines do)
     cannot poison the next caller's.
+
+    Names containing ``:`` are *generator specs* rather than registry
+    entries: ``layered:N[:WIDTH[:SEED]]`` builds the deterministic
+    :func:`repro.ir.randdfg.layered` instance of ``N`` ops (width
+    defaults to 2, seed to 0; ``WIDTH=1`` draws from the unary pool so
+    the result is a pure dataflow chain).  This is how the scaling
+    benchmarks name instances far beyond the hand-written library —
+    the perf ledger's place slice records ``layered:200:1:1`` cells
+    the same way it records ``dot_product`` ones.
     """
     built = _BUILT.get(name)
     if built is None:
-        try:
-            factory = KERNELS[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
-            ) from None
-        built = _BUILT[name] = factory()
+        if ":" in name:
+            built = _BUILT[name] = _spec_kernel(name)
+        else:
+            try:
+                factory = KERNELS[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown kernel {name!r};"
+                    f" available: {sorted(KERNELS)}"
+                ) from None
+            built = _BUILT[name] = factory()
     return built.copy()
+
+
+def _spec_kernel(spec: str) -> DFG:
+    """Parse a ``family:arg...`` generator spec (see :func:`kernel`)."""
+    from repro.ir import randdfg
+
+    family, *args = spec.split(":")
+    if family != "layered" or not 1 <= len(args) <= 3:
+        raise KeyError(
+            f"unknown kernel spec {spec!r};"
+            " expected layered:N[:WIDTH[:SEED]]"
+        )
+    try:
+        n_ops = int(args[0])
+        width = int(args[1]) if len(args) > 1 else 2
+        seed = int(args[2]) if len(args) > 2 else 0
+    except ValueError:
+        raise KeyError(
+            f"non-integer field in kernel spec {spec!r}"
+        ) from None
+    if n_ops < 1 or width < 1:
+        raise KeyError(f"kernel spec {spec!r} needs N >= 1, WIDTH >= 1")
+    ops = randdfg._UNOPS if width == 1 else None
+    return randdfg.layered(
+        n_ops, seed=seed, width=width, max_skip=1, ops=ops
+    )
 
 
 def kernel_names() -> list[str]:

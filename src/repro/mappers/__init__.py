@@ -8,6 +8,7 @@ mapper-to-citation table.
 
 from repro.mappers import (  # noqa: F401
     bnb_mapper,
+    cluster,
     crimson,
     csp_mapper,
     dresc,

@@ -1,0 +1,198 @@
+"""Recursive min-cut DFG partitioning (Fiduccia–Mattheyses-style).
+
+The clustered placer's first phase: carve the application graph into
+connectivity-dense clusters small enough to sit inside one fabric
+region.  The partitioner is the classic recipe — recursive balanced
+bisection, each cut refined by Fiduccia–Mattheyses passes (move one
+node at a time across the cut, greedily by gain, keep the best prefix
+of the move sequence) — kept deliberately simple: pure python, integer
+weights, deterministic for a fixed input.
+
+Edges here are *undirected connectivity weights* between compute
+nodes: the number of routable DFG edges joining the pair.  Minimising
+the cut therefore minimises exactly the values that would have to
+cross between fabric regions after placement — the term the detailed
+refinement annealer then pays for in wirelength.
+
+Recursion order is meaningful: :func:`partition` returns the clusters
+in left-to-right recursion order, which is a linear arrangement of the
+bisection tree — consecutive clusters in the returned list are
+connectivity-close, so a snake walk over fabric regions is already a
+good global seed.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dfg import DFG
+
+__all__ = ["build_adjacency", "bisect_nodes", "partition"]
+
+#: FM refinement passes per bisection (each pass is one full sweep of
+#: tentative moves; passes stop early once a sweep finds no gain).
+_FM_PASSES = 4
+
+
+def build_adjacency(dfg: DFG) -> dict[int, dict[int, int]]:
+    """Undirected connectivity weights between non-pseudo nodes.
+
+    ``adj[u][v]`` counts the routable DFG edges joining ``u`` and
+    ``v`` (either direction; self edges are ignored — they never cross
+    a cut).
+    """
+    adj: dict[int, dict[int, int]] = {
+        n.nid: {} for n in dfg.nodes() if not n.op.is_pseudo
+    }
+    for e in dfg.edges():
+        if e.src == e.dst or e.src not in adj or e.dst not in adj:
+            continue
+        adj[e.src][e.dst] = adj[e.src].get(e.dst, 0) + 1
+        adj[e.dst][e.src] = adj[e.dst].get(e.src, 0) + 1
+    return adj
+
+
+def _seed_split(
+    nodes: list[int], adj: dict[int, dict[int, int]]
+) -> tuple[set[int], set[int]]:
+    """Initial halves: BFS-grow one side from a peripheral node.
+
+    Growing from a minimum-degree node keeps the seed cut small for
+    chain- and grid-like graphs; the FM passes do the rest.  Degrees
+    are counted within the *induced* subgraph — a sub-segment's true
+    periphery, not the full graph's — so recursion keeps growing each
+    left half from the low end of its segment and the concatenated
+    cluster order stays a linear arrangement.  Fully deterministic:
+    ties break on node id, neighbours are visited heaviest-link first.
+    """
+    member = set(nodes)
+    target = len(nodes) - len(nodes) // 2  # left gets the ceil half
+    left: set[int] = set()
+
+    def induced_degree(nid: int) -> int:
+        return sum(w for u, w in adj[nid].items() if u in member)
+
+    pending = sorted(nodes, key=lambda n: (induced_degree(n), n))
+    frontier: list[int] = []
+    while len(left) < target:
+        if not frontier:
+            start = next(n for n in pending if n not in left)
+            left.add(start)
+            frontier.append(start)
+            if len(left) >= target:
+                break
+        cur = frontier.pop(0)
+        for nbr, _w in sorted(
+            adj[cur].items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            if nbr in member and nbr not in left:
+                left.add(nbr)
+                frontier.append(nbr)
+                if len(left) >= target:
+                    break
+    return left, member - left
+
+
+def _fm_pass(
+    nodes: list[int],
+    adj: dict[int, dict[int, int]],
+    side: dict[int, bool],
+    min_side: int,
+) -> int:
+    """One FM sweep; mutates ``side`` to the best prefix, returns gain.
+
+    Every node is tentatively moved once (greedily by gain, balance
+    permitting); the sweep then rolls back to the prefix with the best
+    cumulative cut improvement.  Returns that improvement (>= 0).
+    """
+
+    def gain(v: int) -> int:
+        g = 0
+        sv = side[v]
+        for u, w in adj[v].items():
+            if u in side:
+                g += w if side[u] != sv else -w
+        return g
+
+    sizes = [0, 0]
+    for v in nodes:
+        sizes[side[v]] += 1
+    locked: set[int] = set()
+    gains = {v: gain(v) for v in nodes}
+    history: list[int] = []
+    cumulative = 0
+    best_gain, best_len = 0, 0
+    while len(locked) < len(nodes):
+        best_v = None
+        for v in nodes:
+            if v in locked or sizes[side[v]] - 1 < min_side:
+                continue
+            if best_v is None or (gains[v], -v) > (gains[best_v], -best_v):
+                best_v = v
+        if best_v is None:
+            break
+        sv = side[best_v]
+        sizes[sv] -= 1
+        sizes[not sv] += 1
+        side[best_v] = not sv
+        locked.add(best_v)
+        cumulative += gains[best_v]
+        history.append(best_v)
+        for u in adj[best_v]:
+            if u in side and u not in locked:
+                gains[u] = gain(u)
+        if cumulative > best_gain:
+            best_gain, best_len = cumulative, len(history)
+    for v in history[best_len:]:  # roll back past the best prefix
+        side[v] = not side[v]
+    return best_gain
+
+
+def bisect_nodes(
+    nodes: list[int], adj: dict[int, dict[int, int]]
+) -> tuple[list[int], list[int]]:
+    """Split ``nodes`` into two balanced halves with a small cut."""
+    if len(nodes) < 2:
+        return list(nodes), []
+    left, right = _seed_split(nodes, adj)
+    side = {v: False for v in left}
+    side.update({v: True for v in right})
+    n = len(nodes)
+    min_side = max(1, n // 2 - max(1, n // 8))
+    for _ in range(_FM_PASSES):
+        if _fm_pass(nodes, adj, side, min_side) <= 0:
+            break
+    out_left = sorted(v for v in nodes if not side[v])
+    out_right = sorted(v for v in nodes if side[v])
+    return out_left, out_right
+
+
+def partition(
+    dfg: DFG,
+    capacity: int,
+    *,
+    adj: dict[int, dict[int, int]] | None = None,
+) -> list[list[int]]:
+    """Cluster the compute nodes into groups of at most ``capacity``.
+
+    Returned in bisection-tree order (see module docstring); every
+    non-pseudo node appears in exactly one cluster.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if adj is None:
+        adj = build_adjacency(dfg)
+    out: list[list[int]] = []
+
+    def recurse(nodes: list[int]) -> None:
+        if len(nodes) <= capacity:
+            if nodes:
+                out.append(nodes)
+            return
+        left, right = bisect_nodes(nodes, adj)
+        if not left or not right:  # degenerate split: hard-halve
+            mid = len(nodes) // 2
+            left, right = nodes[:mid], nodes[mid:]
+        recurse(left)
+        recurse(right)
+
+    recurse(sorted(adj))
+    return out

@@ -16,6 +16,7 @@ wirelength + congestion objective the meta-heuristics minimise;
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
 
@@ -26,6 +27,8 @@ from repro.ir.dfg import DFG, Edge
 
 __all__ = [
     "route_spatial",
+    "route_spatial_partial",
+    "route_negotiated",
     "spatial_cost",
     "incident_edges",
     "finalize",
@@ -97,19 +100,26 @@ def incident_edges(dfg: DFG) -> dict[int, list[Edge]]:
     return table
 
 
-def route_spatial(
-    dfg: DFG, cgra: CGRA, binding: dict[int, int]
-) -> dict[Edge, list[Step]] | None:
-    """Claim route cells for every non-adjacent edge; None on failure.
+def route_spatial_partial(
+    dfg: DFG,
+    cgra: CGRA,
+    binding: dict[int, int],
+    *,
+    stop_on_fail: bool = False,
+) -> tuple[dict[Edge, list[Step]], list[Edge]]:
+    """Route what routes; report the edges that would not.
 
-    Route cells must be free of operations and carry one value each;
-    edges of the same value may share cells (fan-out).  Edges are
-    routed longest-first (hardest first), each by BFS over usable
-    cells.
+    Same algorithm and edge order as :func:`route_spatial`, but instead
+    of bailing at the first unroutable edge it records that edge and
+    keeps going, so a repair loop can learn *every* problem spot from
+    one routing attempt (the clustered placer escalates those edges'
+    weights and re-anneals).  ``stop_on_fail=True`` restores the
+    bail-early behaviour for callers that only need a yes/no.
     """
     op_cells = set(binding.values())
     owner: dict[int, int] = {}  # route cell -> value
     routes: dict[Edge, list[Step]] = {}
+    failed: list[Edge] = []
 
     edges = _routable_edges(dfg)
     edges.sort(
@@ -144,7 +154,10 @@ def route_spatial(
                     prev[n] = cur
                     q.append(n)
         if goal is None:
-            return None
+            failed.append(e)
+            if stop_on_fail:
+                return routes, failed
+            continue
         chain: list[int] = []
         cur = goal
         while cur != -1:
@@ -154,7 +167,143 @@ def route_spatial(
         for cell in chain:
             owner[cell] = e.src
         routes[e] = [Step(cell, i, ROUTE) for i, cell in enumerate(chain)]
-    return routes
+    return routes, failed
+
+
+def route_negotiated(
+    dfg: DFG,
+    cgra: CGRA,
+    binding: dict[int, int],
+    *,
+    max_iters: int = 16,
+) -> dict[Edge, list[Step]] | None:
+    """PathFinder-style negotiated routing; None if it cannot converge.
+
+    The greedy router (:func:`route_spatial_partial`) claims cells
+    first-come-first-served, so a perfectly routable placement can
+    still fail on ordering artifacts.  This router negotiates instead,
+    with the classic rip-up-and-reroute loop: occupancy is persistent
+    across iterations, each edge is ripped up and re-routed by
+    Dijkstra against *everyone else's current path*, sharing a cell
+    between different values is allowed but increasingly expensive
+    (present congestion grows each iteration; cells that stay
+    contested accumulate history cost).  Converged means no cell
+    carries two values — the same legality :func:`route_spatial`
+    enforces, including fan-out sharing within one value.
+    """
+    op_cells = set(binding.values())
+    edges = [
+        e
+        for e in _routable_edges(dfg)
+        if binding[e.src] != binding[e.dst]
+        and not cgra.has_link(binding[e.src], binding[e.dst])
+    ]
+    if not edges:
+        return {}
+    edges.sort(
+        key=lambda e: -cgra.distance(binding[e.src], binding[e.dst])
+    )
+    hist: dict[int, float] = {}
+    paths: dict[Edge, list[int]] = {}
+    # Persistent occupancy: cell -> value -> number of paths through.
+    # Counts (not a set) so ripping up one edge of a fan-out does not
+    # erase its sibling's claim on a shared cell.
+    occ: dict[int, dict[int, int]] = {}
+
+    def claim(path: list[int], value: int, add: bool) -> None:
+        for c in path:
+            counts = occ.setdefault(c, {})
+            if add:
+                counts[value] = counts.get(value, 0) + 1
+            else:
+                counts[value] -= 1
+                if not counts[value]:
+                    del counts[value]
+
+    def dijkstra(
+        src: int, dst: int, value: int, pressure: float
+    ) -> list[int] | None:
+        def enter_cost(cell: int) -> float | None:
+            if cell in op_cells:
+                return None
+            counts = occ.get(cell)
+            n_others = (
+                sum(1 for v in counts if v != value) if counts else 0
+            )
+            return (
+                1.0
+                + hist.get(cell, 0.0)
+                + pressure * n_others
+            )
+
+        dist: dict[int, float] = {}
+        prev: dict[int, int] = {}
+        heap: list[tuple[float, int, int]] = []
+        for n in cgra.neighbors_out(src):
+            c = enter_cost(n)
+            if c is not None and n not in dist:
+                dist[n] = c
+                prev[n] = -1
+                heapq.heappush(heap, (c, n, -1))
+        while heap:
+            d, cur, _ = heapq.heappop(heap)
+            if d > dist.get(cur, float("inf")):
+                continue
+            if cgra.has_link(cur, dst):
+                chain = [cur]
+                while prev[chain[-1]] != -1:
+                    chain.append(prev[chain[-1]])
+                chain.reverse()
+                return chain
+            for n in cgra.neighbors_out(cur):
+                c = enter_cost(n)
+                if c is None:
+                    continue
+                nd = d + c
+                if nd < dist.get(n, float("inf")):
+                    dist[n] = nd
+                    prev[n] = cur
+                    heapq.heappush(heap, (nd, n, cur))
+        return None
+
+    for it in range(max_iters):
+        pressure = 1.0 + 2.0 * it
+        for e in edges:
+            old = paths.get(e)
+            if old is not None:
+                claim(old, e.src, add=False)
+            path = dijkstra(
+                binding[e.src], binding[e.dst], e.src, pressure
+            )
+            if path is None:
+                return None  # walled off: no path at any price
+            paths[e] = path
+            claim(path, e.src, add=True)
+        over = [c for c, counts in occ.items() if len(counts) > 1]
+        if not over:
+            return {
+                e: [Step(c, i, ROUTE) for i, c in enumerate(p)]
+                for e, p in paths.items()
+            }
+        for c in over:
+            hist[c] = hist.get(c, 0.0) + float(len(occ[c]) - 1)
+    return None
+
+
+def route_spatial(
+    dfg: DFG, cgra: CGRA, binding: dict[int, int]
+) -> dict[Edge, list[Step]] | None:
+    """Claim route cells for every non-adjacent edge; None on failure.
+
+    Route cells must be free of operations and carry one value each;
+    edges of the same value may share cells (fan-out).  Edges are
+    routed longest-first (hardest first), each by BFS over usable
+    cells.
+    """
+    routes, failed = route_spatial_partial(
+        dfg, cgra, binding, stop_on_fail=True
+    )
+    return None if failed else routes
 
 
 def finalize(

@@ -96,6 +96,38 @@ def test_preset_registry():
         presets.by_name("weird")
 
 
+def test_preset_error_lists_every_name_sorted():
+    """The unknown-preset message is the CLI's discovery surface: it
+    must enumerate the full registry, sorted."""
+    with pytest.raises(KeyError) as ei:
+        presets.by_name("nope")
+    msg = str(ei.value)
+    assert str(sorted(presets.PRESETS)) in msg
+
+
+def test_preset_fingerprints_roundtrip_and_distinct():
+    """Every preset rebuilds to the same fingerprint (they are pure
+    factories), and no two presets collide."""
+    from repro.cache.fingerprint import arch_fingerprint
+
+    fps = {}
+    for name in presets.PRESETS:
+        first = arch_fingerprint(presets.by_name(name))
+        again = arch_fingerprint(presets.by_name(name))
+        assert first == again, name
+        fps[name] = first
+    assert len(set(fps.values())) == len(fps)
+
+
+def test_equal_presets_share_distance_table():
+    """Rebuilding a preset must reuse the module-level all-pairs
+    table rather than re-running the BFS sweep."""
+    a = presets.by_name("simple8x8")
+    b = presets.by_name("simple8x8")
+    assert a.distance_table() is b.distance_table()
+    assert a.distance(0, a.n_cells - 1) == (a.width - 1) + (a.height - 1)
+
+
 def test_adres_like_has_diagonals_and_left_memory():
     cgra = presets.adres_like(4, 4)
     assert cgra.has_link(0, 5)  # diagonal

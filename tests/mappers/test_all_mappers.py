@@ -32,7 +32,7 @@ def cgra():
 
 
 def test_registry_count_matches_design():
-    assert len(names()) == 23
+    assert len(names()) == 24
 
 
 def test_every_family_represented():

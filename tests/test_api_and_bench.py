@@ -17,7 +17,7 @@ def test_package_exports():
 
 def test_available_mappers_shape():
     cat = available_mappers()
-    assert len(cat) == 23
+    assert len(cat) == 24
     sample = cat["list_sched"]
     assert set(sample) >= {
         "family", "subfamily", "kinds", "exact", "solves",

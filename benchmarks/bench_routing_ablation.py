@@ -5,8 +5,16 @@ greedily (first feasible path wins) while SPR negotiates congestion
 PathFinder-style.  On congested instances, negotiation routes edge
 sets the greedy router gives up on; on easy instances both succeed and
 greedy is cheaper.
+
+Runnable as a script too: ``python bench_routing_ablation.py
+--engine flat|scalar|both`` runs the same cells through the chosen
+search engine (``flat`` = the array core in
+:mod:`repro.mappers.routecore`, ``scalar`` = the original dict/heapq
+reference; see DESIGN.md §13) so the disciplines can be compared on
+either implementation, or both side by side.
 """
 
+import argparse
 import time
 
 from repro.arch import presets
@@ -30,10 +38,10 @@ def _congested_instance(cgra):
     return occ, reqs
 
 
-def _run(router_kind: str):
+def _run(router_kind: str, engine: str = "flat"):
     cgra = presets.simple_cgra(3, 3)
     occ, reqs = _congested_instance(cgra)
-    router = Router(cgra)
+    router = Router(cgra, engine=engine)
     routed = 0
     total_len = 0
     t0 = time.perf_counter()
@@ -50,6 +58,7 @@ def _run(router_kind: str):
     dt = 1000 * (time.perf_counter() - t0)
     return {
         "router": router_kind,
+        "engine": engine,
         "routed": f"{routed}/{len(reqs)}",
         "steps": total_len,
         "time_ms": round(dt, 3),
@@ -74,6 +83,25 @@ def test_routing_ablation(benchmark):
     assert negotiated["_routed"] == 3
 
 
+def test_ablation_engine_independent(benchmark):
+    """The ablation's conclusion must not depend on the engine: flat
+    and scalar route the same edge sets with the same step counts."""
+    rows = benchmark.pedantic(
+        lambda: [
+            _run(kind, engine)
+            for kind in ("greedy", "negotiated")
+            for engine in ("flat", "scalar")
+        ],
+        iterations=1, rounds=1,
+    )
+    by_kind = {}
+    for r in rows:
+        by_kind.setdefault(r["router"], []).append(r)
+    for kind, pair in by_kind.items():
+        assert pair[0]["routed"] == pair[1]["routed"], kind
+        assert pair[0]["steps"] == pair[1]["steps"], kind
+
+
 def test_easy_instance_both_succeed(benchmark):
     cgra = presets.simple_cgra(4, 4)
 
@@ -89,3 +117,29 @@ def test_easy_instance_both_succeed(benchmark):
     assert greedy is not None and nego is not None
     # Same path length on an uncongested fabric.
     assert len(greedy) == len(nego[0])
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--engine", choices=["flat", "scalar", "both"], default="flat",
+        help="route-search engine to ablate on (default flat; 'both'"
+        " prints the two engines side by side)",
+    )
+    args = ap.parse_args(argv)
+    engines = ["flat", "scalar"] if args.engine == "both" else [args.engine]
+    rows = [
+        _run(kind, engine)
+        for engine in engines
+        for kind in ("greedy", "negotiated")
+    ]
+    print(ascii_table(
+        [{k: v for k, v in r.items() if not k.startswith("_")}
+         for r in rows],
+        title="Routing ablation — congested 3x3",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,27 @@ LARGE_TIMEOUT = 60.0
 LARGE_MAPPERS = ("cluster", "sa_spatial", "graph_drawing", "dresc")
 LARGE_FLAGSHIP_ONLY = ("graph_drawing",)  # minutes-slow: flagship cell only
 
+#: Extra-large fabrics: the clustered placer on the 150-op chain.
+#: The 32x32 cell gates (it must keep succeeding inside the budget);
+#: the 64x64 cell is informational — it demonstrates the flat routing
+#: core holds up at 4096 cells, but a slow CI box must not fail the
+#: bench over it.
+XL_CELLS = (
+    ("simple32x32", "layered:150:1:1", True),
+    ("simple64x64", "layered:150:1:1", False),
+)
+
+#: Routing-engine comparison (DESIGN.md §13): PathFinder negotiation
+#: over displaced-serpentine placements of the 150-op chain on 32x32 —
+#: mostly dedicated corridors plus every-k-th-op contention pockets,
+#: the mid-anneal shape where incremental rip-up shines.  The flat
+#: incremental engine must beat the scalar reference by
+#: ``ROUTE_TARGET_SPEEDUP`` with identical success.
+ROUTE_ARCH = "simple32x32"
+ROUTE_KERNEL = "layered:150:1:1"
+ROUTE_DISPLACEMENTS = (3, 5)
+ROUTE_TARGET_SPEEDUP = 3.0
+
 
 def _sweep():
     rows = []
@@ -136,6 +157,105 @@ def _large_cell(
         }
 
 
+# ---------------------------------------------------------------------------
+# routing-engine comparison (flat vs scalar negotiation)
+# ---------------------------------------------------------------------------
+def _serpentine_binding(dfg, cgra, displace_every: int) -> dict:
+    """Chain ops on the even (x, y) sub-lattice, serpentine order, with
+    every ``displace_every``-th op nudged one cell diagonally.
+
+    The undisplaced layout gives every edge its own two-hop corridor
+    (trivial negotiation); each displaced op drags its two incident
+    edges across a neighbour's corridor, creating the local contention
+    pockets a mid-anneal placement exhibits.  All placements here are
+    collision-free by construction on a >= 32x32 fabric.
+    """
+    nodes = [n.nid for n in dfg.nodes() if not n.op.is_pseudo]
+    binding = {}
+    for i, nid in enumerate(nodes):
+        row, col = i // 16, i % 16
+        x = 2 * col if row % 2 == 0 else 2 * (15 - col)
+        y = 2 * row
+        if displace_every and i % displace_every == displace_every - 1:
+            x = min(x + 1, cgra.width - 1)
+            y = min(y + 1, cgra.height - 1)
+        binding[nid] = cgra.cell_at(x, y).cid
+    if len(set(binding.values())) != len(binding):
+        raise AssertionError("serpentine placement collided")
+    return binding
+
+
+def _time_route(dfg, cgra, binding, engine, incremental, budget_s=1.5):
+    """(best-of wall-clock seconds, converged?) for one engine."""
+    from repro.mappers.spatial_common import route_negotiated
+
+    best = float("inf")
+    ok = False
+    t_start = time.perf_counter()
+    reps = 0
+    while reps < 3 or time.perf_counter() - t_start < budget_s:
+        t0 = time.perf_counter()
+        routes = route_negotiated(
+            dfg, cgra, binding, engine=engine, incremental=incremental
+        )
+        best = min(best, time.perf_counter() - t0)
+        ok = routes is not None
+        reps += 1
+        if reps >= 200:
+            break
+    return best, ok
+
+
+def route_sweep() -> dict:
+    """Flat-vs-scalar negotiated routing; the ``route`` report block."""
+    cgra = presets.by_name(ROUTE_ARCH)
+    dfg = kernels.kernel(ROUTE_KERNEL)
+    engines = (
+        ("scalar", "scalar", False),
+        ("flat_full", "flat", False),
+        ("flat_inc", "flat", True),
+    )
+    rows = []
+    totals = {label: 0.0 for label, _, _ in engines}
+    success_equal = True
+    for k in ROUTE_DISPLACEMENTS:
+        binding = _serpentine_binding(dfg, cgra, k)
+        times, oks = {}, {}
+        for label, engine, inc in engines:
+            t, ok = _time_route(dfg, cgra, binding, engine, inc)
+            times[label], oks[label] = t, ok
+            totals[label] += t
+        success_equal = success_equal and (
+            oks["scalar"] == oks["flat_full"] == oks["flat_inc"]
+        )
+        rows.append(
+            {
+                "displace_every": k,
+                "converged": oks["scalar"],
+                "scalar_ms": round(1000 * times["scalar"], 2),
+                "flat_full_ms": round(1000 * times["flat_full"], 2),
+                "flat_inc_ms": round(1000 * times["flat_inc"], 2),
+                "speedup_full": round(
+                    times["scalar"] / times["flat_full"], 2
+                ),
+                "speedup_inc": round(
+                    times["scalar"] / times["flat_inc"], 2
+                ),
+            }
+        )
+    speedup_inc = totals["scalar"] / totals["flat_inc"]
+    return {
+        "arch": ROUTE_ARCH,
+        "kernel": ROUTE_KERNEL,
+        "target_speedup": ROUTE_TARGET_SPEEDUP,
+        "cells": rows,
+        "speedup_full": round(totals["scalar"] / totals["flat_full"], 2),
+        "speedup_inc": round(speedup_inc, 2),
+        "equal_success": success_equal,
+        "ok": success_equal and speedup_inc >= ROUTE_TARGET_SPEEDUP,
+    }
+
+
 def large_sweep(timeout: float = LARGE_TIMEOUT) -> dict:
     """The 16x16 chain sweep; returns the BENCH_scale.json payload."""
     cgra = presets.by_name(LARGE_ARCH)
@@ -162,6 +282,20 @@ def large_sweep(timeout: float = LARGE_TIMEOUT) -> dict:
         and by[(m, flagship)].get("kind") in (None, "spatial")
     )
     dresc = by.get(("dresc", flagship))
+    # Extra-large fabrics (32x32 gating, 64x64 informational).
+    xl_cells = []
+    xl_ok = True
+    for arch, kname, gating in XL_CELLS:
+        cell = _large_cell(
+            "cluster", kname, presets.by_name(arch), timeout
+        )
+        cell["arch"] = arch
+        cell["gating"] = gating
+        xl_cells.append(cell)
+        if gating:
+            xl_ok = xl_ok and cell["ok"]
+    # Flat vs scalar negotiated routing (DESIGN.md §13).
+    route = route_sweep()
     return {
         "benchmark": "scalability-large",
         "arch": LARGE_ARCH,
@@ -170,8 +304,12 @@ def large_sweep(timeout: float = LARGE_TIMEOUT) -> dict:
         "targets": {
             "cluster_maps_200_op_chain": True,
             "spatial_competitors_fail_or_10x_slower": True,
+            "cluster_maps_chain_on_32x32": True,
+            "flat_incremental_routing_3x": True,
         },
         "cells": cells,
+        "xl_cells": xl_cells,
+        "route": route,
         "cluster_ok_at_200": ours["ok"],
         "spatial_competitors_fail_or_10x_slower": outscaled,
         "dresc_temporal_reference_ratio": (
@@ -179,7 +317,7 @@ def large_sweep(timeout: float = LARGE_TIMEOUT) -> dict:
             if dresc and dresc["ok"]
             else None
         ),
-        "target_met": ours["ok"] and outscaled,
+        "target_met": ours["ok"] and outscaled and xl_ok and route["ok"],
     }
 
 
@@ -210,6 +348,22 @@ def main(argv=None) -> int:
             for c in report["cells"]
         ],
         title="16x16 spatial scaling sweep",
+    ))
+    print("\n" + ascii_table(
+        [
+            {k: ("-" if v is None else v) for k, v in c.items()}
+            for c in report["xl_cells"]
+        ],
+        title="extra-large fabrics (cluster)",
+    ))
+    route = report["route"]
+    print("\n" + ascii_table(
+        route["cells"],
+        title=(
+            f"negotiated routing, {route['arch']}/{route['kernel']}"
+            f" (flat-inc {route['speedup_inc']}x, target"
+            f" {route['target_speedup']}x)"
+        ),
     ))
     print(f"\ntarget_met={report['target_met']} -> {args.out}")
     return 0 if report["target_met"] else 1

@@ -237,6 +237,19 @@ class CGRA:
             self._dist = _shared_distance_table(self)
         return self._dist
 
+    def flat_graph(self):
+        """CSR adjacency / dense link ids / distance rows for the flat
+        routing engine (:class:`repro.mappers.routecore.FlatGraph`).
+
+        Built once per topology and shared between equal arrays by
+        arch fingerprint — the same discipline as
+        :meth:`distance_table`.  Treat every array as read-only.
+        """
+        # Local import: mappers import arch, not the other way round.
+        from repro.mappers.routecore import flat_graph
+
+        return flat_graph(self)
+
     def _bfs(self, start: int) -> list[int]:
         INF = 10**9
         dist = [INF] * self.n_cells
@@ -251,12 +264,30 @@ class CGRA:
         return dist
 
     def is_connected(self) -> bool:
-        """Every cell reaches every other cell (strongly connected)."""
-        return all(
-            self.distance(0, c.cid) < 10**9
-            and self.distance(c.cid, 0) < 10**9
-            for c in self.cells
-        )
+        """Every cell reaches every other cell (strongly connected).
+
+        Two linear BFS sweeps (forward from cell 0 and backward to
+        it), not the all-pairs distance table — connectivity checks on
+        large fabrics must not trigger the O(V^2) sweep.
+        """
+        n = self.n_cells
+        for adj in (self._out, self._in):
+            seen = bytearray(n)
+            seen[0] = 1
+            frontier = [0]
+            reached = 1
+            while frontier:
+                nxt = []
+                for c in frontier:
+                    for d in adj[c]:
+                        if not seen[d]:
+                            seen[d] = 1
+                            reached += 1
+                            nxt.append(d)
+                frontier = nxt
+            if reached != n:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     def render(self) -> str:

@@ -159,6 +159,7 @@ PRESETS = {
     "simple8x8": lambda: simple_cgra(8, 8),
     "simple16x16": lambda: simple_cgra(16, 16),
     "simple32x32": lambda: simple_cgra(32, 32),
+    "simple64x64": lambda: simple_cgra(64, 64),
     "adres4x4": lambda: adres_like(4, 4),
     "morphosys8x8": lambda: morphosys_like(8, 8),
     "hycube4x4": lambda: hycube_like(4, 4),

@@ -36,6 +36,7 @@ __all__ = [
     "DEFAULT_REPEATS",
     "DEFAULT_SLICE",
     "PLACE_SLICE",
+    "ROUTE_SLICE",
     "Comparison",
     "append_entry",
     "compare_entries",
@@ -72,6 +73,19 @@ PLACE_SLICE = (
     ("cluster", "layered:200:1:1"),
     ("cluster", "layered:120:1:7"),
     ("sa_spatial", "layered:200:1:1"),
+)
+
+#: The negotiated-routing slice (``repro bench record --slice route
+#: --arch simple16x16|simple32x32``): clustered placement of long
+#: dataflow chains, whose route-repair loop leans on the flat
+#: PathFinder negotiation (:mod:`repro.mappers.routecore`) — the
+#: wall-clock these cells guard is dominated by spatial routing, not
+#: placement.  All three cells succeed on both fabrics, so ``.ok``
+#: flips are real regressions.
+ROUTE_SLICE = (
+    ("cluster", "layered:150:1:1"),
+    ("cluster", "layered:120:1:5"),
+    ("cluster", "layered:200:1:1"),
 )
 
 DEFAULT_REPEATS = 3

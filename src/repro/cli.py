@@ -494,11 +494,10 @@ def _cmd_bench(args) -> int:
     # may be diffed against serial default entries.
     suffix = "" if args.slice == "default" else f"-{args.slice}"
     jobs = args.jobs if args.slice == "parallel" else 1
-    cells = (
-        history.PLACE_SLICE
-        if args.slice == "place"
-        else history.DEFAULT_SLICE
-    )
+    cells = {
+        "place": history.PLACE_SLICE,
+        "route": history.ROUTE_SLICE,
+    }.get(args.slice, history.DEFAULT_SLICE)
     path = os.path.join(args.history_dir, f"{arch}{suffix}.jsonl")
     if args.action == "list":
         entries = history.load_entries(path)
@@ -707,7 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="runs per cell; the ledger records the median (default 3)",
     )
     p.add_argument(
-        "--slice", choices=["default", "parallel", "place"],
+        "--slice", choices=["default", "parallel", "place", "route"],
         default="default",
         help="'parallel' runs the slice over the pre-warmed worker"
              " pool and keeps its own per-arch ledger file, so pool"

@@ -174,7 +174,11 @@ class ReferenceRouter(Router):
 
     def __init__(self, cgra, *, allow_hold=True, max_hold=64, **_ignored):
         super().__init__(
-            cgra, allow_hold=allow_hold, max_hold=max_hold, prune=False
+            cgra,
+            allow_hold=allow_hold,
+            max_hold=max_hold,
+            prune=False,
+            engine="scalar",
         )
 
     def find(self, occ, req):
@@ -248,17 +252,11 @@ class ReferenceRouter(Router):
             explored += 1
             cell, kind, layer = state
             if layer == span:
+                # Same terminal discipline as the production router
+                # (the span>0 terminal-link fix is shared): the
+                # terminal link must exist *and* be free.
                 last = steps_at[state]
-                ok = last is not None and (
-                    (last.kind == HOLD and last.cell == req.dst_cell)
-                    or (
-                        last.kind == ROUTE
-                        and (
-                            last.cell == req.dst_cell
-                            or self.cgra.has_link(last.cell, req.dst_cell)
-                        )
-                    )
-                )
+                ok = last is not None and self._final_ok(occ, req, last)
                 if ok:
                     best = state
                     break

@@ -291,6 +291,56 @@ class Occupancy:
                 self._used_link -= 1
 
     # ------------------------------------------------------------------
+    # Flat fast-path queries (repro.mappers.routecore)
+    #
+    # The routing engine asks the same can_* question for every
+    # neighbour at one cycle; folding the slot and bounds check per
+    # *query* wastes most of the work.  time_base()/link_time_base()
+    # do the fold once per cycle and the *_i variants take the flat
+    # index directly — same semantics as their tuple counterparts,
+    # pinned by the equivalence suite.  A base of -1 means the slot
+    # lies beyond the allocated axis: everything there is free and the
+    # caller short-circuits without touching the arrays.
+    # ------------------------------------------------------------------
+    def time_base(self, t: int) -> int:
+        """``slot(t) * n_cells``, or ``-1`` when the slot is untouched
+        (every cell resource at that cycle is free)."""
+        s = self.slot(t)
+        if s >= self._n_slots:
+            return -1
+        return s * self._n_cells
+
+    def link_time_base(self, t: int) -> int:
+        """``slot(t) * n_links``, or ``-1`` when the slot is untouched."""
+        s = self.slot(t)
+        if s >= self._n_slots:
+            return -1
+        return s * self._n_links
+
+    def can_route_i(self, value: int, i: int) -> bool:
+        """:meth:`can_route` for flat index ``i = time_base(t) + cell``
+        (caller guarantees ``time_base(t) >= 0``)."""
+        users = self.routed[i]
+        if users and value in users:
+            return True
+        if self._shares_fu:
+            return self.fu[i] is None and not users
+        return (len(users) if users else 0) < self._bypass
+
+    def can_hold_i(self, value: int, cell: int, i: int) -> bool:
+        """:meth:`can_hold` for flat index ``i = time_base(t) + cell``."""
+        users = self.rf[i]
+        if users and value in users:
+            return True
+        return (len(users) if users else 0) < self._rf_sizes[cell]
+
+    def can_use_link_i(self, value: int, i: int) -> bool:
+        """:meth:`can_use_link` for ``i = link_time_base(t) + link_id``
+        (dense ids from :attr:`repro.arch.cgra.CGRA.link_table`)."""
+        users = self.link[i]
+        return not users or value in users
+
+    # ------------------------------------------------------------------
     # Introspection (tests, debugging; not hot paths)
     # ------------------------------------------------------------------
     def holds_at(self, cell: int, t: int) -> set[int]:

@@ -195,6 +195,7 @@ class ClusteredSpatialMapper(Mapper):
         restarts: int = 3,
         repair_rounds: int = 4,
         vectorized: bool = True,
+        route_engine: str = "flat",
     ) -> None:
         super().__init__(seed)
         self.region = region
@@ -206,16 +207,19 @@ class ClusteredSpatialMapper(Mapper):
         self.restarts = restarts
         self.repair_rounds = repair_rounds
         self.vectorized = vectorized
+        self.route_engine = route_engine
 
     def cache_token(self) -> str:
         # vectorized is deliberately absent: both backends produce the
         # same mapping (the bit-identity the equivalence suite checks),
-        # so they may alias in the cache.
+        # so they may alias in the cache.  route_engine is present:
+        # the flat engine's incremental rip-up may settle on different
+        # (equally legal) routes than the scalar full re-route.
         return (
             f"region={self.region};batch={self.batch};"
             f"t={self.t_start}:{self.t_end}:{self.cooling};"
             f"moves={self.moves_per_temp};restarts={self.restarts};"
-            f"repair={self.repair_rounds}"
+            f"repair={self.repair_rounds};route={self.route_engine}"
         )
 
     # -- phase 2: global seed ------------------------------------------
@@ -484,7 +488,9 @@ class ClusteredSpatialMapper(Mapper):
                 # artifact more often than to the placement: negotiate
                 # before blaming (and re-annealing) the placement.
                 tracer.count(ROUTING_ATTEMPTS)
-                negotiated = route_negotiated(dfg, cgra, binding)
+                negotiated = route_negotiated(
+                    dfg, cgra, binding, engine=self.route_engine
+                )
                 if negotiated is not None:
                     return binding, negotiated, []
             return binding, routes, failed

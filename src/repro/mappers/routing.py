@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from repro.arch.cgra import CGRA
 from repro.arch.tec import HOLD, ROUTE, Step
 from repro.core.resources import Occupancy
+from repro.mappers.routecore import FlatTemporalEngine, flat_graph
 from repro.obs.tracer import CANDIDATES_EXPLORED, get_tracer
 
 __all__ = ["Router", "RouteRequest", "commit_route", "release_route"]
@@ -84,6 +85,15 @@ class Router:
         prune: admissible distance pruning (semantics-preserving; the
             switch exists so the equivalence suite and the ablation
             benchmark can run the exhaustive search).
+        engine: ``"flat"`` runs both searches on the flat-array core
+            (:mod:`repro.mappers.routecore`: CSR adjacency, Dial
+            bucket queue, generation-stamped state arrays) — byte
+            identical to ``"scalar"``, the dict + heapq bodies below,
+            which remain the executable reference (the PR 2/PR 8
+            ``prune=``/``engine=`` precedent).  The flat engine needs
+            the flat-index occupancy fast path and steps aside
+            automatically for occupancies without it (the dict-keyed
+            reference implementation).
     """
 
     def __init__(
@@ -93,13 +103,20 @@ class Router:
         allow_hold: bool = True,
         max_hold: int = 64,
         prune: bool = True,
+        engine: str = "flat",
     ) -> None:
         self.cgra = cgra
         self.allow_hold = allow_hold
         self.max_hold = max_hold
         self.prune = prune
+        self.engine = engine
         self._reach = cgra.reach_lists()
         self._dist = cgra.distance_table()
+        self._flat = (
+            FlatTemporalEngine(flat_graph(cgra), allow_hold=allow_hold)
+            if engine == "flat"
+            else None
+        )
 
     # ------------------------------------------------------------------
     def find(
@@ -122,6 +139,10 @@ class Router:
         dist_to = self._dist if self.prune else None
         if dist_to is not None and dist_to[req.src_cell][dst] > span + 1:
             return None  # unreachable within the time budget
+        if self._flat is not None and hasattr(occ, "time_base"):
+            steps, explored = self._flat.find(occ, req, prune=self.prune)
+            get_tracer().count(CANDIDATES_EXPLORED, explored)
+            return steps
         # BFS over time layers; states are (cell, kind-of-last-step).
         start = (req.src_cell, ROUTE)
         frontier: dict[tuple[int, str], list[Step]] = {start: []}
@@ -228,6 +249,12 @@ class Router:
         dist_to = self._dist if self.prune else None
         if dist_to is not None and dist_to[req.src_cell][dst] > span + 1:
             return None
+        if self._flat is not None and hasattr(occ, "time_base"):
+            found, explored = self._flat.find_negotiated(
+                occ, req, prune=self.prune, history=history, penalty=penalty
+            )
+            get_tracer().count(CANDIDATES_EXPLORED, explored)
+            return found
         # A* over (cell, kind, layer): g = accumulated cost, heuristic
         # h = span - layer (each remaining layer costs >= 1; the
         # distance table contributes the reachability cut).  Heap keys
@@ -246,22 +273,12 @@ class Router:
             explored += 1
             cell, kind, layer = state
             if layer == span:
+                # Terminal discipline == _final_ok, same as the
+                # span==0 path: the terminal link must exist *and* be
+                # free for this value — congestion there cannot be
+                # negotiated away, there is no step left to penalise.
                 last = steps_at[state]
-                ok = (
-                    last is not None
-                    and (
-                        (last.kind == HOLD and last.cell == req.dst_cell)
-                        or (
-                            last.kind == ROUTE
-                            and (
-                                last.cell == req.dst_cell
-                                or self.cgra.has_link(
-                                    last.cell, req.dst_cell
-                                )
-                            )
-                        )
-                    )
-                )
+                ok = last is not None and self._final_ok(occ, req, last)
                 if ok:
                     best = state
                     break

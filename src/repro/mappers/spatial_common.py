@@ -24,6 +24,7 @@ from repro.arch.cgra import CGRA
 from repro.arch.tec import ROUTE, Step
 from repro.core.mapping import Mapping
 from repro.ir.dfg import DFG, Edge
+from repro.mappers.routecore import CellClaims, negotiate_spatial
 
 __all__ = [
     "route_spatial",
@@ -117,7 +118,11 @@ def route_spatial_partial(
     bail-early behaviour for callers that only need a yes/no.
     """
     op_cells = set(binding.values())
-    owner: dict[int, int] = {}  # route cell -> value
+    # Shared spatial-claims structure (repro.mappers.routecore): one
+    # value per route cell, fan-out refcounted — the same bookkeeping
+    # the negotiated engine uses, so cluster's repair loop and
+    # negotiation agree on what "claimed" means.
+    claims = CellClaims(cgra.n_cells)
     routes: dict[Edge, list[Step]] = {}
     failed: list[Edge] = []
 
@@ -131,10 +136,7 @@ def route_spatial_partial(
             continue
 
         def usable(cell: int, value: int) -> bool:
-            if cell in op_cells:
-                return False
-            held = owner.get(cell)
-            return held is None or held == value
+            return cell not in op_cells and claims.exclusive(cell, value)
 
         # BFS from src's neighbours to a cell adjacent to dst.
         prev: dict[int, int] = {}
@@ -164,8 +166,7 @@ def route_spatial_partial(
             chain.append(cur)
             cur = prev[cur]
         chain.reverse()
-        for cell in chain:
-            owner[cell] = e.src
+        claims.claim_path(chain, e.src)
         routes[e] = [Step(cell, i, ROUTE) for i, cell in enumerate(chain)]
     return routes, failed
 
@@ -176,6 +177,8 @@ def route_negotiated(
     binding: dict[int, int],
     *,
     max_iters: int = 16,
+    engine: str = "flat",
+    incremental: bool = True,
 ) -> dict[Edge, list[Step]] | None:
     """PathFinder-style negotiated routing; None if it cannot converge.
 
@@ -190,6 +193,16 @@ def route_negotiated(
     contested accumulate history cost).  Converged means no cell
     carries two values — the same legality :func:`route_spatial`
     enforces, including fan-out sharing within one value.
+
+    ``engine="flat"`` (default) runs on the flat-array core
+    (:func:`repro.mappers.routecore.negotiate_spatial`: CSR adjacency,
+    Dial bucket queue, generation-stamped scratch); the body below is
+    the scalar executable reference, byte-identical to the flat engine
+    with ``incremental=False``.  ``incremental=True`` (flat engine
+    only) re-routes, after the first iteration, only the nets whose
+    current path crosses an overused cell — legality and convergence
+    checks are unchanged, but intermediate routes may differ from the
+    full re-route schedule (see DESIGN.md §13).
     """
     op_cells = set(binding.values())
     edges = [
@@ -203,6 +216,16 @@ def route_negotiated(
     edges.sort(
         key=lambda e: -cgra.distance(binding[e.src], binding[e.dst])
     )
+    if engine == "flat":
+        # The edge list is computed (and sorted) once, above, so both
+        # engines negotiate the identical net list.
+        return negotiate_spatial(
+            cgra,
+            binding,
+            edges,
+            max_iters=max_iters,
+            incremental=incremental,
+        )
     hist: dict[int, float] = {}
     paths: dict[Edge, list[int]] = {}
     # Persistent occupancy: cell -> value -> number of paths through.

@@ -125,3 +125,81 @@ def test_negotiated_prefers_free_paths():
     steps, cost = router.find_negotiated(occ, req)
     # Two free cycles available: should avoid the blocked cell.
     assert all(not (s.cell == 1 and s.time == 1) for s in steps)
+
+
+# -- terminal-link discipline (regression) ----------------------------------
+# The span>0 acceptance of find_negotiated used to check only that the
+# terminal link *exists*, while find and the span==0 paths also
+# required it to be *free* — a congested terminal link was silently
+# accepted and the resulting commit double-booked it.  All three
+# routers (flat engine, scalar engine, reference) now share the strict
+# rule: terminal link must exist AND be usable by this value.
+def _routers_row4():
+    from repro.core.refimpl import ReferenceRouter
+
+    cgra = presets.simple_cgra(4, 1)  # a row: 0-1-2-3
+    return cgra, [
+        Router(cgra, engine="flat"),
+        Router(cgra, engine="scalar"),
+        ReferenceRouter(cgra),
+    ]
+
+
+def test_negotiated_rejects_busy_terminal_link_span1():
+    cgra, routers = _routers_row4()
+    for router in routers:
+        occ = Occupancy(cgra, ii=8)
+        # Another value owns link 1->2 at the consume cycle; the only
+        # geometric path (route via 1, consume over 1->2) is illegal.
+        occ.add_link(99, 1, 2, 2)
+        req = RouteRequest(0, src_cell=0, t_emit=0, dst_cell=2, t_consume=2)
+        assert router.find_negotiated(occ, req) is None
+        assert router.find(occ, req) is None
+
+
+def test_negotiated_accepts_terminal_link_shared_by_same_value():
+    cgra, routers = _routers_row4()
+    for router in routers:
+        occ = Occupancy(cgra, ii=8)
+        occ.add_link(0, 1, 2, 2)  # same value: sharing is legal
+        req = RouteRequest(0, src_cell=0, t_emit=0, dst_cell=2, t_consume=2)
+        found = router.find_negotiated(occ, req)
+        assert found is not None
+        steps, _cost = found
+        assert [s.cell for s in steps] == [1]
+
+
+def test_negotiated_detours_around_busy_terminal_link():
+    from repro.core.refimpl import ReferenceRouter
+
+    cgra = presets.simple_cgra(3, 3)
+    for router in (
+        Router(cgra, engine="flat"),
+        Router(cgra, engine="scalar"),
+        ReferenceRouter(cgra),
+    ):
+        occ = Occupancy(cgra, ii=8)
+        occ.add_link(99, 1, 2, 3)  # straight approach busy at consume
+        req = RouteRequest(0, src_cell=0, t_emit=0, dst_cell=2, t_consume=3)
+        found = router.find_negotiated(occ, req)
+        assert found is not None
+        steps, _cost = found
+        last = steps[-1]
+        # Whatever path was taken, the terminal hop must not be the
+        # occupied 1->2 link.
+        assert not (last.kind == ROUTE and last.cell == 1)
+
+
+def test_span0_rejects_busy_terminal_link():
+    cgra, routers = _routers_row4()
+    for router in routers:
+        occ = Occupancy(cgra, ii=8)
+        occ.add_link(99, 0, 1, 1)
+        req = RouteRequest(0, src_cell=0, t_emit=0, dst_cell=1, t_consume=1)
+        assert router.find(occ, req) is None
+        assert router.find_negotiated(occ, req) is None
+        # Same value may share it.
+        occ2 = Occupancy(cgra, ii=8)
+        occ2.add_link(0, 0, 1, 1)
+        assert router.find(occ2, req) == []
+        assert router.find_negotiated(occ2, req) == ([], 0.0)

@@ -37,12 +37,14 @@ __all__ = [
     "DEFAULT_SLICE",
     "PLACE_SLICE",
     "ROUTE_SLICE",
+    "SERVE_BATCH",
     "Comparison",
     "append_entry",
     "compare_entries",
     "load_entries",
     "render_comparison",
     "render_entries",
+    "run_serve_slice",
     "run_slice",
     "select_baseline",
 ]
@@ -86,6 +88,20 @@ ROUTE_SLICE = (
     ("cluster", "layered:150:1:1"),
     ("cluster", "layered:120:1:5"),
     ("cluster", "layered:200:1:1"),
+)
+
+#: The serving-slice batch (``repro bench record --slice serve``): a
+#: mixed warm batch through the in-process daemon — three distinct
+#: problems, two byte-identical duplicates (exercising in-batch
+#: dedup), and one same-kernel/different-mapper request that must NOT
+#: collapse.  ``run_serve_slice`` appends the target ``arch`` to each.
+SERVE_BATCH = (
+    {"kernel": "dot_product"},
+    {"kernel": "fir4"},
+    {"kernel": "sobel_x"},
+    {"kernel": "dot_product"},
+    {"kernel": "fir4"},
+    {"kernel": "dot_product", "mapper": "edge_centric"},
 )
 
 DEFAULT_REPEATS = 3
@@ -177,6 +193,125 @@ def run_slice(
 
 
 # ---------------------------------------------------------------------------
+def run_serve_slice(
+    arch: str,
+    *,
+    repeats: int = DEFAULT_REPEATS,
+    label: str | None = None,
+    jobs: int = 2,
+) -> dict[str, Any]:
+    """Run the serving slice and build one (not yet appended) entry.
+
+    Boots an in-process :class:`~repro.serve.daemon.MappingServer`,
+    submits :data:`SERVE_BATCH` through the real client ``repeats``
+    times, and records three cells the generic comparator understands:
+
+    * ``serve/batchN`` — client wall-clock for the warm mixed batch
+      (validation + dedup + pool dispatch + streaming, end to end);
+    * ``serve/single`` — a one-request batch, the per-batch overhead
+      floor (its ``ii`` is recorded, so an II regression in the served
+      mapping is caught like any other cell's);
+    * ``direct/batchN`` — the same requests mapped serially in
+      process, no daemon and no dedup: the contrast cell that says
+      what serving costs (or saves) over calling the library.
+
+    A throwaway warm-up server takes the pool-fork and first-import
+    costs before anything is timed; the entry's metrics snapshot then
+    covers exactly the timed repeats, so the SERVE_* and pool counters
+    diff deterministically under ``compare_entries``.
+    """
+    import asyncio
+    import time
+
+    from repro.api import map_dfg
+    from repro.arch import presets
+    from repro.ir import kernels
+    from repro.serve.client import submit
+    from repro.serve.daemon import MappingServer
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    cgra = presets.by_name(arch)
+    batch = [dict(req, arch=arch) for req in SERVE_BATCH]
+    single = [{"kernel": "dot_product", "arch": arch}]
+    batch_cell = f"batch{len(batch)}"
+    registry = MetricsRegistry()
+
+    async def drive() -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+
+        def timed_submit(port: int, reqs: list) -> tuple:
+            t0 = time.perf_counter()
+            responses, summary = submit(reqs, port=port)
+            return 1000.0 * (time.perf_counter() - t0), responses, summary
+
+        async with MappingServer(jobs=jobs) as warm:
+            await loop.run_in_executor(
+                None, timed_submit, warm.bound_port, batch
+            )
+        times: dict[str, list[float]] = {batch_cell: [], "single": []}
+        ok = {batch_cell: True, "single": True}
+        single_ii: int | None = None
+        async with MappingServer(jobs=jobs, registry=registry) as server:
+            port = server.bound_port
+            for _ in range(repeats):
+                for cell, reqs in ((batch_cell, batch), ("single", single)):
+                    ms, responses, summary = await loop.run_in_executor(
+                        None, timed_submit, port, reqs
+                    )
+                    times[cell].append(ms)
+                    if summary["errors"]:
+                        ok[cell] = False
+                    if cell == "single" and responses[0].get("ok"):
+                        single_ii = responses[0]["ii"]
+        return {"times": times, "ok": ok, "single_ii": single_ii}
+
+    served = asyncio.run(drive())
+
+    direct_times: list[float] = []
+    direct_ok = True
+    with metrics_scope(registry):
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for req in batch:
+                try:
+                    map_dfg(
+                        kernels.kernel(req["kernel"]), cgra,
+                        mapper=req.get("mapper", "list_sched"),
+                    )
+                except Exception:
+                    direct_ok = False
+            direct_times.append(1000.0 * (time.perf_counter() - t0))
+
+    def row(mapper: str, kernel: str, runs: list[float],
+            okay: bool, ii: int | None) -> dict[str, Any]:
+        runs = sorted(runs)
+        return {
+            "mapper": mapper,
+            "kernel": kernel,
+            "ok": okay,
+            "ii": ii,
+            "time_ms": round(statistics.median(runs), 3),
+            "time_ms_min": round(runs[0], 3),
+        }
+
+    return {
+        "schema": ENTRY_SCHEMA,
+        "manifest": run_manifest(cgra=cgra, label=label),
+        "repeats": repeats,
+        "jobs": jobs,
+        "cells": [
+            row("serve", batch_cell, served["times"][batch_cell],
+                served["ok"][batch_cell], None),
+            row("serve", "single", served["times"]["single"],
+                served["ok"]["single"], served["single_ii"]),
+            row("direct", batch_cell, direct_times, direct_ok, None),
+        ],
+        "metrics": registry.snapshot(),
+    }
+
+
+# ---------------------------------------------------------------------------
 def append_entry(entry: dict[str, Any], path: str) -> None:
     """Append one entry to the JSONL ledger at ``path`` (dirs created)."""
     parent = os.path.dirname(path)
@@ -187,15 +322,27 @@ def append_entry(entry: dict[str, Any], path: str) -> None:
 
 
 def load_entries(path: str) -> list[dict[str, Any]]:
-    """All ledger entries at ``path`` (oldest first; [] when absent)."""
+    """All ledger entries at ``path`` (oldest first; [] when absent).
+
+    A line that is not valid JSON — a truncated append, a botched
+    hand-edit — raises a ValueError naming the file and line so the
+    CLI can report it instead of tracebacking.
+    """
     if not os.path.exists(path):
         return []
     entries = []
     with open(path) as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 entries.append(json.loads(line))
+            except json.JSONDecodeError as ex:
+                raise ValueError(
+                    f"corrupt ledger entry at {path}:{lineno} ({ex.msg})"
+                    " — fix or remove that line and re-record"
+                ) from None
     return entries
 
 

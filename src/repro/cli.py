@@ -493,28 +493,41 @@ def _cmd_bench(args) -> int:
     # slice runs different cells on a different fabric class; neither
     # may be diffed against serial default entries.
     suffix = "" if args.slice == "default" else f"-{args.slice}"
-    jobs = args.jobs if args.slice == "parallel" else 1
+    jobs = args.jobs if args.slice in ("parallel", "serve") else 1
     cells = {
         "place": history.PLACE_SLICE,
         "route": history.ROUTE_SLICE,
     }.get(args.slice, history.DEFAULT_SLICE)
     path = os.path.join(args.history_dir, f"{arch}{suffix}.jsonl")
     if args.action == "list":
-        entries = history.load_entries(path)
+        try:
+            entries = history.load_entries(path)
+        except ValueError as ex:  # corrupt ledger line
+            print(f"error: {ex}", file=sys.stderr)
+            return 2
         if not entries:
             print(f"no ledger at {path}", file=sys.stderr)
             return 1
         print(history.render_entries(entries))
         return 0
 
-    cgra = presets.by_name(arch)
-    if args.action == "record":
-        entry = history.run_slice(
-            cgra, cells=cells, repeats=args.repeats,
-            label=args.note, jobs=jobs,
+    def fresh_entry(note=None):
+        if args.slice == "serve":
+            return history.run_serve_slice(
+                arch, repeats=args.repeats, label=note, jobs=jobs
+            )
+        return history.run_slice(
+            presets.by_name(arch), cells=cells, repeats=args.repeats,
+            label=note, jobs=jobs,
         )
+
+    if args.action == "record":
+        entry = fresh_entry(args.note)
         history.append_entry(entry, path)
-        print(history.render_entries(history.load_entries(path)))
+        try:
+            print(history.render_entries(history.load_entries(path)))
+        except ValueError as ex:  # older line is corrupt; entry stands
+            print(f"warning: {ex}", file=sys.stderr)
         print(f"\nrecorded entry -> {path}")
         return 0
 
@@ -526,9 +539,7 @@ def _cmd_bench(args) -> int:
     except ValueError as ex:
         print(f"error: {ex}", file=sys.stderr)
         return 2
-    fresh = history.run_slice(
-        cgra, cells=cells, repeats=args.repeats, jobs=jobs
-    )
+    fresh = fresh_entry()
     tolerances = {}
     if args.time_tolerance is not None:
         tolerances["time"] = (
@@ -545,6 +556,98 @@ def _cmd_bench(args) -> int:
     if any(c.regressed for c in comparisons) and not args.warn_only:
         return 3
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.cache import cache_scope
+    from repro.serve import MappingServer
+
+    server = MappingServer(
+        args.host, args.port, jobs=args.jobs, timeout=args.timeout
+    )
+
+    def _ready(srv: MappingServer) -> None:
+        # A parseable readiness line: the CI smoke (and any wrapper
+        # script) waits for it before submitting.
+        print(
+            f"serve: listening on {srv.host}:{srv.bound_port}",
+            flush=True,
+        )
+
+    async def _main() -> None:
+        with cache_scope(_cache_option(args)):
+            await server.run_until_signalled(
+                grace=args.grace, ready=_ready
+            )
+
+    asyncio.run(_main())
+    print("serve: drained and stopped", flush=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.serve.client import iter_submit
+
+    if args.kernel:
+        request = {
+            "kernel": _resolve_kernel(args.kernel),
+            "arch": _resolve_arch(args.arch),
+            "mapper": _resolve_mapper(args.mapper),
+        }
+        if args.ii is not None:
+            request["ii"] = args.ii
+        if args.deadline_ms is not None:
+            request["deadline_ms"] = args.deadline_ms
+        requests = [request]
+    else:
+        if args.file and args.file != "-":
+            try:
+                with open(args.file) as fh:
+                    text = fh.read()
+            except OSError as ex:
+                print(f"error: {ex}", file=sys.stderr)
+                return 2
+        else:
+            text = sys.stdin.read()
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as ex:
+            print(f"error: batch is not valid JSON: {ex}", file=sys.stderr)
+            return 2
+        if isinstance(doc, list):
+            requests = doc
+        elif isinstance(doc, dict) and isinstance(
+            doc.get("requests"), list
+        ):
+            requests = doc["requests"]
+        else:
+            print(
+                "error: expected a JSON array of requests or an object"
+                " with a 'requests' array",
+                file=sys.stderr,
+            )
+            return 2
+
+    failed = False
+    try:
+        for resp in iter_submit(
+            requests, host=args.host, port=args.port,
+            timeout=args.connect_timeout,
+        ):
+            print(json.dumps(resp, sort_keys=True), flush=True)
+            if "batch" not in resp and not resp.get("ok"):
+                failed = True
+    except (ConnectionError, OSError) as ex:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {ex}",
+            file=sys.stderr,
+        )
+        return 2
+    return 1 if failed else 0
 
 
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
@@ -706,17 +809,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="runs per cell; the ledger records the median (default 3)",
     )
     p.add_argument(
-        "--slice", choices=["default", "parallel", "place", "route"],
+        "--slice",
+        choices=["default", "parallel", "place", "route", "serve"],
         default="default",
         help="'parallel' runs the slice over the pre-warmed worker"
              " pool and keeps its own per-arch ledger file, so pool"
              " regressions are tracked separately from mapper ones;"
              " 'place' runs the large-fabric placement cells (pair"
-             " with --arch simple16x16)",
+             " with --arch simple16x16); 'serve' benchmarks warm"
+             " batches through the in-process mapping daemon",
     )
     p.add_argument(
         "--jobs", type=int, default=2, metavar="N",
-        help="worker processes for --slice parallel (default 2)",
+        help="worker processes for --slice parallel/serve (default 2)",
     )
     p.add_argument(
         "--note", default=None, metavar="TEXT",
@@ -739,6 +844,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative tolerance for work counts (default 0.02)",
     )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="batch mapping daemon over the persistent worker pool",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 = pick a free one; default 8642)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="pool workers mapping requests (default 2)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline when a request carries no"
+             " deadline_ms (default: none)",
+    )
+    p.add_argument(
+        "--grace", type=float, default=None, metavar="SECONDS",
+        help="per-rung budget of the pool's shutdown escalation"
+             " ladder on SIGTERM/SIGINT",
+    )
+    _add_cache_flags(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a mapping batch to a running daemon"
+    )
+    p.add_argument(
+        "file", nargs="?", default=None,
+        help="batch JSON file ('-' or omitted = stdin; ignored with"
+             " --kernel)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument(
+        "--kernel", default=None,
+        help="build a one-request batch instead of reading a file",
+    )
+    p.add_argument("--arch", default="simple4x4")
+    p.add_argument("--mapper", default="list_sched")
+    p.add_argument("--ii", type=int, default=None)
+    p.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline for --kernel submissions",
+    )
+    p.add_argument(
+        "--connect-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="socket connect/read timeout (default 30)",
+    )
+    p.set_defaults(fn=_cmd_submit)
 
     p = sub.add_parser("table1", help="regenerate the survey's Table I")
     p.set_defaults(fn=_cmd_table1)

@@ -61,6 +61,11 @@ __all__ = [
     "POOL_DEDUP_TOTAL",
     "POOL_RESPAWNS_TOTAL",
     "SAT_CONFLICTS",
+    "SERVE_BATCHES_TOTAL",
+    "SERVE_ERRORS_TOTAL",
+    "SERVE_INFLIGHT",
+    "SERVE_REQUEST_LATENCY_MS",
+    "SERVE_REQUESTS_TOTAL",
     "get_metrics",
     "merge_snapshots",
     "metrics_scope",
@@ -78,6 +83,11 @@ MATRIX_CELLS_TOTAL = "matrix_cells_total"  #: run_matrix cells executed
 SAT_CONFLICTS = "sat_conflicts"            #: histogram of conflicts/solve
 POOL_RESPAWNS_TOTAL = "pool_respawns_total"  #: pool workers replaced after a crash/hard timeout
 POOL_DEDUP_TOTAL = "pool_dedup_total"      #: in-batch duplicate tasks collapsed onto a primary
+SERVE_REQUESTS_TOTAL = "serve_requests_total"  #: requests accepted by the daemon
+SERVE_ERRORS_TOTAL = "serve_errors_total"  #: requests answered with a structured error
+SERVE_BATCHES_TOTAL = "serve_batches_total"  #: request batches executed over the pool
+SERVE_REQUEST_LATENCY_MS = "serve_request_latency_ms"  #: histogram of accept-to-settle wall time
+SERVE_INFLIGHT = "serve_inflight"          #: gauge of requests accepted but not yet settled
 
 INSTRUMENTS = (
     MAPS_TOTAL,
@@ -87,6 +97,11 @@ INSTRUMENTS = (
     SAT_CONFLICTS,
     POOL_RESPAWNS_TOTAL,
     POOL_DEDUP_TOTAL,
+    SERVE_REQUESTS_TOTAL,
+    SERVE_ERRORS_TOTAL,
+    SERVE_BATCHES_TOTAL,
+    SERVE_REQUEST_LATENCY_MS,
+    SERVE_INFLIGHT,
 )
 
 #: Geometric bucket growth factor: 2**(1/4), four buckets per octave,

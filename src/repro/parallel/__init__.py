@@ -93,8 +93,10 @@ def pmap(
     *,
     jobs: int,
     timeout: float | None = None,
+    timeouts: Sequence[float | None] | None = None,
     shared: Any = None,
     keys: Sequence[Any] | None = None,
+    on_result: Callable[[int, PMapResult], None] | None = None,
 ) -> list[PMapResult]:
     """Apply ``fn`` to every item over the persistent worker pool.
 
@@ -107,6 +109,9 @@ def pmap(
             a worker) runs serially in-process — same semantics, no
             pool.
         timeout: per-task wall-clock budget in seconds (None = none).
+        timeouts: per-item budgets overriding ``timeout`` — one entry
+            per item, ``None`` meaning unlimited.  Lets one batch mix
+            deadlines (the serve daemon's per-request budgets).
         shared: a batch-constant value (an architecture, a kernel
             suite) shipped to each participating worker once per batch
             instead of once per task.
@@ -115,6 +120,11 @@ def pmap(
             receive deep copies of the primary's result, marked
             ``deduped``.  Only the pool path dedupes — the serial path
             is kept byte-for-byte serial.
+        on_result: called as ``on_result(index, result)`` the moment
+            each item settles (duplicates settle with their primary),
+            letting a caller stream results with no batch barrier.  It
+            runs on the dispatching thread; exceptions are logged and
+            swallowed, never propagated into the batch.
 
     Returns:
         One :class:`PMapResult` per item, submission-ordered.  The
@@ -126,14 +136,26 @@ def pmap(
         keys = list(keys)
         if len(keys) != len(items):
             raise ValueError("keys must align one-to-one with items")
+    if timeouts is not None:
+        timeouts = list(timeouts)
+        if len(timeouts) != len(items):
+            raise ValueError("timeouts must align one-to-one with items")
     if jobs <= 1 or in_worker() or len(items) <= 1:
-        return [
-            run_task(fn, _task_args(shared, item), i, timeout)
-            for i, item in enumerate(items)
-        ]
+        out: list[PMapResult] = []
+        for i, item in enumerate(items):
+            budget = timeouts[i] if timeouts is not None else timeout
+            res = run_task(fn, _task_args(shared, item), i, budget)
+            out.append(res)
+            if on_result is not None:
+                try:
+                    on_result(i, res)
+                except Exception:
+                    pass
+        return out
     pool = get_pool(min(jobs, len(items)))
     results = pool.run_batch(
-        fn, items, jobs=jobs, timeout=timeout, shared=shared, keys=keys
+        fn, items, jobs=jobs, timeout=timeout, timeouts=timeouts,
+        shared=shared, keys=keys, on_result=on_result,
     )
     _fold_worker_metrics(results)
     return results  # type: ignore[return-value]

@@ -151,8 +151,12 @@ def _worker_main(conn) -> None:
     Message protocol (parent -> worker):
       ``None``                                    — exit
       ``("batch", fn, shared, use_shared,
-         timeout, metrics_on, cache_spec)``       — start a batch
-      ``("task", task_id, index, item)``          — run one task
+         metrics_on, cache_spec)``                — start a batch
+      ``("task", task_id, index, item, timeout)`` — run one task
+
+    The wall-clock budget rides on each *task* message (not the batch
+    header), so one batch can mix per-task deadlines — the serve
+    daemon's per-request budgets.
 
     Worker -> parent: ``(task_id, PMapResult)`` per task.  Any leaked
     SIGALRM is disarmed before *and* after each task, so a timer armed
@@ -177,7 +181,6 @@ def _worker_main(conn) -> None:
     fn: Callable[..., Any] | None = None
     shared: Any = None
     use_shared = False
-    timeout: float | None = None
     metrics_on = False
     while True:
         try:
@@ -198,10 +201,10 @@ def _worker_main(conn) -> None:
         if msg is None:
             break
         if msg[0] == "batch":
-            _, fn, shared, use_shared, timeout, metrics_on, spec = msg
+            _, fn, shared, use_shared, metrics_on, spec = msg
             _install_cache(spec)
             continue
-        _, task_id, index, item = msg
+        _, task_id, index, item, timeout = msg
         disarm_alarm()
         args = (shared, item) if use_shared else (item,)
         res = run_task(
@@ -244,13 +247,15 @@ class _Worker:
     def __init__(self, proc, conn) -> None:
         self.proc = proc
         self.conn = conn
-        #: task_id -> (item index, hard deadline); insertion order is
-        #: dispatch order, which the worker also completes in.  The
-        #: deadline stays ``None`` while the task is merely prefetched
-        #: behind a predecessor — it is stamped only when the task
-        #: becomes the worker's head-of-line (i.e. starts running), so
-        #: queue wait never counts against the backstop budget.
-        self.tasks: dict[int, tuple[int, float | None]] = {}
+        #: task_id -> (item index, hard deadline, task budget);
+        #: insertion order is dispatch order, which the worker also
+        #: completes in.  The deadline stays ``None`` while the task is
+        #: merely prefetched behind a predecessor — it is stamped only
+        #: when the task becomes the worker's head-of-line (i.e.
+        #: starts running), so queue wait never counts against the
+        #: backstop budget.  The budget is the task's own wall-clock
+        #: limit (batches may mix per-task budgets).
+        self.tasks: dict[int, tuple[int, float | None, float | None]] = {}
         self.announced = False
 
 
@@ -329,18 +334,57 @@ class WorkerPool:
         self._discard(w)
         return fresh
 
-    def close(self) -> None:
-        """Shut the workers down: sentinel, join, then terminate."""
-        for w in self._workers:
+    def close(self, grace: float | None = None) -> None:
+        """Shut the workers down with a *bounded* total wait.
+
+        Escalation ladder, each phase sharing one ``grace``-second
+        deadline across every worker (default :data:`JOIN_TIMEOUT`):
+
+        1. sentinel — a healthy worker reads ``None`` and exits;
+        2. SIGTERM — catches workers idle-wedged outside the recv loop;
+        3. SIGKILL — unconditional, for workers wedged mid-task with
+           SIGTERM masked or ignored (a hung C extension, a runaway
+           thread holding the process open).
+
+        The old implementation waited ``JOIN_TIMEOUT`` per worker *per
+        phase* sequentially, so one wedged worker stalled an atexit
+        shutdown for many seconds per pool member; the ladder bounds
+        the whole teardown at ~3 grace periods regardless of pool
+        size, and never leaves a live worker behind.
+        """
+        grace = JOIN_TIMEOUT if grace is None else grace
+        workers, self._workers = self._workers, []
+        for w in workers:
             if w.proc.is_alive():
                 try:
                     w.conn.send(None)
                 except (BrokenPipeError, OSError):
                     pass
-        for w in self._workers:
-            w.proc.join(timeout=JOIN_TIMEOUT)
-            self._discard(w)
-        self._workers = []
+
+        def _join_all(targets: list[_Worker]) -> list[_Worker]:
+            deadline = time.monotonic() + grace
+            for w in targets:
+                w.proc.join(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+            return [w for w in targets if w.proc.is_alive()]
+
+        alive = _join_all([w for w in workers if w.proc.is_alive()])
+        for w in alive:
+            w.proc.terminate()
+        alive = _join_all(alive)
+        for w in alive:
+            _log.warning(
+                "pool: SIGKILL to wedged worker pid %s at shutdown",
+                w.proc.pid,
+            )
+            w.proc.kill()
+        _join_all(alive)
+        for w in workers:
+            try:
+                w.conn.close()
+            except OSError:
+                pass
 
     # -- dispatch ------------------------------------------------------
     def run_batch(
@@ -350,9 +394,11 @@ class WorkerPool:
         *,
         jobs: int,
         timeout: float | None = None,
+        timeouts: Sequence[float | None] | None = None,
         shared: Any = None,
         keys: Sequence[Any] | None = None,
         accept: Callable[[PMapResult], bool] | None = None,
+        on_result: Callable[[int, PMapResult], None] | None = None,
     ) -> list[PMapResult | None]:
         """Run one batch over the pool; see ``pmap``/``race`` for the
         caller-facing contracts.
@@ -362,12 +408,34 @@ class WorkerPool:
         race semantics on: the lowest-index accepted result wins, and
         everything past it is cancelled (``None`` in the output).
         The two are mutually exclusive.
+
+        ``timeouts`` gives every item its own wall-clock budget
+        (overriding the batch-wide ``timeout``); ``on_result`` is
+        invoked as ``on_result(index, result)`` the moment each item
+        settles — including deduped copies, which settle with their
+        primary — so a caller can stream results out with no batch
+        barrier.  The callback runs on the dispatching thread; keep it
+        cheap and never let it raise (exceptions are logged and
+        swallowed).
         """
         if accept is not None and keys is not None:
             raise ValueError("keys= dedup is not supported under race()")
+        if accept is not None and on_result is not None:
+            raise ValueError(
+                "on_result= streaming is not supported under race()"
+            )
         items = list(items)
         n = len(items)
+        if timeouts is not None:
+            timeouts = list(timeouts)
+            if len(timeouts) != n:
+                raise ValueError(
+                    "timeouts must align one-to-one with items"
+                )
         self.batches += 1
+
+        def budget_of(i: int) -> float | None:
+            return timeouts[i] if timeouts is not None else timeout
 
         # Dedup plan: the indices that actually run, and who copies whom.
         dup_of: dict[int, int] = {}
@@ -399,7 +467,6 @@ class WorkerPool:
             fn,
             shared,
             shared is not None,
-            timeout,
             get_metrics().enabled,
             _cache_spec(),
         )
@@ -407,6 +474,58 @@ class WorkerPool:
         needed = len(order)
         done = 0
         winner: int | None = None
+
+        # Reverse dedup map: primary index -> its duplicate indices,
+        # so duplicates can settle (and stream) with their primary.
+        dups_of: dict[int, list[int]] = {}
+        for i, p in dup_of.items():
+            dups_of.setdefault(p, []).append(i)
+
+        def emit(i: int, res: PMapResult) -> None:
+            if on_result is None:
+                return
+            try:
+                on_result(i, res)
+            except Exception:
+                _log.exception("pool: on_result callback failed")
+
+        def fill_dups(p: int) -> None:
+            """Copy a settled primary's result onto its duplicates: a
+            deep copy, so the caller can mutate results independently;
+            no metrics (the duplicate did no work)."""
+            src = results[p]
+            if src is None:
+                return
+            for i in dups_of.get(p, ()):
+                if results[i] is not None:
+                    continue
+                try:
+                    value = copy.deepcopy(src.value)
+                except Exception:
+                    value = src.value
+                results[i] = PMapResult(
+                    index=i,
+                    ok=src.ok,
+                    value=value,
+                    error=src.error,
+                    timed_out=src.timed_out,
+                    elapsed=0.0,
+                    deduped=True,
+                )
+                self.dedup_hits += 1
+                get_metrics().counter(POOL_DEDUP_TOTAL).inc()
+                emit(i, results[i])
+
+        def finish(i: int, res: PMapResult) -> None:
+            """Record a real (non-duplicate) task's final result, then
+            stream it and its duplicates out."""
+            nonlocal done
+            if results[i] is not None:
+                return
+            results[i] = res
+            done += 1
+            emit(i, res)
+            fill_dups(i)
 
         def arm_head(w: _Worker) -> None:
             """Stamp the hard deadline on the worker's head-of-line
@@ -418,34 +537,36 @@ class WorkerPool:
             ``timeout + BACKSTOP_SLACK`` budget of its own, or long
             tasks would spuriously hard-fail under ``jobs >= 2`` while
             succeeding under ``jobs=1``."""
-            if timeout is None or not w.tasks:
+            if not w.tasks:
                 return
             head = next(iter(w.tasks))
-            i, dl = w.tasks[head]
-            if dl is None:
+            i, dl, budget = w.tasks[head]
+            if dl is None and budget is not None:
                 w.tasks[head] = (
-                    i, time.monotonic() + timeout + BACKSTOP_SLACK
+                    i, time.monotonic() + budget + BACKSTOP_SLACK, budget
                 )
 
-        def head_overdue(w: _Worker, now: float) -> bool:
-            """Is the worker's earliest in-flight task past its hard
-            deadline?  Later entries are unarmed by construction."""
+        def head_overdue(w: _Worker, now: float) -> float | None:
+            """If the worker's earliest in-flight task is past its hard
+            deadline, return that task's budget (for the diagnostic);
+            ``None`` otherwise.  Later entries are unarmed by
+            construction."""
             if not w.tasks:
-                return False
-            _i, dl = next(iter(w.tasks.values()))
-            return dl is not None and now > dl
+                return None
+            _i, dl, budget = next(iter(w.tasks.values()))
+            if dl is not None and now > dl:
+                return budget if budget is not None else 0.0
+            return None
 
         def settle(w: _Worker, task_id: int, res: PMapResult) -> None:
-            nonlocal done
             entry = w.tasks.pop(task_id, None)
             if entry is None:
                 return  # already accounted for (killed worker)
             arm_head(w)  # the next queued task is now running
             i = entry[0]
             if results[i] is None:
-                results[i] = res
-                done += 1
                 self.tasks_run += 1
+                finish(i, res)
 
         def decode_crash(detail: Any) -> WorkerCrash:
             return WorkerCrash(
@@ -480,22 +601,20 @@ class WorkerPool:
             fail its earliest in-flight task (the one it was running —
             dispatch order is completion order), re-queue the rest, and
             respawn."""
-            nonlocal done
             derr = drain(w)
             if error is None:
                 error = derr
             remaining = sorted(w.tasks.items())
             w.tasks.clear()
             if remaining:
-                _tid, (i, _dl) = remaining[0]
+                _tid, (i, _dl, _b) = remaining[0]
                 err = error if error is not None else WorkerCrash(
                     f"pool worker died running task {i}"
                 )
-                results[i] = PMapResult(
+                finish(i, PMapResult(
                     index=i, ok=False, error=err, timed_out=timed_out
-                )
-                done += 1
-                for _tid, (j, _dl) in reversed(remaining[1:]):
+                ))
+                for _tid, (j, _dl, _b) in reversed(remaining[1:]):
                     pending.appendleft(j)
             self.respawns += 1
             get_metrics().counter(POOL_RESPAWNS_TOTAL).inc()
@@ -506,7 +625,6 @@ class WorkerPool:
             self._replace(w, workers)
 
         def dispatch() -> None:
-            nonlocal done
             while pending:
                 candidates = [
                     w for w in workers
@@ -520,7 +638,9 @@ class WorkerPool:
                     if not w.announced:
                         w.conn.send(header)
                         w.announced = True
-                    w.conn.send(("task", self._seq, i, items[i]))
+                    w.conn.send(
+                        ("task", self._seq, i, items[i], budget_of(i))
+                    )
                 except (BrokenPipeError, OSError):
                     pending.appendleft(i)
                     fail_worker(w, None)
@@ -528,16 +648,12 @@ class WorkerPool:
                 except Exception as ex:
                     # Unpicklable fn/shared/item: fail the task the
                     # way a fork-per-call pool would, keep the worker.
-                    if results[i] is None:
-                        results[i] = PMapResult(
-                            index=i, ok=False, error=ex
-                        )
-                        done += 1
+                    finish(i, PMapResult(index=i, ok=False, error=ex))
                     continue
                 # Queued unarmed; arm_head stamps the deadline once the
                 # task is actually running (immediately, if the worker
                 # was idle).
-                w.tasks[self._seq] = (i, None)
+                w.tasks[self._seq] = (i, None, budget_of(i))
                 self._seq += 1
                 arm_head(w)
 
@@ -572,17 +688,19 @@ class WorkerPool:
             # wait.
             now = time.monotonic()
             for w in list(workers):
-                if not head_overdue(w, now):
+                if head_overdue(w, now) is None:
                     continue
                 derr = drain(w)  # the task may have finished this tick
                 if derr is not None:
                     fail_worker(w, derr)
-                elif head_overdue(w, now):
+                    continue
+                budget = head_overdue(w, now)
+                if budget is not None:
                     fail_worker(
                         w,
                         TaskTimeout(
                             "hard timeout: worker unresponsive after"
-                            f" {(timeout or 0.0) + BACKSTOP_SLACK:g}s"
+                            f" {budget + BACKSTOP_SLACK:g}s"
                         ),
                         timed_out=True,
                     )
@@ -611,28 +729,11 @@ class WorkerPool:
             for j in range(winner + 1, n):
                 results[j] = None
 
-        # Fill duplicates from their primaries: a deep copy, so the
-        # caller can mutate results independently; no metrics (the
-        # duplicate did no work).
-        for i, p in dup_of.items():
-            src = results[p]
-            if src is None:
-                continue
-            try:
-                value = copy.deepcopy(src.value)
-            except Exception:
-                value = src.value
-            results[i] = PMapResult(
-                index=i,
-                ok=src.ok,
-                value=value,
-                error=src.error,
-                timed_out=src.timed_out,
-                elapsed=0.0,
-                deduped=True,
-            )
-            self.dedup_hits += 1
-            get_metrics().counter(POOL_DEDUP_TOTAL).inc()
+        # Belt-and-braces: duplicates normally settle with their
+        # primary inside ``finish``; sweep any stragglers (fill_dups
+        # skips already-settled entries, so nothing double-counts).
+        for p in dups_of:
+            fill_dups(p)
         return results
 
 
@@ -697,12 +798,17 @@ def _ping(_: int) -> int:
     return os.getpid()
 
 
-def shutdown() -> None:
-    """Tear down the process-wide pool (idempotent; also at exit)."""
+def shutdown(grace: float | None = None) -> None:
+    """Tear down the process-wide pool (idempotent; also at exit).
+
+    ``grace`` bounds each rung of the close escalation ladder
+    (sentinel -> SIGTERM -> SIGKILL); a wedged worker cannot hang the
+    interpreter for more than ~3x that.  A second call — e.g. atexit
+    after an explicit ``serve`` teardown — is a no-op."""
     global _POOL
     pool, _POOL = _POOL, None
     if pool is not None:
-        pool.close()
+        pool.close(grace)
 
 
 atexit.register(shutdown)

@@ -1,0 +1,35 @@
+"""Mapping-as-a-service: the ``repro serve`` daemon.
+
+The survey's closing argument is that mapping is the *compilation
+service* a CGRA toolchain ultimately exposes — mappings are
+consumable artifacts produced on request, not values inside one
+Python process.  This package puts a daemon in front of the
+libraries the previous PRs built:
+
+* :mod:`repro.serve.validate` — JSON problem documents (kernel spec
+  or inline DFG doc + arch preset + mapper + options) checked with
+  field-naming errors before any work is scheduled;
+* :mod:`repro.serve.scheduler` — batches shard over the persistent
+  pre-warmed worker pool (:mod:`repro.parallel.pool`) with
+  per-request deadlines and content-addressed in-batch dedup, each
+  result streaming out the moment it settles;
+* :mod:`repro.serve.daemon` — a single-process asyncio TCP server
+  speaking newline-delimited JSON and minimal HTTP/1.1 on one port
+  (stdlib only), with ``/metrics`` Prometheus exposition and a
+  graceful SIGTERM/SIGINT drain;
+* :mod:`repro.serve.client` — a blocking socket client used by the
+  ``repro submit`` subcommand, the e2e tests, and the bench slice.
+"""
+
+from repro.serve.client import iter_submit, submit
+from repro.serve.daemon import MappingServer
+from repro.serve.validate import Prepared, RequestError, validate_batch
+
+__all__ = [
+    "MappingServer",
+    "Prepared",
+    "RequestError",
+    "iter_submit",
+    "submit",
+    "validate_batch",
+]

@@ -1,0 +1,72 @@
+"""Blocking client for the serve daemon's NDJSON protocol.
+
+Used by the ``repro submit`` subcommand, the e2e tests, and the bench
+serve slice.  One call, one batch, responses yielded as the daemon
+streams them (settle order, not submission order); the closing
+``{"batch": ...}`` summary ends the iteration.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Iterator, Sequence
+
+__all__ = ["iter_submit", "submit"]
+
+
+def iter_submit(
+    requests: Sequence[dict[str, Any]],
+    *,
+    host: str = "127.0.0.1",
+    port: int,
+    timeout: float | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Submit one batch; yield each response line as it arrives.
+
+    Yields one document per request (in settle order — match them to
+    requests by ``id``/``index``) and finally the batch summary line
+    (the document with a ``"batch"`` key).  Raises
+    :class:`ConnectionError` if the server closes mid-batch.
+    """
+    batch = json.dumps({"requests": list(requests)}).encode() + b"\n"
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        stream = sock.makefile("rwb")
+        stream.write(batch)
+        stream.flush()
+        while True:
+            line = stream.readline()
+            if not line:
+                raise ConnectionError(
+                    "server closed the connection mid-batch"
+                )
+            doc = json.loads(line)
+            yield doc
+            if "batch" in doc:
+                return
+
+
+def submit(
+    requests: Sequence[dict[str, Any]],
+    *,
+    host: str = "127.0.0.1",
+    port: int,
+    timeout: float | None = None,
+) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Submit one batch and collect it: ``(responses, summary)``.
+
+    ``responses`` holds one document per request in *submission*
+    order (re-sorted by ``index``); ``summary`` is the closing batch
+    line's payload.
+    """
+    responses: list[dict[str, Any]] = []
+    summary: dict[str, Any] = {}
+    for doc in iter_submit(
+        requests, host=host, port=port, timeout=timeout
+    ):
+        if "batch" in doc:
+            summary = doc["batch"]
+        else:
+            responses.append(doc)
+    responses.sort(key=lambda d: d.get("index", -1))
+    return responses, summary

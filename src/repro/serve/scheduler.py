@@ -1,0 +1,146 @@
+"""Pool-facing batch execution for the serve daemon.
+
+One batch of validated requests becomes one
+:meth:`~repro.parallel.pool.WorkerPool.run_batch` call: per-request
+deadlines ride in as per-task budgets (worker-side SIGALRM plus the
+parent's head-of-line backstop), content-addressed keys collapse
+identical in-flight requests onto one execution, and every result
+streams out through ``on_result`` the moment it settles — the daemon
+never waits for the batch barrier.
+
+The worker payload rebuilds the problem from its picklable spec
+(kernel name or DFG document — never live graph objects) and returns
+the *serialized* mapping document, so a response's bytes are decided
+in the worker and a deduped copy is byte-identical to its primary.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable, Sequence
+
+from repro.cache import get_cache
+from repro.core.exceptions import MapFailure
+from repro.core.registry import create
+from repro.core.serialize import dfg_from_doc, mapping_to_doc
+from repro.ir import kernels as kernel_lib
+from repro.parallel import PMapResult, get_pool
+from repro.parallel.tasks import fold_worker_metrics
+from repro.serve.validate import Prepared
+
+__all__ = ["map_batch", "response_of"]
+
+_log = logging.getLogger("repro.serve.scheduler")
+
+
+def _map_task(item: tuple) -> tuple:
+    """Pool payload: map one request (module-level for pickling).
+
+    Returns ``("ok", mapping_doc, meta, cache_delta)`` or
+    ``("map_failure", detail, None, cache_delta)``; timeouts and
+    crashes surface through the :class:`PMapResult` envelope instead.
+    """
+    kind, spec, arch, mapper_name, ii, options = item
+    from repro.arch import presets
+
+    cgra = presets.by_name(arch)
+    dfg = (
+        kernel_lib.kernel(spec) if kind == "kernel"
+        else dfg_from_doc(spec)
+    )
+    mapper = create(mapper_name, **options)
+    cache = get_cache()
+    before = cache.stats.snapshot() if cache is not None else None
+    try:
+        mapping = mapper.map(dfg, cgra, ii=ii)
+    except MapFailure as ex:
+        delta = (
+            cache.stats.delta_since(before) if cache is not None else None
+        )
+        return ("map_failure", str(ex), None, delta)
+    delta = (
+        cache.stats.delta_since(before) if cache is not None else None
+    )
+    meta = {
+        "ii": mapping.ii,
+        "map_time_ms": round(1000 * mapping.map_time, 3),
+    }
+    return ("ok", mapping_to_doc(mapping), meta, delta)
+
+
+def response_of(p: Prepared, res: PMapResult) -> dict[str, Any]:
+    """Translate one settled pool result into a response document."""
+    base: dict[str, Any] = {"id": p.rid, "index": p.index}
+    if res.ok:
+        status, payload, meta, _delta = res.value
+        if status == "ok":
+            return {
+                **base,
+                "ok": True,
+                "mapping": payload,
+                "ii": meta["ii"],
+                "map_time_ms": meta["map_time_ms"],
+                "elapsed_ms": round(1000 * res.elapsed, 3),
+                "deduped": res.deduped,
+            }
+        return {
+            **base,
+            "ok": False,
+            "deduped": res.deduped,
+            "error": {"type": "map_failure", "detail": payload},
+        }
+    if res.timed_out:
+        detail = (
+            f"deadline of {p.budget:g}s exceeded"
+            if p.budget is not None else str(res.error)
+        )
+        return {
+            **base,
+            "ok": False,
+            "error": {"type": "timeout", "detail": detail},
+        }
+    return {
+        **base,
+        "ok": False,
+        "error": {"type": "internal", "detail": str(res.error)},
+    }
+
+
+def map_batch(
+    prepared: Sequence[Prepared],
+    *,
+    jobs: int,
+    on_settle: Callable[[dict[str, Any]], None],
+) -> list[PMapResult]:
+    """Run validated requests over the persistent pool.
+
+    ``on_settle`` receives each response document as its request
+    settles (duplicates settle with their primary).  Blocking — the
+    daemon calls this in an executor thread; per-request budgets stay
+    enforced because the tasks run on pool workers' *main* threads,
+    where SIGALRM works, with the parent backstop behind them.
+    """
+    items = [p.item() for p in prepared]
+    pool = get_pool(max(1, min(jobs, len(items))))
+    results = pool.run_batch(
+        _map_task,
+        items,
+        jobs=jobs,
+        timeouts=[p.budget for p in prepared],
+        keys=[p.key for p in prepared],
+        on_result=lambda i, res: on_settle(response_of(prepared[i], res)),
+    )
+    fold_worker_metrics(results)
+    active = get_cache()
+    if active is not None:
+        for res in results:
+            if res is None or not res.ok:
+                continue
+            if res.deduped:
+                # The duplicate's serial run would have performed a
+                # real cache get (a hit, once its primary stored);
+                # book the same hit so totals match a serial pass.
+                active.stats.hits += 1
+            else:
+                active.stats.merge(res.value[3])
+    return results

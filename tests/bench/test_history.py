@@ -105,6 +105,24 @@ def test_load_entries_missing_file(tmp_path):
     assert load_entries(str(tmp_path / "nope.jsonl")) == []
 
 
+def test_load_entries_corrupt_line_names_path_and_line(tmp_path):
+    """A truncated append or hand-edit must surface as a ValueError
+    naming file and line, never a raw JSONDecodeError traceback."""
+    path = tmp_path / "simple4x4.jsonl"
+    path.write_text('{"schema": 1, "cells": []}\n{"truncat\n')
+    with pytest.raises(ValueError) as exc:
+        load_entries(str(path))
+    msg = str(exc.value)
+    assert "corrupt ledger" in msg
+    assert f"{path}:2" in msg
+
+
+def test_load_entries_skips_blank_lines(tmp_path):
+    path = tmp_path / "simple4x4.jsonl"
+    path.write_text('{"schema": 1}\n\n  \n{"schema": 1}\n')
+    assert len(load_entries(str(path))) == 2
+
+
 # ---------------------------------------------------------------------------
 # Baseline selection
 def _fake_entries():
@@ -264,6 +282,81 @@ def test_cli_record_compare_and_injected_regression(tmp_path, capsys):
 
     assert main(["bench", "list"] + common) == 0
     assert "bench history" in capsys.readouterr().out
+
+
+def test_cli_corrupt_ledger_is_a_clean_exit_2(tmp_path, capsys):
+    hist = tmp_path / "history"
+    hist.mkdir()
+    (hist / "simple4x4.jsonl").write_text(
+        '{"schema": 1, "cells": []}\n{"truncat\n'
+    )
+    common = ["--arch", "simple4x4", "--history-dir", str(hist)]
+    assert main(["bench", "list"] + common) == 2
+    err = capsys.readouterr().err
+    assert "corrupt ledger" in err and "simple4x4.jsonl:2" in err
+    assert main(["bench", "compare", "last", "--repeats", "1"] + common) == 2
+    assert "corrupt ledger" in capsys.readouterr().err
+
+
+def test_cli_bad_sha_baseline_is_a_clean_exit_2(entry, tmp_path, capsys):
+    hist = tmp_path / "history"
+    append_entry(entry, str(hist / "simple4x4.jsonl"))
+    assert main([
+        "bench", "compare", "deadbeef",
+        "--arch", "simple4x4", "--history-dir", str(hist),
+        "--repeats", "1",
+    ]) == 2
+    assert "deadbeef" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# The serving slice
+def test_run_serve_slice_entry_shape_and_self_compare():
+    from repro.bench.history import SERVE_BATCH, run_serve_slice
+
+    entry = run_serve_slice("simple4x4", repeats=1, label="t", jobs=2)
+    assert entry["schema"] == ENTRY_SCHEMA
+    assert entry["jobs"] == 2
+    cells = {(c["mapper"], c["kernel"]): c for c in entry["cells"]}
+    n = len(SERVE_BATCH)
+    assert set(cells) == {
+        ("serve", f"batch{n}"), ("serve", "single"), ("direct", f"batch{n}"),
+    }
+    for cell in cells.values():
+        assert cell["ok"]
+        assert cell["time_ms"] >= cell["time_ms_min"] >= 0
+    assert cells[("serve", "single")]["ii"] >= 1
+    # The daemon's own counters made it into the snapshot: one timed
+    # repeat = the batch plus the single request, dedup exercised.
+    metrics = entry["metrics"]
+    assert metrics["serve_requests_total"]["value"] == n + 1
+    assert metrics["pool_dedup_total"]["value"] == 2
+    # and the entry diffs cleanly against itself in ledger terms
+    comparisons = compare_entries(entry, entry)
+    assert comparisons
+    assert not any(c.regressed for c in comparisons)
+
+
+def test_run_serve_slice_rejects_bad_repeats():
+    from repro.bench.history import run_serve_slice
+
+    with pytest.raises(ValueError):
+        run_serve_slice("simple4x4", repeats=0)
+
+
+def test_cli_serve_slice_keeps_its_own_ledger(tmp_path, capsys):
+    hist = str(tmp_path / "history")
+    common = [
+        "--arch", "simple4x4", "--history-dir", hist, "--repeats", "1",
+        "--slice", "serve", "--jobs", "2",
+    ]
+    assert main(["bench", "record", "--note", "serve"] + common) == 0
+    capsys.readouterr()
+    path = tmp_path / "history" / "simple4x4-serve.jsonl"
+    assert path.exists()
+    assert not (tmp_path / "history" / "simple4x4.jsonl").exists()
+    assert main(["bench", "compare", "last"] + common) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
 
 
 def test_cli_parallel_slice_keeps_its_own_ledger(tmp_path, capsys):

@@ -1,5 +1,7 @@
-"""Mapping JSON round-trip tests."""
+"""Mapping JSON round-trip tests, the corrupted-document corpus, and
+the DFG document codec used by serve requests."""
 
+import copy
 import json
 
 import pytest
@@ -7,8 +9,12 @@ import pytest
 from repro.api import map_dfg
 from repro.arch import presets
 from repro.core.serialize import (
+    dfg_from_doc,
+    dfg_to_doc,
     fingerprint,
+    mapping_from_doc,
     mapping_from_json,
+    mapping_to_doc,
     mapping_to_json,
 )
 from repro.ir import kernels
@@ -104,3 +110,130 @@ def test_dual_issue_pairs_roundtrip():
     loaded = mapping_from_json(mapping_to_json(mapping), dfg, cgra)
     assert loaded.coexec == mapping.coexec
     assert loaded.validate() == []
+
+
+# ---------------------------------------------------------------------------
+# Corrupted-document corpus: every defect must surface as a clean
+# ValueError naming the field — documents arrive over the wire now,
+# and a raw KeyError/TypeError/IndexError is a daemon bug.
+# ---------------------------------------------------------------------------
+def _drop(key):
+    def mutate(doc):
+        del doc[key]
+    return mutate
+
+
+def _set(key, value):
+    def mutate(doc):
+        doc[key] = value
+    return mutate
+
+
+def _mangle_route(**changes):
+    def mutate(doc):
+        doc["routes"][0].update(changes)
+    return mutate
+
+
+CORRUPTIONS = [
+    _drop("fingerprint"), _drop("kind"), _drop("ii"), _drop("binding"),
+    _drop("schedule"), _drop("routes"),
+    _set("fingerprint", 17),
+    _set("kind", "quantum"),
+    _set("ii", "three"),
+    _set("ii", True),
+    _set("ii", 0),
+    _set("binding", [1, 2, 3]),
+    _set("binding", {"x": 1}),
+    _set("binding", {"3": "pe0"}),
+    _set("binding", {"3": True}),
+    _set("schedule", "soon"),
+    _set("routes", {"0": []}),
+    _set("routes", ["not an object"]),
+    _mangle_route(edge=None),
+    _mangle_route(edge=[1, 2]),                 # wrong arity
+    _mangle_route(edge=[1, 2, "p", 0]),         # non-int member
+    _mangle_route(steps="abc"),
+    _mangle_route(steps=[[1, 2]]),              # truncated step
+    _mangle_route(steps=[[1, 2, 3, 4]]),        # oversized step
+    _set("coexec", 5),
+    _set("coexec", [[1, "two"]]),
+]
+
+
+@pytest.mark.parametrize("mutate", CORRUPTIONS)
+def test_corrupted_docs_raise_field_naming_value_errors(setup, mutate):
+    dfg, cgra, mapping = setup
+    doc = json.loads(mapping_to_json(mapping))
+    mutate(doc)
+    with pytest.raises(ValueError, match="mapping document"):
+        mapping_from_doc(doc, dfg, cgra, verify=False)
+
+
+def test_non_object_doc_rejected(setup):
+    dfg, cgra, _ = setup
+    for junk in (None, 7, "doc", [1, 2]):
+        with pytest.raises(ValueError, match="mapping document"):
+            mapping_from_doc(junk, dfg, cgra)
+
+
+def test_good_doc_still_roundtrips_after_hardening(setup):
+    dfg, cgra, mapping = setup
+    doc = json.loads(mapping_to_json(mapping))
+    loaded = mapping_from_doc(doc, dfg, cgra)
+    assert mapping_to_doc(loaded) == mapping_to_doc(mapping)
+
+
+def test_node_map_missing_an_id_is_a_clean_error(setup):
+    dfg, cgra, mapping = setup
+    doc = mapping_to_doc(mapping)
+    with pytest.raises(ValueError, match="unknown node id"):
+        mapping_from_doc(doc, dfg, cgra, node_map={}, verify=False)
+
+
+# ---------------------------------------------------------------------------
+# DFG documents (inline problem graphs in serve requests)
+# ---------------------------------------------------------------------------
+def test_dfg_doc_roundtrip_preserves_ids_and_mapping_bytes():
+    dfg = kernels.kernel("fir4")
+    doc = dfg_to_doc(dfg)
+    rebuilt = dfg_from_doc(copy.deepcopy(doc))
+    assert {n.nid for n in rebuilt.nodes()} == {
+        n.nid for n in dfg.nodes()
+    }
+    assert dfg_to_doc(rebuilt) == doc
+    cgra = presets.simple_cgra(4, 4)
+    original = mapping_to_doc(map_dfg(dfg, cgra, mapper="list_sched"))
+    replayed = mapping_to_doc(map_dfg(rebuilt, cgra, mapper="list_sched"))
+    assert json.dumps(replayed, sort_keys=True) == json.dumps(
+        original, sort_keys=True
+    )
+
+
+def test_dfg_doc_is_json_clean():
+    doc = dfg_to_doc(kernels.kernel("sobel_x"))
+    assert json.loads(json.dumps(doc)) == doc
+
+
+@pytest.mark.parametrize(
+    "mutate,needle",
+    [
+        (lambda d: d.update(nodes="x"), "nodes"),
+        (lambda d: d["nodes"].append(7), "nodes"),
+        (lambda d: d["nodes"].append({"id": -1, "op": "add"}), "id"),
+        (lambda d: d["nodes"].append(dict(d["nodes"][0])), "twice"),
+        (
+            lambda d: d["nodes"].append({"id": 999, "op": "frobnicate"}),
+            "opcode",
+        ),
+        (lambda d: d["edges"].append([0, 1]), "edges"),
+        (lambda d: d["edges"].append([0, 99999, 0, 0]), "edges"),
+        (lambda d: d.update(name=4), "name"),
+    ],
+)
+def test_dfg_doc_defects_are_clean_errors(mutate, needle):
+    doc = dfg_to_doc(kernels.kernel("dot_product"))
+    mutate(doc)
+    with pytest.raises(ValueError, match="dfg document") as exc:
+        dfg_from_doc(doc)
+    assert needle in str(exc.value)

@@ -105,6 +105,24 @@ def _race_script(item):
     return "loser"
 
 
+def _wedge_forever(_):
+    """Make this worker unkillable by anything short of SIGKILL: ignore
+    SIGTERM and hold the process open with a non-daemon thread, then
+    return normally so the batch itself succeeds."""
+    import threading
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    t = threading.Thread(target=time.sleep, args=(600,), daemon=False)
+    t.start()
+    return "wedged"
+
+
+def _sleep_tagged(item):
+    tag, seconds = item
+    time.sleep(seconds)
+    return tag
+
+
 # ---------------------------------------------------------------------------
 def test_pool_persists_across_pmap_calls():
     warm_pool(2)
@@ -275,3 +293,76 @@ def test_pool_scope_leaves_existing_pool_running():
         assert pool is outer
     assert pool_mod._POOL is outer
     assert [r.value for r in pmap(_double, [3], jobs=2)] == [6]
+
+
+def test_shutdown_escalates_to_sigkill_on_wedged_worker():
+    shutdown()
+    pool = warm_pool(2)
+    results = pmap(_wedge_forever, [0, 1], jobs=2)
+    assert [r.value for r in results] == ["wedged", "wedged"]
+    pids = pool.pids()
+    t0 = time.monotonic()
+    shutdown(grace=0.5)
+    elapsed = time.monotonic() - t0
+    # bounded: ~3 grace periods total, not per wedged worker
+    assert elapsed < 5.0
+    for pid in pids:
+        with pytest.raises(OSError):
+            os.kill(pid, 0)  # ESRCH: nothing left behind
+
+
+def test_shutdown_twice_is_a_noop():
+    warm_pool(2)
+    shutdown()
+    t0 = time.monotonic()
+    shutdown()  # e.g. atexit after an explicit serve teardown
+    assert time.monotonic() - t0 < 0.5
+    assert pool_mod._POOL is None
+
+
+def test_per_task_timeouts_mix_in_one_batch():
+    pool = warm_pool(2)
+    # Same payload duration, opposite budgets: only the starved entry
+    # may time out, proving the budget rides on the task, not the batch.
+    results = pool.run_batch(
+        _sleep_tagged,
+        [("tight", 0.4), ("roomy", 0.4)],
+        jobs=2,
+        timeouts=[0.1, None],
+    )
+    assert not results[0].ok and results[0].timed_out
+    assert isinstance(results[0].error, TaskTimeout)
+    assert results[1].ok and results[1].value == "roomy"
+
+
+def test_on_result_streams_settled_tasks_without_barrier():
+    warm_pool(2)
+    seen: list[tuple[int, float]] = []
+    results = pmap(
+        _sleep_tagged,
+        [("slow", 0.6), ("fast", 0.0)],
+        jobs=2,
+        on_result=lambda i, r: seen.append((i, time.monotonic())),
+    )
+    assert [r.value for r in results] == ["slow", "fast"]
+    order = [i for i, _ in seen]
+    assert sorted(order) == [0, 1]
+    # the fast task streamed out first — no submission-order barrier
+    assert order[0] == 1
+    assert seen[1][1] - seen[0][1] > 0.3
+
+
+def test_on_result_fires_for_deduped_copies():
+    warm_pool(2)
+    seen: list[tuple[int, bool]] = []
+    results = pmap(
+        _double,
+        [5, 5, 6],
+        jobs=2,
+        keys=["k", "k", "j"],
+        on_result=lambda i, r: seen.append((i, r.deduped)),
+    )
+    assert [r.value for r in results] == [10, 10, 12]
+    assert sorted(seen) == [(0, False), (1, True), (2, False)]
+    # the duplicate settles with its primary, immediately after it
+    assert seen.index((1, True)) == seen.index((0, False)) + 1

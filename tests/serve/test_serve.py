@@ -1,0 +1,453 @@
+"""End-to-end contracts of the serve daemon.
+
+One in-process daemon per test (port 0, shared worker pool left
+running): mixed batches stream per-request results, valid responses
+are byte-identical to a serial ``Mapper.map`` + ``mapping_to_doc``,
+duplicates collapse onto one pool execution, malformed requests get
+structured field-naming errors without killing their batch, and the
+HTTP face serves the same batches plus ``/metrics`` and
+``/healthz``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.arch import presets
+from repro.core.registry import create
+from repro.core.serialize import dfg_to_doc, mapping_to_doc
+from repro.ir import kernels
+from repro.obs.metrics import (
+    SERVE_BATCHES_TOTAL,
+    SERVE_ERRORS_TOTAL,
+    SERVE_REQUEST_LATENCY_MS,
+    SERVE_REQUESTS_TOTAL,
+)
+from repro.serve import MappingServer, submit
+from repro.serve.validate import RequestError, validate_request
+
+
+def roundtrip(requests, **server_kw):
+    """Run one batch against a fresh in-process daemon.
+
+    Returns ``(responses, summary, metrics snapshot)``; responses are
+    submission-ordered.
+    """
+
+    async def go():
+        async with MappingServer(port=0, **server_kw) as server:
+            loop = asyncio.get_running_loop()
+            port = server.bound_port
+            responses, summary = await loop.run_in_executor(
+                None,
+                lambda: submit(requests, port=port, timeout=120),
+            )
+            return responses, summary, server.registry.snapshot()
+
+    return asyncio.run(go())
+
+
+def serial_doc(kernel, arch="simple4x4", mapper="list_sched", ii=None):
+    """The reference document: serial map + serialize, no daemon."""
+    mapping = create(mapper).map(
+        kernels.kernel(kernel), presets.by_name(arch), ii=ii
+    )
+    return mapping_to_doc(mapping)
+
+
+def canonical(doc) -> str:
+    return json.dumps(doc, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+def test_mixed_batch_streams_every_outcome():
+    requests = [
+        {"id": "ok", "kernel": "dot_product", "arch": "simple4x4"},
+        {"id": "dup", "kernel": "dot_product", "arch": "simple4x4"},
+        {"id": "bad", "kernel": 42, "arch": "simple4x4"},
+        {
+            "id": "late",
+            "kernel": "layered:60:3:7",
+            "arch": "simple4x4",
+            "deadline_ms": 0.01,
+        },
+        {"id": "fir", "kernel": "fir4", "arch": "simple4x4"},
+    ]
+    responses, summary, snap = roundtrip(requests, jobs=2)
+    by_id = {r["id"]: r for r in responses}
+
+    assert by_id["ok"]["ok"] and not by_id["ok"]["deduped"]
+    assert by_id["dup"]["ok"] and by_id["dup"]["deduped"]
+    # byte-identical to the serial pipeline, duplicate included
+    reference = canonical(serial_doc("dot_product"))
+    assert canonical(by_id["ok"]["mapping"]) == reference
+    assert canonical(by_id["dup"]["mapping"]) == reference
+
+    err = by_id["bad"]["error"]
+    assert err["type"] == "validation"
+    assert err["field"] == "requests[2].kernel"
+
+    assert by_id["late"]["error"]["type"] == "timeout"
+    assert "deadline" in by_id["late"]["error"]["detail"]
+
+    assert by_id["fir"]["ok"]
+    assert canonical(by_id["fir"]["mapping"]) == canonical(
+        serial_doc("fir4")
+    )
+
+    assert summary["requests"] == 5
+    assert summary["ok"] == 3
+    assert summary["errors"] == 2
+    assert summary["deduped"] == 1
+
+    assert snap[SERVE_REQUESTS_TOTAL]["value"] == 5
+    assert snap[SERVE_ERRORS_TOTAL]["value"] == 2
+    assert snap[SERVE_BATCHES_TOTAL]["value"] == 1
+    # only pool-run requests get a latency observation
+    assert snap[SERVE_REQUEST_LATENCY_MS]["count"] == 4
+
+
+def test_inline_dfg_request_maps_with_exact_node_ids():
+    dfg = kernels.kernel("fir4")
+    responses, summary, _ = roundtrip(
+        [
+            {"id": "inline", "dfg": dfg_to_doc(dfg), "arch": "simple4x4"},
+            {"id": "named", "kernel": "fir4", "arch": "simple4x4"},
+        ],
+        jobs=2,
+    )
+    inline, named = responses
+    assert inline["ok"] and named["ok"]
+    # ids are preserved exactly, so both routes to the same graph
+    # produce the same document — but the requests must NOT have
+    # deduped onto each other (different key suffixes).
+    assert canonical(inline["mapping"]) == canonical(named["mapping"])
+    assert summary["deduped"] == 0
+
+
+def test_relabeled_isomorphic_inline_dfgs_do_not_dedup():
+    dfg = kernels.kernel("dot_product")
+    doc = dfg_to_doc(dfg)
+    shift = max(n["id"] for n in doc["nodes"]) + 1
+    relabeled = {
+        "name": doc["name"],
+        "nodes": [
+            {**n, "id": n["id"] + shift} for n in doc["nodes"]
+        ],
+        "edges": [
+            [s + shift, d + shift, p, dist]
+            for s, d, p, dist in doc["edges"]
+        ],
+    }
+    responses, summary, _ = roundtrip(
+        [
+            {"id": "a", "dfg": doc, "arch": "simple4x4"},
+            {"id": "b", "dfg": relabeled, "arch": "simple4x4"},
+        ],
+        jobs=2,
+    )
+    a, b = responses
+    assert a["ok"] and b["ok"]
+    # same content address, different labels: dedup would hand b a
+    # document speaking a's node ids
+    assert summary["deduped"] == 0
+    b_ids = {int(k) for k in b["mapping"]["binding"]}
+    assert b_ids and all(i >= shift for i in b_ids)
+    a_ids = {int(k) for k in a["mapping"]["binding"]}
+    assert b_ids == {i + shift for i in a_ids}
+
+
+def test_map_failure_is_a_structured_error_not_a_crash():
+    # sobel_x cannot fit spatially on a 2x2: a deterministic MapFailure
+    responses, summary, _ = roundtrip(
+        [
+            {
+                "id": "nofit",
+                "kernel": "sobel_x",
+                "arch": "simple2x2",
+                "mapper": "sa_spatial",
+            },
+            {"id": "fine", "kernel": "dot_product", "arch": "simple4x4"},
+        ],
+        jobs=2,
+    )
+    by_id = {r["id"]: r for r in responses}
+    assert not by_id["nofit"]["ok"]
+    assert by_id["nofit"]["error"]["type"] == "map_failure"
+    assert "does not fit" in by_id["nofit"]["error"]["detail"]
+    assert by_id["fine"]["ok"]
+    assert summary["requests"] == 2 and summary["errors"] == 1
+
+
+def test_batch_envelope_errors_are_structured():
+    async def go():
+        async with MappingServer(port=0, jobs=2) as server:
+            port = server.bound_port
+
+            def talk():
+                with socket.create_connection(
+                    ("127.0.0.1", port), timeout=30
+                ) as sock:
+                    stream = sock.makefile("rwb")
+                    out = []
+                    for payload in (b"[1, 2]\n", b"{not json\n"):
+                        stream.write(payload)
+                        stream.flush()
+                        out.append(json.loads(stream.readline()))
+                        out.append(json.loads(stream.readline()))
+                    return out
+
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(None, talk)
+
+    shape_err, shape_sum, parse_err, parse_sum = asyncio.run(go())
+    assert shape_err["error"]["type"] == "validation"
+    assert shape_err["error"]["field"] == "batch"
+    assert shape_sum["batch"]["errors"] == 1
+    assert parse_err["error"]["field"] == "batch"
+    assert "not valid JSON" in parse_err["error"]["detail"]
+    assert parse_sum["batch"]["requests"] == 0
+
+
+def test_connection_serves_multiple_batches():
+    async def go():
+        async with MappingServer(port=0, jobs=2) as server:
+            port = server.bound_port
+
+            def talk():
+                batch = json.dumps({
+                    "requests": [
+                        {"kernel": "dot_product", "arch": "simple4x4"}
+                    ]
+                }).encode() + b"\n"
+                with socket.create_connection(
+                    ("127.0.0.1", port), timeout=120
+                ) as sock:
+                    stream = sock.makefile("rwb")
+                    summaries = []
+                    for _ in range(2):
+                        stream.write(batch)
+                        stream.flush()
+                        while True:
+                            doc = json.loads(stream.readline())
+                            if "batch" in doc:
+                                summaries.append(doc["batch"])
+                                break
+                    return summaries
+
+            loop = asyncio.get_running_loop()
+            summaries = await loop.run_in_executor(None, talk)
+            return summaries, server.registry.snapshot()
+
+    summaries, snap = asyncio.run(go())
+    assert [s["ok"] for s in summaries] == [1, 1]
+    assert snap[SERVE_BATCHES_TOTAL]["value"] == 2
+
+
+def test_http_face_serves_map_metrics_and_health():
+    async def go():
+        async with MappingServer(port=0, jobs=2) as server:
+            port = server.bound_port
+
+            def http(method, path, body=b""):
+                with socket.create_connection(
+                    ("127.0.0.1", port), timeout=120
+                ) as sock:
+                    head = (
+                        f"{method} {path} HTTP/1.1\r\n"
+                        f"Host: x\r\nContent-Length: {len(body)}\r\n"
+                        "\r\n"
+                    ).encode()
+                    sock.sendall(head + body)
+                    chunks = []
+                    while True:
+                        got = sock.recv(65536)
+                        if not got:
+                            return b"".join(chunks)
+                        chunks.append(got)
+
+            loop = asyncio.get_running_loop()
+            body = json.dumps({
+                "requests": [
+                    {"id": "h", "kernel": "dot_product",
+                     "arch": "simple4x4"},
+                ]
+            }).encode()
+            mapped = await loop.run_in_executor(
+                None, lambda: http("POST", "/map", body)
+            )
+            metrics = await loop.run_in_executor(
+                None, lambda: http("GET", "/metrics")
+            )
+            health = await loop.run_in_executor(
+                None, lambda: http("GET", "/healthz")
+            )
+            missing = await loop.run_in_executor(
+                None, lambda: http("GET", "/nope")
+            )
+            return mapped, metrics, health, missing
+
+    mapped, metrics, health, missing = asyncio.run(go())
+    head, _, payload = mapped.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200 OK")
+    assert b"application/x-ndjson" in head
+    lines = [json.loads(x) for x in payload.splitlines() if x.strip()]
+    assert lines[0]["ok"] is True
+    assert canonical(lines[0]["mapping"]) == canonical(
+        serial_doc("dot_product")
+    )
+    assert lines[-1]["batch"]["ok"] == 1
+    assert b"repro_serve_requests_total 1" in metrics
+    assert health.partition(b"\r\n\r\n")[2] == b"ok\n"
+    assert missing.startswith(b"HTTP/1.1 404")
+
+
+def test_aclose_drains_and_double_close_is_noop():
+    async def go():
+        server = MappingServer(port=0, jobs=2)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        port = server.bound_port
+        responses, _ = await loop.run_in_executor(
+            None,
+            lambda: submit(
+                [{"kernel": "dot_product", "arch": "simple4x4"}],
+                port=port, timeout=120,
+            ),
+        )
+        await server.aclose()
+        await server.aclose()  # idempotent
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=0.5)
+        return responses
+
+    responses = asyncio.run(go())
+    assert responses[0]["ok"]
+
+
+def test_cli_serve_submit_and_sigterm_drain(tmp_path):
+    """The whole CLI path: boot `repro serve`, drive it with
+    `repro submit`, then SIGTERM it and verify a clean drain with no
+    orphaned pool workers."""
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    env = {**os.environ, "PYTHONPATH": "src", "PYTHONUNBUFFERED": "1"}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "2", "--grace", "2.0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        assert m, f"no readiness line, got {line!r}"
+        port = int(m.group(1))
+
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps({
+            "requests": [
+                {"id": "a", "kernel": "dot_product", "arch": "simple4x4"},
+                {"id": "b", "kernel": "dot_product", "arch": "simple4x4"},
+                {"id": "bad", "arch": "simple4x4"},
+                {"id": "c", "kernel": "fir4", "arch": "simple4x4"},
+            ]
+        }))
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", str(batch),
+             "--port", str(port)],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert out.returncode == 1  # the malformed request failed
+        lines = [json.loads(x) for x in out.stdout.splitlines()]
+        summary = lines[-1]["batch"]
+        assert summary["requests"] == 4 and summary["ok"] == 3
+        assert summary["deduped"] == 1
+        by_id = {d["id"]: d for d in lines[:-1]}
+        assert canonical(by_id["a"]["mapping"]) == canonical(
+            serial_doc("dot_product")
+        )
+        assert by_id["bad"]["error"]["field"] == "requests[2].kernel"
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+        tail = proc.stdout.read()
+        assert "drained and stopped" in tail
+        # no orphaned workers: every child of the daemon is gone
+        procs = subprocess.run(
+            ["ps", "--ppid", str(proc.pid), "-o", "pid="],
+            capture_output=True, text=True,
+        )
+        assert procs.stdout.strip() == ""
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+# ---------------------------------------------------------------------------
+# validation unit drills
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "doc,field",
+    [
+        ("nope", "requests[0]"),
+        ({}, "requests[0].kernel"),
+        ({"kernel": "dot_product", "dfg": {"nodes": []}},
+         "requests[0].kernel"),
+        ({"kernel": "no_such_kernel", "arch": "simple4x4"},
+         "requests[0].kernel"),
+        ({"kernel": "dot_product"}, "requests[0].arch"),
+        ({"kernel": "dot_product", "arch": "atari2600"},
+         "requests[0].arch"),
+        ({"kernel": "dot_product", "arch": "simple4x4",
+          "mapper": "magic"}, "requests[0].mapper"),
+        ({"kernel": "dot_product", "arch": "simple4x4",
+          "options": {"bogus_opt": 1}}, "requests[0].options"),
+        ({"kernel": "dot_product", "arch": "simple4x4", "ii": 0},
+         "requests[0].ii"),
+        ({"kernel": "dot_product", "arch": "simple4x4", "ii": True},
+         "requests[0].ii"),
+        ({"kernel": "dot_product", "arch": "simple4x4",
+          "deadline_ms": -5}, "requests[0].deadline_ms"),
+        ({"kernel": "dot_product", "arch": "simple4x4",
+          "turbo": True}, "requests[0].turbo"),
+        ({"id": 7, "kernel": "dot_product", "arch": "simple4x4"},
+         "requests[0].id"),
+        ({"dfg": {"nodes": "x"}, "arch": "simple4x4"},
+         "requests[0].dfg"),
+    ],
+)
+def test_validate_request_names_the_offending_field(doc, field):
+    with pytest.raises(RequestError) as exc:
+        validate_request(doc, 0)
+    assert exc.value.field == field
+
+
+def test_validate_request_accepts_the_full_shape():
+    p = validate_request(
+        {
+            "id": "r9",
+            "kernel": "dot_product",
+            "arch": "simple4x4",
+            "mapper": "list_sched",
+            "deadline_ms": 1500,
+        },
+        3,
+    )
+    assert p.rid == "r9" and p.index == 3
+    assert p.budget == pytest.approx(1.5)
+    assert p.key.endswith("+k:dot_product")
+    kind, spec, arch, mapper, ii, options = p.item()
+    assert (kind, spec, arch, mapper) == (
+        "kernel", "dot_product", "simple4x4", "list_sched"
+    )
